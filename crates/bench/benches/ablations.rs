@@ -1,0 +1,74 @@
+//! Ablation benches for the design choices called out in DESIGN.md §7.
+//!
+//! Timing side (this file): greedy vs exact matching cost, and the
+//! substrate DP against the always-bridge greedy. The *quality* side of
+//! the same ablations (how much cost each choice saves) is printed by
+//! `figures --ablations` from `mcs-experiments`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
+use mcs_bench::{bench_model, bench_trace, bench_workload};
+use mcs_correlation::exact::exact_matching;
+use mcs_correlation::{greedy_matching, JaccardMatrix};
+use mcs_offline::{greedy::greedy, optimal};
+
+/// Matching ablation: greedy threshold matching vs exact bitmask DP.
+fn ablation_matching(c: &mut Criterion) {
+    // A synthetic 16-item matrix (bitmask DP over 2^16 states).
+    let mut cfg = mcs_trace::workload::WorkloadConfig::paper_like(mcs_bench::BENCH_SEED);
+    cfg.taxis = 16;
+    cfg.pair_affinity = vec![0.9, 0.75, 0.6, 0.45, 0.3, 0.2, 0.1, 0.05];
+    cfg.steps = 600;
+    let seq = mcs_trace::workload::generate(&cfg);
+    let matrix = JaccardMatrix::from_sequence(&seq);
+
+    let mut g = c.benchmark_group("ablation_matching");
+    g.bench_function("greedy_k16", |b| {
+        b.iter(|| greedy_matching(black_box(&matrix), 0.1).pairs.len())
+    });
+    g.sample_size(10);
+    g.bench_function("exact_k16", |b| {
+        b.iter(|| exact_matching(black_box(&matrix), 0.1).pairs.len())
+    });
+    g.finish();
+}
+
+/// Bridging ablation: the covering DP vs the always-bridge greedy — the
+/// gap Theorem 1's cut argument bounds by 2×.
+fn ablation_bridging(c: &mut Criterion) {
+    let model = bench_model();
+    let trace = bench_trace(1000, 50);
+    let mut g = c.benchmark_group("ablation_bridging");
+    g.bench_function("covering_dp", |b| {
+        b.iter(|| optimal(black_box(&trace), black_box(&model)).cost)
+    });
+    g.bench_function("always_bridge_greedy", |b| {
+        b.iter(|| greedy(black_box(&trace), black_box(&model)).cost)
+    });
+    g.finish();
+}
+
+/// Package-arm ablation: faithful vs strict package availability in the
+/// singleton greedy (quality differs; timing should not).
+fn ablation_package_arm(c: &mut Criterion) {
+    let seq = bench_workload(800);
+    let faithful = DpGreedyConfig::new(bench_model()).with_theta(0.3);
+    let strict = faithful.strict();
+    let mut g = c.benchmark_group("ablation_package_arm");
+    g.sample_size(10);
+    g.bench_function("faithful", |b| {
+        b.iter(|| dp_greedy(black_box(&seq), black_box(&faithful)).total_cost)
+    });
+    g.bench_function("strict", |b| {
+        b.iter(|| dp_greedy(black_box(&seq), black_box(&strict)).total_cost)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = ablation_matching, ablation_bridging, ablation_package_arm
+}
+criterion_main!(benches);

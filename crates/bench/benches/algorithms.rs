@@ -1,0 +1,51 @@
+//! Core-algorithm throughput benchmarks: the substrate DP, the greedy
+//! baseline, Phase 1 correlation analysis, and the full two-phase
+//! DP_Greedy pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
+use mcs_bench::{bench_model, bench_trace, bench_workload};
+use mcs_correlation::{greedy_matching, JaccardMatrix};
+use mcs_offline::{greedy::greedy, optimal};
+
+fn bench_substrate(c: &mut Criterion) {
+    let model = bench_model();
+    let trace = bench_trace(1000, 50);
+    let mut g = c.benchmark_group("substrate");
+    g.bench_function("optimal_offline_n1000_m50", |b| {
+        b.iter(|| optimal(black_box(&trace), black_box(&model)).cost)
+    });
+    g.bench_function("simple_greedy_n1000_m50", |b| {
+        b.iter(|| greedy(black_box(&trace), black_box(&model)).cost)
+    });
+    g.finish();
+}
+
+fn bench_phase1(c: &mut Criterion) {
+    let seq = bench_workload(1500);
+    let mut g = c.benchmark_group("phase1");
+    g.bench_function("jaccard_matrix", |b| {
+        b.iter(|| JaccardMatrix::from_sequence(black_box(&seq)))
+    });
+    let matrix = JaccardMatrix::from_sequence(&seq);
+    g.bench_function("greedy_matching", |b| {
+        b.iter(|| greedy_matching(black_box(&matrix), 0.3))
+    });
+    g.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let seq = bench_workload(1500);
+    let config = DpGreedyConfig::new(bench_model()).with_theta(0.3);
+    c.bench_function("dp_greedy_full_pipeline", |b| {
+        b.iter(|| dp_greedy(black_box(&seq), black_box(&config)).total_cost)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_substrate, bench_phase1, bench_full_pipeline
+}
+criterion_main!(benches);

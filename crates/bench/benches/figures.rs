@@ -1,0 +1,77 @@
+//! Figure-regeneration benches: one group per paper figure, timing the
+//! end-to-end runner at a reduced workload size. `cargo bench -p
+//! mcs-bench figures` therefore regenerates every evaluation artefact (the
+//! printed tables come from the `figures` binary; these measure the cost
+//! of producing them).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mcs_experiments::{fig09, fig10, fig11, fig12, fig13, online_exp, ratio_exp};
+use mcs_trace::workload::WorkloadConfig;
+
+fn reduced_config() -> WorkloadConfig {
+    let mut cfg = WorkloadConfig::paper_like(mcs_bench::BENCH_SEED);
+    cfg.steps = 600;
+    cfg
+}
+
+fn fig09_bench(c: &mut Criterion) {
+    let cfg = reduced_config();
+    c.bench_function("fig09_trace_distribution", |b| {
+        b.iter(|| fig09::run(black_box(&cfg)).requests)
+    });
+}
+
+fn fig10_bench(c: &mut Criterion) {
+    let cfg = reduced_config();
+    c.bench_function("fig10_pair_spectrum", |b| {
+        b.iter(|| fig10::run(black_box(&cfg)).spectrum.len())
+    });
+}
+
+fn fig11_bench(c: &mut Criterion) {
+    let cfg = reduced_config();
+    c.bench_function("fig11_jaccard_sweep", |b| {
+        b.iter(|| fig11::run(black_box(&cfg)).rows.len())
+    });
+}
+
+fn fig12_bench(c: &mut Criterion) {
+    let cfg = reduced_config();
+    let rhos = [0.2, 1.0, 2.0, 3.0, 5.0];
+    c.bench_function("fig12_rho_sweep", |b| {
+        b.iter(|| fig12::run(black_box(&cfg), black_box(&rhos)).rows.len())
+    });
+}
+
+fn fig13_bench(c: &mut Criterion) {
+    let cfg = reduced_config();
+    c.bench_function("fig13_alpha_sweep", |b| {
+        b.iter(|| fig13::run(black_box(&cfg)).rows.len())
+    });
+}
+
+fn ratio_bench(c: &mut Criterion) {
+    c.bench_function("theorem1_ratio_sampling", |b| {
+        b.iter(|| {
+            ratio_exp::run(black_box(40), mcs_bench::BENCH_SEED)
+                .rows
+                .len()
+        })
+    });
+}
+
+fn online_bench(c: &mut Criterion) {
+    let cfg = reduced_config();
+    c.bench_function("online_competitive_ratios", |b| {
+        b.iter(|| online_exp::run(black_box(&cfg)).rows.len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig09_bench, fig10_bench, fig11_bench, fig12_bench, fig13_bench,
+              ratio_bench, online_bench
+}
+criterion_main!(benches);

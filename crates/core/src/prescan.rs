@@ -1,0 +1,297 @@
+//! The efficient-implementation data structures of Section V.
+//!
+//! A pre-scan pass over the request points builds:
+//!
+//! * a per-server doubly linked list `Q_j` of the requests made on `s_j`
+//!   (initialised with a dummy boundary node — here, the origin placement
+//!   on `s_1` plays that role for the origin server and an implicit empty
+//!   head elsewhere);
+//! * the global index `A[n]` mapping request order to nodes;
+//! * the rolling `pLast[m]` array holding, per server, the most recent
+//!   request made at or before the current scan position — snapshotted
+//!   into every request's own `m`-size pointer array.
+//!
+//! With these, the service pass can identify for any request `r_i`:
+//! its same-server predecessor `r_{p(i)}` (Definition 1) in `O(1)`, and the
+//! cache interval candidates that cover `r_i` on every server in `O(m)` —
+//! the `{[0, 1.4], [0.5, 2.6], ∅, ∅}` example of Fig. 8.
+//!
+//! Building takes `O(mn)` time and space, exactly as analysed in
+//! Section V-B.
+
+use mcs_model::request::SingleItemTrace;
+use mcs_model::{ServerId, TimePoint};
+
+/// Index of a node inside the pre-scan arena. `usize::MAX` is the null link.
+type Link = usize;
+const NIL: Link = usize::MAX;
+
+/// One request node in the per-server doubly linked lists.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Position in the global request order (`A` index).
+    order: usize,
+    /// Backward link within this server's list `Q_j`.
+    prev_same_server: Link,
+    /// Forward link within this server's list `Q_j`.
+    next_same_server: Link,
+    /// Snapshot of `pLast[m]` when this request was processed: per server,
+    /// the most recent request made strictly before this one (by order).
+    recent: Vec<Link>,
+}
+
+/// The pre-scan structure of Section V-A.
+#[derive(Debug, Clone)]
+pub struct PreScan {
+    servers: u32,
+    times: Vec<TimePoint>,
+    server_of: Vec<ServerId>,
+    nodes: Vec<Node>,
+    /// Head (first request) of each server's list.
+    heads: Vec<Link>,
+    /// `pLast[m]` after the full scan: last request on each server.
+    plast: Vec<Link>,
+}
+
+impl PreScan {
+    /// Builds the structure in one `O(mn)` pass.
+    pub fn build(trace: &SingleItemTrace) -> Self {
+        let m = trace.servers as usize;
+        let n = trace.len();
+        let mut nodes: Vec<Node> = Vec::with_capacity(n);
+        let mut heads = vec![NIL; m];
+        let mut plast = vec![NIL; m];
+        let mut times = Vec::with_capacity(n);
+        let mut server_of = Vec::with_capacity(n);
+
+        for (i, p) in trace.points.iter().enumerate() {
+            let s = p.server.index();
+            // Snapshot pLast before inserting r_i: "storing the immediate
+            // request ahead of the request for each server".
+            let recent = plast.clone();
+            let prev = plast[s];
+            nodes.push(Node {
+                order: i,
+                prev_same_server: prev,
+                next_same_server: NIL,
+                recent,
+            });
+            if prev == NIL {
+                heads[s] = i;
+            } else {
+                nodes[prev].next_same_server = i;
+            }
+            plast[s] = i;
+            times.push(p.time);
+            server_of.push(p.server);
+        }
+
+        PreScan {
+            servers: trace.servers,
+            times,
+            server_of,
+            nodes,
+            heads,
+            plast,
+        }
+    }
+
+    /// Number of request nodes `n`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no requests were scanned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `r_{p(i)}` — the most recent request *before* `i` on the same server
+    /// (Definition 1), in `O(1)`.
+    pub fn prev_same_server(&self, i: usize) -> Option<usize> {
+        match self.nodes[i].prev_same_server {
+            NIL => None,
+            j => Some(self.nodes[j].order),
+        }
+    }
+
+    /// The most recent request made strictly before `i` on server `q`, in
+    /// `O(1)` via request `i`'s pointer array.
+    pub fn recent_on(&self, i: usize, q: ServerId) -> Option<usize> {
+        match self.nodes[i].recent[q.index()] {
+            NIL => None,
+            j => Some(j),
+        }
+    }
+
+    /// Last request on server `q` over the whole scanned sequence
+    /// (`pLast[m]` after the scan).
+    pub fn last_on(&self, q: ServerId) -> Option<usize> {
+        match self.plast[q.index()] {
+            NIL => None,
+            j => Some(j),
+        }
+    }
+
+    /// First request on server `q`.
+    pub fn first_on(&self, q: ServerId) -> Option<usize> {
+        match self.heads[q.index()] {
+            NIL => None,
+            j => Some(j),
+        }
+    }
+
+    /// The candidate cache intervals covering request `i`, one per server —
+    /// the Fig. 8 query. For each server `q`, the interval runs from the
+    /// most recent request on `q` at or before `r_{p(i)}` (the node whose
+    /// pointer array is followed) to the next request on `q` after it;
+    /// `None` where `q` has no usable copy epoch. For the origin server the
+    /// placement at `t = 0` starts the first interval.
+    ///
+    /// Runs in `O(m)` per request; across the service pass this yields the
+    /// paper's `O(mn²)` total with `O(mn)` space.
+    pub fn covering_intervals(&self, i: usize) -> Vec<Option<(TimePoint, TimePoint)>> {
+        let m = self.servers as usize;
+        let mut out = vec![None; m];
+        // Anchor node: p(i) if it exists, else r_i itself (its own pointer
+        // array still identifies per-server epochs).
+        let anchor = self.nodes[i].prev_same_server;
+        let recent = if anchor == NIL {
+            &self.nodes[i].recent
+        } else {
+            &self.nodes[anchor].recent
+        };
+        for q in 0..m {
+            let start_node = recent[q];
+            let (start, next) = if start_node == NIL {
+                if q == ServerId::ORIGIN.index() {
+                    // Origin placement epoch: [0, first request on s_1).
+                    (0.0, self.heads[q])
+                } else {
+                    continue;
+                }
+            } else {
+                (
+                    self.times[start_node],
+                    self.nodes[start_node].next_same_server,
+                )
+            };
+            let end = match next {
+                NIL => self.times[i],
+                j => self.times[j],
+            };
+            if end >= start {
+                out[q] = Some((start, end));
+            }
+        }
+        out
+    }
+
+    /// Naive `O(n)` reference for [`Self::prev_same_server`], used by tests.
+    #[doc(hidden)]
+    pub fn prev_same_server_naive(&self, i: usize) -> Option<usize> {
+        let s = self.server_of[i];
+        (0..i).rev().find(|&j| self.server_of[j] == s)
+    }
+
+    /// Naive `O(n)` reference for [`Self::recent_on`], used by tests.
+    #[doc(hidden)]
+    pub fn recent_on_naive(&self, i: usize, q: ServerId) -> Option<usize> {
+        (0..i).rev().find(|&j| self.server_of[j] == q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 8-event layout of Fig. 8 (the full running-example sequence).
+    fn fig8_trace() -> SingleItemTrace {
+        SingleItemTrace::from_pairs(
+            4,
+            &[
+                (0.5, 1),
+                (0.8, 2),
+                (1.1, 3),
+                (1.4, 0),
+                (2.6, 1),
+                (3.2, 1),
+                (4.0, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn linked_lists_chain_same_server_requests() {
+        let ps = PreScan::build(&fig8_trace());
+        assert_eq!(ps.len(), 7);
+        // s2 requests: 0.5 (idx 0), 2.6 (idx 4), 3.2 (idx 5).
+        assert_eq!(ps.first_on(ServerId(1)), Some(0));
+        assert_eq!(ps.last_on(ServerId(1)), Some(5));
+        assert_eq!(ps.prev_same_server(5), Some(4));
+        assert_eq!(ps.prev_same_server(4), Some(0));
+        assert_eq!(ps.prev_same_server(0), None);
+        // s3: 0.8 (idx 1), 4.0 (idx 6) — the Fig. 8 walk from A[7] back to 0.8.
+        assert_eq!(ps.prev_same_server(6), Some(1));
+    }
+
+    #[test]
+    fn pointer_arrays_snapshot_most_recent_requests() {
+        let ps = PreScan::build(&fig8_trace());
+        // At request 4.0 (idx 6): most recent on s1 is 1.4 (idx 3), on s2 is
+        // 3.2 (idx 5), on s3 is 0.8 (idx 1), on s4 is 1.1 (idx 2).
+        assert_eq!(ps.recent_on(6, ServerId(0)), Some(3));
+        assert_eq!(ps.recent_on(6, ServerId(1)), Some(5));
+        assert_eq!(ps.recent_on(6, ServerId(2)), Some(1));
+        assert_eq!(ps.recent_on(6, ServerId(3)), Some(2));
+        // At the first request nothing precedes.
+        for q in 0..4u32 {
+            assert_eq!(ps.recent_on(0, ServerId(q)), None);
+        }
+    }
+
+    #[test]
+    fn fig8_covering_intervals_for_request_4_0() {
+        // The paper's example: for request 4.0 the identified intervals are
+        // {[0, 1.4], [0.5, 2.6], ∅, ∅} — anchored at p(i) = 0.8, whose
+        // pointer array sees only the 0.5 request on s2 and nothing on
+        // s3/s4; the origin epoch [0, 1.4] stands in on s1.
+        let ps = PreScan::build(&fig8_trace());
+        let iv = ps.covering_intervals(6);
+        assert_eq!(iv[0], Some((0.0, 1.4)));
+        assert_eq!(iv[1], Some((0.5, 2.6)));
+        assert_eq!(iv[2], None);
+        assert_eq!(iv[3], None);
+    }
+
+    #[test]
+    fn matches_naive_reference_on_a_larger_layout() {
+        let pts: Vec<(f64, u32)> = (1..=40)
+            .map(|i| (i as f64 / 4.0, (i * 7 % 5) as u32))
+            .collect();
+        let trace = SingleItemTrace::from_pairs(5, &pts);
+        let ps = PreScan::build(&trace);
+        for i in 0..trace.len() {
+            assert_eq!(
+                ps.prev_same_server(i),
+                ps.prev_same_server_naive(i),
+                "p({i})"
+            );
+            for q in 0..5u32 {
+                assert_eq!(
+                    ps.recent_on(i, ServerId(q)),
+                    ps.recent_on_naive(i, ServerId(q)),
+                    "recent({i}, s{q})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let ps = PreScan::build(&SingleItemTrace::from_pairs(3, &[]));
+        assert!(ps.is_empty());
+        assert_eq!(ps.last_on(ServerId(0)), None);
+        assert_eq!(ps.first_on(ServerId(2)), None);
+    }
+}

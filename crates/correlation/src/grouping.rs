@@ -1,0 +1,135 @@
+//! Multi-item package grouping — the paper's future-work extension.
+//!
+//! "Although as a proof of concept, the proposed algorithm only considers
+//! to pack two correlative data items, it can be naturally extended to the
+//! case where multiple data items could be packed." This module provides
+//! that extension: greedy agglomerative grouping under *average-linkage*
+//! Jaccard similarity, i.e. two groups merge while the mean pairwise
+//! similarity across the cut stays above the threshold.
+
+use serde::{Deserialize, Serialize};
+
+use crate::jaccard::JaccardMatrix;
+use mcs_model::ItemId;
+
+/// A grouping of items into packages of size ≥ 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grouping {
+    /// Item groups; each inner vector is sorted ascending. Groups of size 1
+    /// are served individually.
+    pub groups: Vec<Vec<ItemId>>,
+    /// The threshold used.
+    pub theta: f64,
+}
+
+impl Grouping {
+    /// Number of groups with at least two members.
+    pub fn package_count(&self) -> usize {
+        self.groups.iter().filter(|g| g.len() >= 2).count()
+    }
+
+    /// Total items across all groups.
+    pub fn total_items(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+}
+
+/// Mean pairwise similarity across two groups.
+fn average_linkage(matrix: &JaccardMatrix, a: &[ItemId], b: &[ItemId]) -> f64 {
+    let mut total = 0.0;
+    for &x in a {
+        for &y in b {
+            total += matrix.get(x, y);
+        }
+    }
+    total / (a.len() * b.len()) as f64
+}
+
+/// Greedy agglomerative grouping: repeatedly merge the two groups with the
+/// highest average-linkage similarity while it exceeds `theta`.
+/// `max_group` caps package size (`usize::MAX` for unbounded; the paper's
+/// algorithm corresponds to `max_group = 2`).
+pub fn agglomerative_grouping(matrix: &JaccardMatrix, theta: f64, max_group: usize) -> Grouping {
+    let k = matrix.items();
+    let mut groups: Vec<Vec<ItemId>> = (0..k as u32).map(|i| vec![ItemId(i)]).collect();
+
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                if groups[i].len() + groups[j].len() > max_group {
+                    continue;
+                }
+                let w = average_linkage(matrix, &groups[i], &groups[j]);
+                let better = match best {
+                    None => w > theta,
+                    Some((_, _, bw)) => w > theta && w > bw,
+                };
+                if better {
+                    best = Some((i, j, w));
+                }
+            }
+        }
+        match best {
+            Some((i, j, _)) => {
+                let mut merged = groups.swap_remove(j);
+                merged.append(&mut groups[i]);
+                merged.sort();
+                groups[i] = merged;
+            }
+            None => break,
+        }
+    }
+
+    for g in &mut groups {
+        g.sort();
+    }
+    groups.sort();
+    Grouping { groups, theta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::CoOccurrence;
+    use mcs_model::RequestSeqBuilder;
+
+    /// Three items that always co-occur, plus an unrelated fourth.
+    fn trio_matrix() -> JaccardMatrix {
+        let mut b = RequestSeqBuilder::new(1, 4);
+        let mut t = 0.0;
+        for _ in 0..5 {
+            t += 1.0;
+            b = b.push(0u32, t, [0, 1, 2]);
+        }
+        t += 1.0;
+        b = b.push(0u32, t, [3]);
+        JaccardMatrix::from_cooccurrence(&CoOccurrence::from_sequence(&b.build().unwrap()))
+    }
+
+    #[test]
+    fn groups_the_trio_and_isolates_the_stranger() {
+        let g = agglomerative_grouping(&trio_matrix(), 0.3, usize::MAX);
+        assert_eq!(g.package_count(), 1);
+        assert_eq!(g.total_items(), 4);
+        assert!(g.groups.contains(&vec![ItemId(0), ItemId(1), ItemId(2)]));
+        assert!(g.groups.contains(&vec![ItemId(3)]));
+    }
+
+    #[test]
+    fn max_group_two_reduces_to_pairing() {
+        let g = agglomerative_grouping(&trio_matrix(), 0.3, 2);
+        // Only a pair can form out of the trio; the third stays single.
+        assert_eq!(g.package_count(), 1);
+        let pair = g.groups.iter().find(|x| x.len() == 2).unwrap();
+        assert_eq!(pair.len(), 2);
+        assert_eq!(g.groups.iter().filter(|x| x.len() == 1).count(), 2);
+    }
+
+    #[test]
+    fn threshold_blocks_all_merging() {
+        let g = agglomerative_grouping(&trio_matrix(), 1.1, usize::MAX);
+        assert_eq!(g.package_count(), 0);
+        assert_eq!(g.groups.len(), 4);
+    }
+}

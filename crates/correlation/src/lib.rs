@@ -1,0 +1,28 @@
+//! # mcs-correlation — Phase 1 of the DP_Greedy algorithm
+//!
+//! Implements the correlation analysis of Section IV-A: co-occurrence
+//! counting over a request sequence, the Jaccard similarity matrix of
+//! Eq. (4)/(5), and the greedy threshold matching of Algorithm 1
+//! (lines 7–27) that decides which item pairs are packed.
+//!
+//! Also provides two extensions called out by the paper as future work or
+//! used by our ablation benches:
+//!
+//! * [`grouping`] — agglomerative grouping of *more than two* correlated
+//!   items ("it can be naturally extended to the case where multiple data
+//!   items could be packed").
+//! * [`exact`] — exact maximum-weight matching by bitmask DP, quantifying
+//!   what the greedy matching loses (ablation `matching`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod exact;
+pub mod grouping;
+pub mod jaccard;
+pub mod matching;
+pub mod streaming;
+
+pub use jaccard::{CoOccurrence, JaccardMatrix};
+pub use matching::{greedy_matching, Packing};
+pub use streaming::StreamingCooccurrence;

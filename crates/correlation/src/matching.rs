@@ -1,0 +1,209 @@
+//! Greedy threshold matching — Algorithm 1, lines 7–27.
+//!
+//! Pairs are sorted by descending Jaccard similarity and greedily accepted
+//! when `J > θ` and neither item is already packed (`package_flag`);
+//! leftover items are served individually. Ties are broken by ascending
+//! item indices so the packing is deterministic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::jaccard::JaccardMatrix;
+use mcs_model::ItemId;
+
+/// The outcome of Phase 1: disjoint packed pairs plus unpacked singletons —
+/// the paper's `package_list`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packing {
+    /// Packed pairs `(d_i, d_j)` with `i < j`, in acceptance order
+    /// (descending similarity).
+    pub pairs: Vec<(ItemId, ItemId)>,
+    /// Items served individually, ascending.
+    pub singletons: Vec<ItemId>,
+    /// The threshold `θ` used.
+    pub theta: f64,
+}
+
+impl Packing {
+    /// Total number of items covered (sanity: equals `k`).
+    pub fn total_items(&self) -> usize {
+        self.pairs.len() * 2 + self.singletons.len()
+    }
+
+    /// True if `item` is part of some packed pair.
+    pub fn is_packed(&self, item: ItemId) -> bool {
+        self.pairs.iter().any(|&(a, b)| a == item || b == item)
+    }
+
+    /// The partner of `item` if it is packed.
+    pub fn partner(&self, item: ItemId) -> Option<ItemId> {
+        self.pairs.iter().find_map(|&(a, b)| {
+            if a == item {
+                Some(b)
+            } else if b == item {
+                Some(a)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Runs the greedy threshold matching of Algorithm 1 over a Jaccard matrix.
+///
+/// A pair is packed when its similarity is **strictly** greater than
+/// `theta` (line 16: `Jaccard(key) > θ`) and neither member is already
+/// flagged.
+pub fn greedy_matching(matrix: &JaccardMatrix, theta: f64) -> Packing {
+    greedy_matching_from_pairs(matrix.pairs(), matrix.items() as u32, theta)
+}
+
+/// The same greedy matching over an explicit pair-similarity list — the
+/// entry point for streaming/decayed statistics
+/// ([`crate::StreamingCooccurrence::pairs`]) where no dense matrix exists.
+pub fn greedy_matching_from_pairs(
+    mut pairs: Vec<(ItemId, ItemId, f64)>,
+    items: u32,
+    theta: f64,
+) -> Packing {
+    // Descending similarity; ascending (i, j) on ties for determinism.
+    pairs.sort_by(|x, y| {
+        y.2.partial_cmp(&x.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.0.cmp(&y.0))
+            .then(x.1.cmp(&y.1))
+    });
+
+    let k = items as usize;
+    let mut flagged = vec![false; k];
+    let mut chosen = Vec::new();
+    for (a, b, j) in pairs {
+        if j > theta && !flagged[a.index()] && !flagged[b.index()] {
+            flagged[a.index()] = true;
+            flagged[b.index()] = true;
+            chosen.push((a, b));
+        }
+    }
+    let singletons = (0..items)
+        .map(ItemId)
+        .filter(|it| !flagged[it.index()])
+        .collect();
+    Packing {
+        pairs: chosen,
+        singletons,
+        theta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::CoOccurrence;
+    use mcs_model::{RequestSeq, RequestSeqBuilder};
+
+    fn matrix_of(seq: &RequestSeq) -> JaccardMatrix {
+        JaccardMatrix::from_cooccurrence(&CoOccurrence::from_sequence(seq))
+    }
+
+    /// Four items: (d1,d2) strongly correlated, (d3,d4) weakly, d3/d4 also
+    /// somewhat correlated with d1.
+    fn seq4() -> RequestSeq {
+        RequestSeqBuilder::new(2, 4)
+            .push(0u32, 1.0, [0, 1])
+            .push(1u32, 2.0, [0, 1])
+            .push(0u32, 3.0, [0, 1, 2])
+            .push(1u32, 4.0, [2, 3])
+            .push(0u32, 5.0, [0])
+            .push(1u32, 6.0, [3])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_example_packs_d1_d2_at_theta_04() {
+        // J = 3/7 ≈ 0.4286 > θ = 0.4 → packed (Section V-C step 3).
+        let seq = RequestSeqBuilder::new(4, 2)
+            .push(1u32, 0.5, [0])
+            .push(2u32, 0.8, [0, 1])
+            .push(3u32, 1.1, [1])
+            .push(0u32, 1.4, [0, 1])
+            .push(1u32, 2.6, [0])
+            .push(1u32, 3.2, [1])
+            .push(2u32, 4.0, [0, 1])
+            .build()
+            .unwrap();
+        let p = greedy_matching(&matrix_of(&seq), 0.4);
+        assert_eq!(p.pairs, vec![(ItemId(0), ItemId(1))]);
+        assert!(p.singletons.is_empty());
+        assert_eq!(p.total_items(), 2);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        // With θ = J exactly, the pair must NOT be packed (line 16 uses >).
+        let seq = RequestSeqBuilder::new(4, 2)
+            .push(1u32, 0.5, [0])
+            .push(2u32, 0.8, [0, 1])
+            .push(3u32, 1.1, [1])
+            .push(0u32, 1.4, [0, 1])
+            .push(1u32, 2.6, [0])
+            .push(1u32, 3.2, [1])
+            .push(2u32, 4.0, [0, 1])
+            .build()
+            .unwrap();
+        let p = greedy_matching(&matrix_of(&seq), 3.0 / 7.0);
+        assert!(p.pairs.is_empty());
+        assert_eq!(p.singletons.len(), 2);
+    }
+
+    #[test]
+    fn greedy_packs_best_pairs_first_and_disjointly() {
+        let m = matrix_of(&seq4());
+        let p = greedy_matching(&m, 0.1);
+        // (d1,d2): J = 3/4; best pair, packed first. d3's best remaining
+        // partner is d4: both {req 3}, union {2,3,5} → 1/3 > 0.1.
+        assert_eq!(
+            p.pairs,
+            vec![(ItemId(0), ItemId(1)), (ItemId(2), ItemId(3))]
+        );
+        assert!(p.singletons.is_empty());
+        assert!(p.is_packed(ItemId(2)));
+        assert_eq!(p.partner(ItemId(3)), Some(ItemId(2)));
+    }
+
+    #[test]
+    fn high_threshold_packs_nothing() {
+        let p = greedy_matching(&matrix_of(&seq4()), 0.9);
+        assert!(p.pairs.is_empty());
+        assert_eq!(p.singletons.len(), 4);
+        assert!(!p.is_packed(ItemId(0)));
+        assert_eq!(p.partner(ItemId(0)), None);
+    }
+
+    #[test]
+    fn packing_covers_every_item_exactly_once() {
+        for theta in [0.0, 0.2, 0.4, 0.6, 0.8] {
+            let p = greedy_matching(&matrix_of(&seq4()), theta);
+            assert_eq!(p.total_items(), 4, "theta={theta}");
+            let mut seen: Vec<ItemId> = p
+                .pairs
+                .iter()
+                .flat_map(|&(a, b)| [a, b])
+                .chain(p.singletons.iter().copied())
+                .collect();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), 4);
+        }
+    }
+
+    #[test]
+    fn single_item_universe_is_a_singleton() {
+        let seq = RequestSeqBuilder::new(1, 1)
+            .push(0u32, 1.0, [0])
+            .build()
+            .unwrap();
+        let p = greedy_matching(&matrix_of(&seq), 0.3);
+        assert!(p.pairs.is_empty());
+        assert_eq!(p.singletons, vec![ItemId(0)]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Streaming co-occurrence with exponential decay — Phase 1 for on-line
+//! and drift-prone settings.
+//!
+//! The batch [`crate::CoOccurrence`] weights the whole history equally; a
+//! drifting workload needs recency. This structure maintains decayed
+//! counts: on each observed request every stored count is implicitly
+//! multiplied by `decay^(Δ requests)` (applied lazily via a global scale
+//! factor, so `observe` is `O(|D_i|²)` and `jaccard` is `O(1)`).
+//!
+//! With `decay = 1` the statistics equal the batch counts exactly; the
+//! tests assert both that identity and the drift-tracking behaviour.
+
+use std::collections::HashMap;
+
+use mcs_model::{ItemId, Request};
+
+/// Exponentially decayed co-occurrence statistics.
+#[derive(Debug, Clone)]
+pub struct StreamingCooccurrence {
+    /// Per-request decay factor in `(0, 1]`.
+    decay: f64,
+    /// Global scale: stored values are true values divided by `scale`, so
+    /// decaying everything is one multiplication of `scale`.
+    scale: f64,
+    item_counts: HashMap<ItemId, f64>,
+    pair_counts: HashMap<(ItemId, ItemId), f64>,
+    observed: usize,
+}
+
+impl StreamingCooccurrence {
+    /// Creates an empty stream with the given per-request decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < decay <= 1`.
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "decay must lie in (0, 1], got {decay}"
+        );
+        StreamingCooccurrence {
+            decay,
+            scale: 1.0,
+            item_counts: HashMap::new(),
+            pair_counts: HashMap::new(),
+            observed: 0,
+        }
+    }
+
+    /// Number of requests observed.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Feeds one request.
+    pub fn observe(&mut self, request: &Request) {
+        // Lazy decay: past counts shrink by `decay`; new increments enter
+        // at weight 1, i.e. stored as 1/scale after the scale update.
+        self.scale *= self.decay;
+        // Renormalise occasionally to avoid underflow on long streams.
+        if self.scale < 1e-200 {
+            let s = self.scale;
+            for v in self.item_counts.values_mut() {
+                *v *= s;
+            }
+            for v in self.pair_counts.values_mut() {
+                *v *= s;
+            }
+            self.scale = 1.0;
+        }
+        let w = 1.0 / self.scale;
+        for (i, &a) in request.items.iter().enumerate() {
+            *self.item_counts.entry(a).or_insert(0.0) += w;
+            for &b in &request.items[i + 1..] {
+                *self.pair_counts.entry((a, b)).or_insert(0.0) += w;
+            }
+        }
+        self.observed += 1;
+    }
+
+    /// Decayed `|d_i|`.
+    pub fn count(&self, item: ItemId) -> f64 {
+        self.item_counts.get(&item).copied().unwrap_or(0.0) * self.scale
+    }
+
+    /// Decayed `|(d_i, d_j)|` (symmetric).
+    pub fn pair_count(&self, a: ItemId, b: ItemId) -> f64 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pair_counts.get(&key).copied().unwrap_or(0.0) * self.scale
+    }
+
+    /// Decayed Jaccard similarity per Eq. (5).
+    pub fn jaccard(&self, a: ItemId, b: ItemId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let both = self.pair_count(a, b);
+        let union = self.count(a) + self.count(b) - both;
+        if union <= 0.0 {
+            0.0
+        } else {
+            both / union
+        }
+    }
+
+    /// All pairs with positive decayed co-occurrence, with similarities.
+    pub fn pairs(&self) -> Vec<(ItemId, ItemId, f64)> {
+        let mut out: Vec<(ItemId, ItemId, f64)> = self
+            .pair_counts
+            .keys()
+            .map(|&(a, b)| (a, b, self.jaccard(a, b)))
+            .collect();
+        out.sort_by(|x, y| {
+            y.2.partial_cmp(&x.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.0.cmp(&y.0))
+                .then(x.1.cmp(&y.1))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::CoOccurrence;
+    use mcs_model::{approx_eq, RequestSeqBuilder};
+
+    #[test]
+    fn no_decay_matches_batch_counts() {
+        let seq = RequestSeqBuilder::new(2, 3)
+            .push(0u32, 1.0, [0, 1])
+            .push(1u32, 2.0, [1, 2])
+            .push(0u32, 3.0, [0, 1, 2])
+            .push(1u32, 4.0, [0])
+            .build()
+            .unwrap();
+        let mut stream = StreamingCooccurrence::new(1.0);
+        for r in seq.requests() {
+            stream.observe(r);
+        }
+        let batch = CoOccurrence::from_sequence(&seq);
+        for i in 0..3u32 {
+            assert!(approx_eq(
+                stream.count(ItemId(i)),
+                batch.count(ItemId(i)) as f64
+            ));
+            for j in (i + 1)..3u32 {
+                assert!(approx_eq(
+                    stream.pair_count(ItemId(i), ItemId(j)),
+                    batch.pair_count(ItemId(i), ItemId(j)) as f64
+                ));
+                assert!(approx_eq(
+                    stream.jaccard(ItemId(i), ItemId(j)),
+                    batch.jaccard(ItemId(i), ItemId(j))
+                ));
+            }
+        }
+        assert_eq!(stream.observed(), 4);
+    }
+
+    #[test]
+    fn decay_tracks_drift() {
+        // 50 requests pairing (0,1), then 50 pairing (0,2).
+        let mut b = RequestSeqBuilder::new(1, 3);
+        let mut t = 0.0;
+        for i in 0..100 {
+            t += 1.0;
+            b = b.push(0u32, t, if i < 50 { [0u32, 1] } else { [0u32, 2] });
+        }
+        let seq = b.build().unwrap();
+        let mut stream = StreamingCooccurrence::new(0.9);
+        for r in seq.requests() {
+            stream.observe(r);
+        }
+        // Recent partner dominates under decay...
+        assert!(
+            stream.jaccard(ItemId(0), ItemId(2)) > 0.8,
+            "recent pair J = {}",
+            stream.jaccard(ItemId(0), ItemId(2))
+        );
+        assert!(
+            stream.jaccard(ItemId(0), ItemId(1)) < 0.1,
+            "stale pair J = {}",
+            stream.jaccard(ItemId(0), ItemId(1))
+        );
+        // ...whereas the batch view is split roughly 50/50.
+        let batch = CoOccurrence::from_sequence(&seq);
+        assert!(batch.jaccard(ItemId(0), ItemId(1)) > 0.3);
+        assert!(batch.jaccard(ItemId(0), ItemId(2)) > 0.3);
+    }
+
+    #[test]
+    fn long_streams_do_not_underflow() {
+        let seq = RequestSeqBuilder::new(1, 2)
+            .push(0u32, 1.0, [0, 1])
+            .build()
+            .unwrap();
+        let r = &seq.requests()[0];
+        let mut stream = StreamingCooccurrence::new(0.5);
+        for _ in 0..10_000 {
+            stream.observe(r);
+        }
+        let j = stream.jaccard(ItemId(0), ItemId(1));
+        assert!(j.is_finite());
+        assert!(
+            approx_eq(j, 1.0),
+            "constant pair must stay at J = 1, got {j}"
+        );
+    }
+
+    #[test]
+    fn pairs_listing_is_sorted() {
+        let seq = RequestSeqBuilder::new(1, 3)
+            .push(0u32, 1.0, [0, 1])
+            .push(0u32, 2.0, [0, 1])
+            .push(0u32, 3.0, [1, 2])
+            .build()
+            .unwrap();
+        let mut stream = StreamingCooccurrence::new(1.0);
+        for r in seq.requests() {
+            stream.observe(r);
+        }
+        let pairs = stream.pairs();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs[0].2 >= pairs[1].2);
+        assert_eq!((pairs[0].0, pairs[0].1), (ItemId(0), ItemId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must lie")]
+    fn zero_decay_is_rejected() {
+        let _ = StreamingCooccurrence::new(0.0);
+    }
+}

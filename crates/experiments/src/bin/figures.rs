@@ -1,0 +1,234 @@
+//! Command-line driver regenerating every figure/table of the paper.
+//!
+//! ```text
+//! figures [--fig 9|10|11|12|13] [--ratio] [--online] [--all]
+//!         [--seed N] [--steps N] [--json DIR]
+//! ```
+//!
+//! With no selection flags, `--all` is assumed. `--json DIR` additionally
+//! writes each result as a JSON file for provenance (referenced from
+//! EXPERIMENTS.md).
+
+use std::path::PathBuf;
+
+use mcs_experiments::{
+    ablations, capacity_exp, drift_exp, fig09, fig10, fig11, fig12, fig13, multi_exp, online_exp,
+    ratio_exp, replication,
+};
+use mcs_experiments::{paper_workload, DEFAULT_SEED};
+
+#[derive(Debug)]
+struct Args {
+    figs: Vec<u32>,
+    ratio: bool,
+    online: bool,
+    ablations: bool,
+    seed: u64,
+    steps: Option<usize>,
+    json: Option<PathBuf>,
+    dat: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        figs: Vec::new(),
+        ratio: false,
+        online: false,
+        ablations: false,
+        seed: DEFAULT_SEED,
+        steps: None,
+        json: None,
+        dat: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut any = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fig" => {
+                let v = it.next().ok_or("--fig needs a number")?;
+                args.figs.push(v.parse().map_err(|_| "bad --fig value")?);
+                any = true;
+            }
+            "--ratio" => {
+                args.ratio = true;
+                any = true;
+            }
+            "--online" => {
+                args.online = true;
+                any = true;
+            }
+            "--ablations" => {
+                args.ablations = true;
+                any = true;
+            }
+            "--all" => {
+                args.figs = vec![9, 10, 11, 12, 13];
+                args.ratio = true;
+                args.online = true;
+                args.ablations = true;
+                any = true;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| "bad --seed value")?;
+            }
+            "--steps" => {
+                let v = it.next().ok_or("--steps needs a value")?;
+                args.steps = Some(v.parse().map_err(|_| "bad --steps value")?);
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a directory")?;
+                args.json = Some(PathBuf::from(v));
+            }
+            "--dat" => {
+                let v = it.next().ok_or("--dat needs a directory")?;
+                args.dat = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "figures [--fig 9|10|11|12|13] [--ratio] [--online] [--ablations] \
+                     [--all] [--seed N] [--steps N] [--json DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if !any {
+        args.figs = vec![9, 10, 11, 12, 13];
+        args.ratio = true;
+        args.online = true;
+        args.ablations = true;
+    }
+    Ok(args)
+}
+
+fn write_dat(dir: &Option<PathBuf>, name: &str, title: &str, columns: &[&str], rows: &[Vec<f64>]) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create dat dir");
+        let path = dir.join(format!("{name}.dat"));
+        mcs_experiments::export::write_dat(&path, title, columns, rows).expect("write dat");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(value).expect("serialise"),
+        )
+        .expect("write json");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut config = paper_workload(args.seed);
+    if let Some(steps) = args.steps {
+        config.steps = steps;
+    }
+    eprintln!(
+        "workload: {} zones, {} taxis, {} steps, seed {}",
+        config.grid.zones(),
+        config.taxis,
+        config.steps,
+        args.seed
+    );
+
+    for fig in &args.figs {
+        match fig {
+            9 => {
+                let f = fig09::run(&config);
+                println!("{}", f.table());
+                write_json(&args.json, "fig09", &f);
+            }
+            10 => {
+                let f = fig10::run(&config);
+                println!("{}", f.table(10));
+                write_json(&args.json, "fig10", &f);
+            }
+            11 => {
+                let f = fig11::run(&config);
+                println!("{}", f.table());
+                write_json(&args.json, "fig11", &f);
+                write_dat(
+                    &args.dat,
+                    "fig11",
+                    "ave_cost vs Jaccard",
+                    &["jaccard", "dp_greedy", "optimal"],
+                    &f.to_rows(),
+                );
+            }
+            12 => {
+                let f = fig12::run(&config, &fig12::default_rhos());
+                println!("{}", f.table());
+                println!("peak at rho = {:.2}\n", f.peak_rho());
+                write_json(&args.json, "fig12", &f);
+                write_dat(
+                    &args.dat,
+                    "fig12",
+                    "ave_cost vs rho (lambda+mu=6)",
+                    &["rho", "dp_greedy", "optimal"],
+                    &f.to_rows(),
+                );
+            }
+            13 => {
+                let f = fig13::run(&config);
+                println!("{}", f.table());
+                write_json(&args.json, "fig13", &f);
+                write_dat(
+                    &args.dat,
+                    "fig13",
+                    "ave_cost vs alpha",
+                    &["alpha", "jaccard", "package_served", "optimal", "dp_greedy"],
+                    &f.to_rows(),
+                );
+            }
+            other => eprintln!("no such figure: {other}"),
+        }
+    }
+    if args.ratio {
+        let e = ratio_exp::run(200, args.seed);
+        println!("{}", e.table());
+        write_json(&args.json, "ratio", &e);
+    }
+    if args.online {
+        let e = online_exp::run(&config);
+        println!("{}", e.table());
+        println!("{}", e.dpg_table());
+        write_json(&args.json, "online", &e);
+    }
+    if args.ablations {
+        let a = ablations::run(&config);
+        for t in a.tables() {
+            println!("{t}");
+        }
+        write_json(&args.json, "ablations", &a);
+
+        let r = replication::run(&config);
+        println!("{}", r.table());
+        write_json(&args.json, "replication", &r);
+
+        let m = multi_exp::run(args.seed);
+        println!("{}", m.table());
+        write_json(&args.json, "multi_item", &m);
+
+        let d = drift_exp::run(args.seed);
+        println!("{}", d.table());
+        write_json(&args.json, "drift", &d);
+
+        let cap = capacity_exp::run(&config);
+        println!("{}", cap.table());
+        write_json(&args.json, "capacity", &cap);
+    }
+}

@@ -1,0 +1,86 @@
+//! E2 / Fig. 9 — the spatial distribution of requests over the city zones.
+//!
+//! The paper's Fig. 9 shows the (strongly skewed) distribution of taxi
+//! requests across Shenzhen; our synthetic city must reproduce that
+//! qualitative shape: a few hotspot zones dominating the request volume.
+
+use serde::Serialize;
+
+use mcs_trace::stats::TraceStats;
+use mcs_trace::workload::{generate, WorkloadConfig};
+
+use crate::table::{fmt_f, Table};
+
+/// Output of the Fig. 9 experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig09 {
+    /// Requests per zone.
+    pub zone_histogram: Vec<usize>,
+    /// Total requests.
+    pub requests: usize,
+    /// Share of requests in the top-10 zones (skew indicator).
+    pub top10_share: f64,
+    /// Share under a uniform distribution, for contrast.
+    pub uniform_share: f64,
+}
+
+/// Runs the experiment.
+pub fn run(config: &WorkloadConfig) -> Fig09 {
+    let seq = generate(config);
+    let stats = TraceStats::from_sequence(&seq);
+    let zones = stats.zone_histogram.len();
+    Fig09 {
+        top10_share: stats.top_zone_share(10),
+        uniform_share: 10.0_f64.min(zones as f64) / zones as f64,
+        zone_histogram: stats.zone_histogram,
+        requests: stats.requests,
+    }
+}
+
+impl Fig09 {
+    /// Renders the ranked zone table (top 15 zones).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 9 — spatial request distribution (top 15 zones)",
+            &["rank", "zone", "requests", "share"],
+        );
+        let mut ranked: Vec<(usize, usize)> =
+            self.zone_histogram.iter().copied().enumerate().collect();
+        ranked.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+        for (rank, (zone, count)) in ranked.iter().take(15).enumerate() {
+            t.push(vec![
+                (rank + 1).to_string(),
+                format!("s{}", zone + 1),
+                count.to_string(),
+                fmt_f(*count as f64 / self.requests.max(1) as f64),
+            ]);
+        }
+        t.push(vec![
+            "-".into(),
+            "top-10 share".into(),
+            "-".into(),
+            fmt_f(self.top10_share),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{paper_workload, DEFAULT_SEED};
+
+    #[test]
+    fn distribution_is_skewed_like_the_paper() {
+        let f = run(&paper_workload(DEFAULT_SEED));
+        assert!(f.requests > 500);
+        assert!(
+            f.top10_share > 2.0 * f.uniform_share,
+            "expected >2x uniform concentration, got {} vs {}",
+            f.top10_share,
+            f.uniform_share
+        );
+        let table = f.table();
+        assert_eq!(table.rows.len(), 16);
+    }
+}

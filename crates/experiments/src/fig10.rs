@@ -1,0 +1,73 @@
+//! E3 / Fig. 10 — frequency and Jaccard similarity of frequent item pairs.
+//!
+//! The paper's Fig. 10 lists frequent two-item sets of the taxi trace with
+//! their frequencies and Jaccard similarities (e.g. `J(d8, d9) = 0.5227`).
+//! Our synthetic trace must produce the same qualitative artefact: a
+//! handful of high-J designed pairs standing out of a low-J background.
+
+use serde::Serialize;
+
+use mcs_trace::stats::{pair_spectrum, PairSpectrumRow};
+use mcs_trace::workload::{generate, WorkloadConfig};
+
+use crate::table::{fmt_f, Table};
+
+/// Output of the Fig. 10 experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10 {
+    /// The full pair spectrum, descending Jaccard.
+    pub spectrum: Vec<PairSpectrumRow>,
+}
+
+/// Runs the experiment.
+pub fn run(config: &WorkloadConfig) -> Fig10 {
+    let seq = generate(config);
+    Fig10 {
+        spectrum: pair_spectrum(&seq),
+    }
+}
+
+impl Fig10 {
+    /// Top-`n` pairs as a table.
+    pub fn table(&self, n: usize) -> Table {
+        let mut t = Table::new(
+            format!("Fig. 10 — pair frequency and Jaccard similarity (top {n})"),
+            &["pair", "frequency", "jaccard"],
+        );
+        for row in self.spectrum.iter().take(n) {
+            t.push(vec![
+                format!("({}, {})", row.a, row.b),
+                row.frequency.to_string(),
+                fmt_f(row.jaccard),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{paper_workload, DEFAULT_SEED};
+    use mcs_model::ItemId;
+
+    #[test]
+    fn designed_pairs_top_the_spectrum() {
+        let f = run(&paper_workload(DEFAULT_SEED));
+        assert_eq!(f.spectrum.len(), 45);
+        // The highest-J pair must be one of the five designed pairs.
+        let top = f.spectrum[0];
+        let designed = (0..5)
+            .map(|p| (ItemId(2 * p), ItemId(2 * p + 1)))
+            .collect::<Vec<_>>();
+        assert!(
+            designed.contains(&(top.a, top.b)),
+            "top pair {top:?} is not a designed pair"
+        );
+        // Spectrum covers a wide Jaccard range, like the paper's mix.
+        assert!(f.spectrum[0].jaccard > 0.4);
+        assert!(f.spectrum.last().unwrap().jaccard < 0.1);
+        let table = f.table(10);
+        assert_eq!(table.rows.len(), 10);
+    }
+}

@@ -1,0 +1,49 @@
+//! # mcs-experiments — reproduction of the paper's evaluation section
+//!
+//! One module per figure/table of the paper (see the experiment index in
+//! `DESIGN.md` §5 and the measured results in `EXPERIMENTS.md`):
+//!
+//! | Module       | Paper artefact | What it regenerates |
+//! |--------------|----------------|---------------------|
+//! | [`fig09`]    | Fig. 9  | spatial request distribution over the 50 zones |
+//! | [`fig10`]    | Fig. 10 | pair frequency & Jaccard spectrum |
+//! | [`fig11`]    | Fig. 11 | `ave_cost` vs Jaccard, DP_Greedy vs Optimal |
+//! | [`fig12`]    | Fig. 12 | `ave_cost` vs `ρ = λ/μ` with `λ + μ = 6` |
+//! | [`fig13`]    | Fig. 13 | `ave_cost` vs `α` for Package_Served / Optimal / DP_Greedy |
+//! | [`ratio_exp`]| Thm. 1  | empirical `C_DPG/C*` against the `2/α` bound |
+//! | [`online_exp`]| E10    | competitive ratios of the on-line policies |
+//!
+//! All sweeps are deterministic (seeded workloads) and parallelised with
+//! Rayon where points are independent. The `figures` binary drives them
+//! from the command line.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod capacity_exp;
+pub mod drift_exp;
+pub mod export;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod multi_exp;
+pub mod online_exp;
+pub mod ratio_exp;
+pub mod replication;
+pub mod table;
+
+pub use table::Table;
+
+use mcs_trace::workload::WorkloadConfig;
+
+/// The default workload seed used by every figure (kept stable so
+/// `EXPERIMENTS.md` numbers are reproducible).
+pub const DEFAULT_SEED: u64 = 20190923; // CLUSTER 2019 conference date.
+
+/// The shared paper-like workload configuration.
+pub fn paper_workload(seed: u64) -> WorkloadConfig {
+    WorkloadConfig::paper_like(seed)
+}

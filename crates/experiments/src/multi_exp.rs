@@ -1,0 +1,155 @@
+//! Multi-item extension experiment: how much does packing *more than two*
+//! items buy, as a function of the discount factor α?
+//!
+//! The workload is a bundle-correlated sequence (news text + picture +
+//! video, the paper's introduction scenario): `bundles` item-triples, each
+//! accessed together with probability `q` and partially otherwise, plus
+//! independent background items. We compare:
+//!
+//! * **pairwise DP_Greedy** (the paper's algorithm — at most 2 items/package),
+//! * **multi-item DP_Greedy** with unbounded groups (the future-work
+//!   extension), and
+//! * the non-packing **Optimal** yardstick.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use rayon::prelude::*;
+use serde::Serialize;
+
+use dp_greedy::baselines::optimal_non_packing;
+use dp_greedy::multi_item::{dp_greedy_multi, MultiItemConfig};
+use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
+use mcs_model::{CostModel, RequestSeq, RequestSeqBuilder};
+
+use crate::table::{fmt_f, Table};
+
+/// One α measurement.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MultiRow {
+    /// Discount factor.
+    pub alpha: f64,
+    /// Pairwise DP_Greedy `ave_cost`.
+    pub pairwise: f64,
+    /// Unbounded multi-item DP_Greedy `ave_cost`.
+    pub multi: f64,
+    /// Non-packing optimal `ave_cost`.
+    pub optimal: f64,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiExp {
+    /// Rows per α.
+    pub rows: Vec<MultiRow>,
+    /// Number of requests in the generated bundle workload.
+    pub requests: usize,
+}
+
+/// Generates the bundle workload: `bundles` triples over `servers`
+/// servers, `n` requests, co-access probability `q`.
+pub fn bundle_workload(servers: u32, bundles: u32, n: usize, q: f64, seed: u64) -> RequestSeq {
+    let items = bundles * 3;
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut b = RequestSeqBuilder::new(servers, items);
+    let mut t = 0.0_f64;
+    for _ in 0..n {
+        t += 0.05 + rng.gen::<f64>() * 0.2;
+        let bundle = rng.gen_range(0..bundles);
+        let base = bundle * 3;
+        let server = rng.gen_range(0..servers);
+        let items: Vec<u32> = if rng.gen::<f64>() < q {
+            vec![base, base + 1, base + 2]
+        } else {
+            // A partial access: one or two of the bundle members.
+            match rng.gen_range(0..4) {
+                0 => vec![base],
+                1 => vec![base + 1],
+                2 => vec![base + 2],
+                _ => {
+                    let skip = rng.gen_range(0..3);
+                    (0..3).filter(|&k| k != skip).map(|k| base + k).collect()
+                }
+            }
+        };
+        b = b.push(server, t, items);
+    }
+    b.build().expect("bundle workload is valid")
+}
+
+/// Runs the sweep over α.
+pub fn run(seed: u64) -> MultiExp {
+    let seq = bundle_workload(12, 3, 900, 0.6, seed);
+    let requests = seq.len();
+    let alphas = [0.2, 0.4, 0.6, 0.8];
+    let rows: Vec<MultiRow> = alphas
+        .par_iter()
+        .map(|&alpha| {
+            let model = CostModel::new(2.0, 4.0, alpha).expect("valid");
+            let pairwise = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.3));
+            let multi = dp_greedy_multi(&seq, &MultiItemConfig::new(model).with_theta(0.3));
+            let opt = optimal_non_packing(&seq, &model);
+            MultiRow {
+                alpha,
+                pairwise: pairwise.ave_cost(),
+                multi: multi.ave_cost(),
+                optimal: opt.ave_cost(),
+            }
+        })
+        .collect();
+    MultiExp { rows, requests }
+}
+
+impl MultiExp {
+    /// Renders the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Multi-item extension — bundle workload ({} requests, 3-item bundles, μ = 2, λ = 4)",
+                self.requests
+            ),
+            &["alpha", "pairwise DP_Greedy", "multi-item DP_Greedy", "Optimal"],
+        );
+        for r in &self.rows {
+            t.push(vec![
+                fmt_f(r.alpha),
+                fmt_f(r.pairwise),
+                fmt_f(r.multi),
+                fmt_f(r.optimal),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_workload_is_deterministic_and_valid() {
+        let a = bundle_workload(6, 2, 200, 0.5, 3);
+        let b = bundle_workload(6, 2, 200, 0.5, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.items(), 6);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn multi_item_beats_pairwise_on_bundles_at_low_alpha() {
+        let e = run(11);
+        // α = 0.2: shipping whole triples is nearly free; the unbounded
+        // grouping must beat the pair-limited algorithm.
+        let low = e.rows.iter().find(|r| r.alpha == 0.2).unwrap();
+        assert!(
+            low.multi < low.pairwise,
+            "multi {} should beat pairwise {} at α=0.2",
+            low.multi,
+            low.pairwise
+        );
+        // Both packers beat the non-packing optimal at low α.
+        assert!(low.pairwise < low.optimal);
+        // Optimal is α-invariant.
+        let hi = e.rows.iter().find(|r| r.alpha == 0.8).unwrap();
+        assert!((hi.optimal - low.optimal).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimal markdown table emitter for experiment output.
+
+use std::fmt;
+
+/// A rendered experiment table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (printed as a heading).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells, already formatted.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the arity differs from the headers.
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells);
+    }
+}
+
+/// Formats a float for table cells.
+pub fn fmt_f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}\n", self.title)?;
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| -> String {
+            let body = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            format!("| {body} |")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "{}", fmt_row(&sep))?;
+        for r in &self.rows {
+            writeln!(f, "{}", fmt_row(r))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Demo", &["x", "value"]);
+        t.push(vec!["1".into(), fmt_f(1.5)]);
+        t.push(vec!["22".into(), fmt_f(0.25)]);
+        let s = t.to_string();
+        assert!(s.contains("### Demo"));
+        assert!(s.contains("| 22 | 0.2500 |"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_misshapen_rows() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,315 @@
+//! The homogeneous cost model of Section III-B and Table II.
+//!
+//! * Caching one copy of one item costs `μ` per unit time on every server.
+//! * Transferring one item between any pair of servers costs `λ`.
+//! * A *package* of `k > 1` correlated items caches at `α·k·μ` per unit time
+//!   and transfers at `α·k·λ`, where `α ∈ (0, 1]` is the discount factor.
+//!
+//! Replication, deletion and (un)packing are free (Section III-C): they are
+//! constants that the paper folds into `λ`/`μ` without loss of accuracy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// The package size studied by the paper ("as a proof of concept, the
+/// proposed algorithm only considers to pack two correlative data items").
+pub const PACKAGE_PAIR: u32 = 2;
+
+/// Homogeneous cost model `(μ, λ, α)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Caching cost per item copy per unit time (`μ`).
+    mu: f64,
+    /// Transfer cost per item between any server pair (`λ`).
+    lambda: f64,
+    /// Package discount factor (`α`), in `(0, 1]`.
+    alpha: f64,
+}
+
+impl CostModel {
+    /// Creates a validated cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidCostModel`] if `μ` or `λ` is not a
+    /// finite positive number, or `α` is outside `(0, 1]`.
+    pub fn new(mu: f64, lambda: f64, alpha: f64) -> Result<Self, ModelError> {
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(ModelError::InvalidCostModel {
+                what: "μ must be finite and positive",
+            });
+        }
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(ModelError::InvalidCostModel {
+                what: "λ must be finite and positive",
+            });
+        }
+        if !(alpha.is_finite() && alpha > 0.0 && alpha <= 1.0) {
+            return Err(ModelError::InvalidCostModel {
+                what: "α must lie in (0, 1]",
+            });
+        }
+        Ok(CostModel { mu, lambda, alpha })
+    }
+
+    /// The cost model of the paper's running example (Section V-C):
+    /// `μ = 1`, `λ = 1`, `α = 0.8`.
+    pub fn paper_example() -> Self {
+        CostModel {
+            mu: 1.0,
+            lambda: 1.0,
+            alpha: 0.8,
+        }
+    }
+
+    /// Caching cost rate `μ`.
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Transfer cost `λ`.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Discount factor `α`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The ratio `ρ = λ / μ` studied in Fig. 12 of the paper.
+    #[inline]
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Caching cost per unit time for `k` items served *individually*
+    /// (Table II, "Individual/Cache"): `k·μ`.
+    #[inline]
+    pub fn cache_rate_individual(&self, k: u32) -> f64 {
+        k as f64 * self.mu
+    }
+
+    /// Transfer cost for `k` items served *individually*
+    /// (Table II, "Individual/Transfer"): `k·λ`.
+    #[inline]
+    pub fn transfer_cost_individual(&self, k: u32) -> f64 {
+        k as f64 * self.lambda
+    }
+
+    /// Caching cost per unit time for a *package* of `k` items
+    /// (Table II, "Package/Cache"): `α·k·μ` for `k > 1`, `μ` for `k = 1`.
+    #[inline]
+    pub fn cache_rate_package(&self, k: u32) -> f64 {
+        if k <= 1 {
+            self.mu
+        } else {
+            self.alpha * k as f64 * self.mu
+        }
+    }
+
+    /// Transfer cost for a *package* of `k` items
+    /// (Table II, "Package/Transfer"): `α·k·λ` for `k > 1`, `λ` for `k = 1`.
+    #[inline]
+    pub fn transfer_cost_package(&self, k: u32) -> f64 {
+        if k <= 1 {
+            self.lambda
+        } else {
+            self.alpha * k as f64 * self.lambda
+        }
+    }
+
+    /// The constant cost of serving a request for a *single* item of a
+    /// two-item package by shipping the whole package: `2αλ`
+    /// (Observation 2 of the paper).
+    #[inline]
+    pub fn package_delivery_cost(&self) -> f64 {
+        self.transfer_cost_package(PACKAGE_PAIR)
+    }
+
+    /// Derives the effective single-"item" cost model under which a two-item
+    /// package is scheduled: `μ' = 2αμ`, `λ' = 2αλ`.
+    ///
+    /// Running the single-item optimal off-line algorithm of [6] with this
+    /// scaled model on the co-request subsequence is exactly Phase 2's
+    /// `cost[item.d2] += 2α·(call alg. in [6])` (Algorithm 1, line 40).
+    pub fn scaled_for_package(&self) -> CostModel {
+        CostModel {
+            mu: self.cache_rate_package(PACKAGE_PAIR),
+            lambda: self.transfer_cost_package(PACKAGE_PAIR),
+            alpha: self.alpha,
+        }
+    }
+
+    /// The elementary serving cost `C_ij` of Eq. (1): cache from `t_i` to
+    /// `t_j` (`(t_j − t_i)·μ`) plus a transfer (`ε·λ`) when the servers
+    /// differ. Returns `+∞` when `t_j <= t_i`, matching the equation.
+    #[inline]
+    pub fn c_ij(&self, t_i: f64, t_j: f64, same_server: bool) -> f64 {
+        if t_j > t_i {
+            (t_j - t_i) * self.mu + if same_server { 0.0 } else { self.lambda }
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Theoretical approximation bound of Theorem 1: `2/α`.
+    #[inline]
+    pub fn approximation_bound(&self) -> f64 {
+        2.0 / self.alpha
+    }
+}
+
+/// Fluent builder for [`CostModel`]; convenient for experiment sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModelBuilder {
+    mu: f64,
+    lambda: f64,
+    alpha: f64,
+}
+
+impl Default for CostModelBuilder {
+    fn default() -> Self {
+        CostModelBuilder {
+            mu: 1.0,
+            lambda: 1.0,
+            alpha: 0.8,
+        }
+    }
+}
+
+impl CostModelBuilder {
+    /// Starts from the defaults `μ = λ = 1`, `α = 0.8`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the caching rate `μ`.
+    pub fn mu(mut self, mu: f64) -> Self {
+        self.mu = mu;
+        self
+    }
+
+    /// Sets the transfer cost `λ`.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the discount factor `α`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets `μ` and `λ` from the ratio `ρ = λ/μ` under the Fig.-12
+    /// constraint `λ + μ = sum`: `μ = sum/(1+ρ)`, `λ = sum·ρ/(1+ρ)`.
+    pub fn from_rho(mut self, rho: f64, sum: f64) -> Self {
+        self.mu = sum / (1.0 + rho);
+        self.lambda = sum * rho / (1.0 + rho);
+        self
+    }
+
+    /// Builds the validated model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::InvalidCostModel`] from [`CostModel::new`].
+    pub fn build(self) -> Result<CostModel, ModelError> {
+        CostModel::new(self.mu, self.lambda, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::approx_eq;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(CostModel::new(1.0, 1.0, 0.8).is_ok());
+        assert!(CostModel::new(0.0, 1.0, 0.8).is_err());
+        assert!(CostModel::new(1.0, -1.0, 0.8).is_err());
+        assert!(CostModel::new(1.0, 1.0, 0.0).is_err());
+        assert!(CostModel::new(1.0, 1.0, 1.5).is_err());
+        assert!(CostModel::new(f64::NAN, 1.0, 0.8).is_err());
+        assert!(CostModel::new(1.0, f64::INFINITY, 0.8).is_err());
+        // α = 1 disables the discount but is legal.
+        assert!(CostModel::new(1.0, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn table_ii_rates() {
+        let m = CostModel::new(2.0, 3.0, 0.8).unwrap();
+        // k = 1 row: individual == package == base rates.
+        assert!(approx_eq(m.cache_rate_individual(1), 2.0));
+        assert!(approx_eq(m.transfer_cost_individual(1), 3.0));
+        assert!(approx_eq(m.cache_rate_package(1), 2.0));
+        assert!(approx_eq(m.transfer_cost_package(1), 3.0));
+        // k = 2 row: kμ / kλ vs αkμ / αkλ.
+        assert!(approx_eq(m.cache_rate_individual(2), 4.0));
+        assert!(approx_eq(m.transfer_cost_individual(2), 6.0));
+        assert!(approx_eq(m.cache_rate_package(2), 0.8 * 4.0));
+        assert!(approx_eq(m.transfer_cost_package(2), 0.8 * 6.0));
+        // k = 3 generalisation.
+        assert!(approx_eq(m.cache_rate_package(3), 0.8 * 6.0));
+    }
+
+    #[test]
+    fn package_delivery_is_two_alpha_lambda() {
+        let m = CostModel::paper_example();
+        assert!(approx_eq(m.package_delivery_cost(), 2.0 * 0.8 * 1.0));
+    }
+
+    #[test]
+    fn scaled_model_matches_running_example() {
+        // Section V-C multiplies every μ/λ term by 2α = 1.6.
+        let m = CostModel::paper_example();
+        let p = m.scaled_for_package();
+        assert!(approx_eq(p.mu(), 1.6));
+        assert!(approx_eq(p.lambda(), 1.6));
+    }
+
+    #[test]
+    fn c_ij_matches_eq_1() {
+        let m = CostModel::new(1.0, 2.5, 0.8).unwrap();
+        // Cache-only when same server.
+        assert!(approx_eq(m.c_ij(1.5, 2.6, true), 1.1));
+        // Cache + transfer across servers.
+        assert!(approx_eq(m.c_ij(1.4, 2.6, false), 1.2 + 2.5));
+        // Non-causal requests are infeasible.
+        assert!(m.c_ij(2.0, 2.0, true).is_infinite());
+        assert!(m.c_ij(3.0, 2.0, false).is_infinite());
+    }
+
+    #[test]
+    fn builder_from_rho_keeps_sum() {
+        for rho in [0.2, 0.5, 1.0, 2.0, 5.0] {
+            let m = CostModelBuilder::new().from_rho(rho, 6.0).build().unwrap();
+            assert!(approx_eq(m.lambda() + m.mu(), 6.0));
+            assert!(approx_eq(m.rho(), rho));
+        }
+        // The paper highlights the peak at ρ = 2 → (μ = 2, λ = 4).
+        let m = CostModelBuilder::new().from_rho(2.0, 6.0).build().unwrap();
+        assert!(approx_eq(m.mu(), 2.0));
+        assert!(approx_eq(m.lambda(), 4.0));
+    }
+
+    #[test]
+    fn approximation_bound() {
+        let m = CostModel::paper_example();
+        assert!(approx_eq(m.approximation_bound(), 2.5));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = CostModel::new(2.0, 4.0, 0.6).unwrap();
+        let j = serde_json::to_string(&m).unwrap();
+        let back: CostModel = serde_json::from_str(&j).unwrap();
+        assert_eq!(m, back);
+    }
+}

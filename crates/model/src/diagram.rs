@@ -1,0 +1,118 @@
+//! ASCII space-time diagrams in the style of Fig. 1/2/7/8 of the paper.
+//!
+//! Servers are rows, time runs left to right; `=` marks a cache interval,
+//! `|`-ish markers (`v`) mark transfer arrival columns, and `*` marks
+//! request points. These renderings are used by examples and by debugging
+//! output; they are deliberately coarse (fixed column count) but faithful
+//! about ordering and overlap.
+
+use crate::ids::ServerId;
+use crate::request::SingleItemTrace;
+use crate::schedule::Schedule;
+
+/// Renders `schedule` against `trace` as a multi-line ASCII diagram.
+///
+/// `width` is the number of character columns used for the time axis
+/// (minimum 20; the scale is printed on the last line).
+pub fn render(schedule: &Schedule, trace: &SingleItemTrace, width: usize) -> String {
+    let width = width.max(20);
+    let horizon = trace
+        .points
+        .iter()
+        .map(|p| p.time)
+        .chain(schedule.intervals.iter().map(|iv| iv.span.end))
+        .chain(schedule.transfers.iter().map(|tr| tr.time))
+        .fold(1.0_f64, f64::max);
+    let col = |t: f64| -> usize {
+        (((t / horizon) * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+
+    let m = trace.servers as usize;
+    let mut rows: Vec<Vec<char>> = vec![vec![' '; width]; m];
+
+    for iv in &schedule.intervals {
+        let (a, b) = (col(iv.span.start), col(iv.span.end));
+        let row = &mut rows[iv.server.index()];
+        for c in row.iter_mut().take(b + 1).skip(a) {
+            *c = '=';
+        }
+    }
+    for tr in &schedule.transfers {
+        let c = col(tr.time);
+        let row = &mut rows[tr.to.index()];
+        if row[c] == ' ' {
+            row[c] = 'v';
+        }
+    }
+    for p in &trace.points {
+        let c = col(p.time);
+        rows[p.server.index()][c] = '*';
+    }
+    // Origin marker.
+    if m > 0 && rows[ServerId::ORIGIN.index()][0] == ' ' {
+        rows[ServerId::ORIGIN.index()][0] = 'o';
+    }
+
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!("{:>4} |", ServerId(i as u32)));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "     +{}\n      t=0{:>pad$}\n",
+        "-".repeat(width),
+        format!("t={horizon:.2}"),
+        pad = width - 3
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_intervals_transfers_and_requests() {
+        let trace = SingleItemTrace::from_pairs(3, &[(1.0, 1), (2.0, 2)]);
+        let mut s = Schedule::new();
+        s.cache(ServerId(0), 0.0, 2.0)
+            .transfer(ServerId(0), ServerId(1), 1.0)
+            .transfer(ServerId(0), ServerId(2), 2.0);
+        let art = render(&s, &trace, 40);
+        assert_eq!(art.lines().count(), 3 + 2);
+        assert!(art.contains("s1 |"));
+        assert!(art.contains('='));
+        assert!(art.contains('*'));
+        assert!(art.contains("t=2.00"));
+    }
+
+    #[test]
+    fn request_markers_override_interval_glyphs() {
+        let trace = SingleItemTrace::from_pairs(1, &[(1.0, 0)]);
+        let mut s = Schedule::new();
+        s.cache(ServerId(0), 0.0, 1.0);
+        let art = render(&s, &trace, 20);
+        // The last column of row s1 is the request marker, not '='.
+        let row = art.lines().next().unwrap();
+        assert!(row.trim_end().ends_with('*'));
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let trace = SingleItemTrace::from_pairs(1, &[(1.0, 0)]);
+        let s = Schedule::new();
+        // Tiny width does not panic and is raised to the minimum.
+        let art = render(&s, &trace, 1);
+        assert!(art.lines().next().unwrap().len() >= 20);
+    }
+
+    #[test]
+    fn empty_schedule_marks_origin() {
+        let trace = SingleItemTrace::from_pairs(2, &[(1.0, 1)]);
+        let s = Schedule::new();
+        let art = render(&s, &trace, 30);
+        let first = art.lines().next().unwrap();
+        assert!(first.contains('o'));
+    }
+}

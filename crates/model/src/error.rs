@@ -1,0 +1,150 @@
+//! Error types shared by the model crate's validating constructors.
+
+use crate::ids::{ItemId, ServerId};
+use crate::time::TimePoint;
+
+/// Validation failures raised by [`crate::RequestSeqBuilder`] and the
+/// schedule feasibility checker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Request times must be strictly increasing (the paper assumes at most
+    /// one request per time instance, Section III-A).
+    NonIncreasingTime {
+        /// Index of the offending request within the sequence.
+        index: usize,
+        /// Time of the previous request.
+        prev: TimePoint,
+        /// Time of the offending request.
+        next: TimePoint,
+    },
+    /// Request times must be strictly positive: `t = 0` is reserved for the
+    /// origin placement of every item on `s_1`.
+    NonPositiveTime {
+        /// Index of the offending request.
+        index: usize,
+        /// The offending time value.
+        time: TimePoint,
+    },
+    /// A request must name at least one data item.
+    EmptyItemSet {
+        /// Index of the offending request.
+        index: usize,
+    },
+    /// A request referenced a server outside `0..m`.
+    ServerOutOfRange {
+        /// Index of the offending request.
+        index: usize,
+        /// The offending server.
+        server: ServerId,
+        /// The configured server count `m`.
+        servers: u32,
+    },
+    /// A request referenced an item outside `0..k`.
+    ItemOutOfRange {
+        /// Index of the offending request.
+        index: usize,
+        /// The offending item.
+        item: ItemId,
+        /// The configured item count `k`.
+        items: u32,
+    },
+    /// A request listed the same item twice.
+    DuplicateItem {
+        /// Index of the offending request.
+        index: usize,
+        /// The duplicated item.
+        item: ItemId,
+    },
+    /// A time value was NaN or infinite.
+    NonFiniteTime {
+        /// Index of the offending request.
+        index: usize,
+    },
+    /// Cost-model parameters must be finite and positive (`μ > 0`, `λ > 0`)
+    /// with `0 < α <= 1`.
+    InvalidCostModel {
+        /// Human-readable description of which parameter failed.
+        what: &'static str,
+    },
+    /// Schedule feasibility failure; the string describes which request or
+    /// connectivity rule was violated.
+    InfeasibleSchedule {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NonIncreasingTime { index, prev, next } => write!(
+                f,
+                "request #{index} at t={next} does not strictly follow previous t={prev}"
+            ),
+            ModelError::NonPositiveTime { index, time } => {
+                write!(f, "request #{index} has non-positive time t={time}")
+            }
+            ModelError::EmptyItemSet { index } => {
+                write!(f, "request #{index} accesses no data items")
+            }
+            ModelError::ServerOutOfRange {
+                index,
+                server,
+                servers,
+            } => write!(
+                f,
+                "request #{index} targets {server} but only {servers} servers exist"
+            ),
+            ModelError::ItemOutOfRange { index, item, items } => write!(
+                f,
+                "request #{index} accesses {item} but only {items} items exist"
+            ),
+            ModelError::DuplicateItem { index, item } => {
+                write!(f, "request #{index} lists {item} more than once")
+            }
+            ModelError::NonFiniteTime { index } => {
+                write!(f, "request #{index} has a non-finite time")
+            }
+            ModelError::InvalidCostModel { what } => {
+                write!(f, "invalid cost model: {what}")
+            }
+            ModelError::InfeasibleSchedule { reason } => {
+                write!(f, "infeasible schedule: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = ModelError::NonIncreasingTime {
+            index: 3,
+            prev: 2.0,
+            next: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("#3"));
+        assert!(msg.contains("1.5"));
+        assert!(msg.contains('2'));
+
+        let e = ModelError::ServerOutOfRange {
+            index: 1,
+            server: ServerId(9),
+            servers: 4,
+        };
+        assert!(e.to_string().contains("s10"));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&ModelError::EmptyItemSet { index: 0 });
+    }
+}

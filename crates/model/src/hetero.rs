@@ -1,0 +1,205 @@
+//! Heterogeneous cost model — the general form the paper's Section III-C
+//! relates to the rectilinear Steiner arborescence problem.
+//!
+//! The DP_Greedy paper works under homogeneous costs, but defines its
+//! hardness by reference to the heterogeneous problem of [7]: per-server
+//! caching rates `μ_s` and per-pair transfer costs `λ_{st}`. This module
+//! supplies that model as a first-class citizen so the workspace can (a)
+//! check that every homogeneous algorithm is the uniform special case of
+//! a heterogeneous one, and (b) host the exact/heuristic heterogeneous
+//! solvers of `mcs-offline::hetero`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::ids::ServerId;
+
+/// Per-server, per-link cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroCostModel {
+    /// `μ_s` — caching rate per copy per unit time at each server.
+    mu: Vec<f64>,
+    /// `λ_{st}` — symmetric transfer cost matrix with zero diagonal,
+    /// row-major `m×m`.
+    lambda: Vec<f64>,
+    /// Package discount factor `α ∈ (0, 1]` (kept for parity with the
+    /// homogeneous model; the heterogeneous solvers here are single-item).
+    alpha: f64,
+    servers: u32,
+}
+
+impl HeteroCostModel {
+    /// Validates and builds a heterogeneous model.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidCostModel`] when any rate is non-finite or
+    /// non-positive, the matrix is misshapen/asymmetric, a diagonal entry
+    /// is non-zero, or `α ∉ (0, 1]`.
+    pub fn new(mu: Vec<f64>, lambda: Vec<f64>, alpha: f64) -> Result<Self, ModelError> {
+        let m = mu.len();
+        if m == 0 {
+            return Err(ModelError::InvalidCostModel {
+                what: "need at least one server",
+            });
+        }
+        if lambda.len() != m * m {
+            return Err(ModelError::InvalidCostModel {
+                what: "λ matrix must be m×m",
+            });
+        }
+        for &r in &mu {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(ModelError::InvalidCostModel {
+                    what: "every μ_s must be finite and positive",
+                });
+            }
+        }
+        for i in 0..m {
+            for j in 0..m {
+                let v = lambda[i * m + j];
+                if i == j {
+                    if v != 0.0 {
+                        return Err(ModelError::InvalidCostModel {
+                            what: "λ diagonal must be zero",
+                        });
+                    }
+                } else {
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(ModelError::InvalidCostModel {
+                            what: "every off-diagonal λ must be finite and positive",
+                        });
+                    }
+                    if (v - lambda[j * m + i]).abs() > crate::time::EPSILON {
+                        return Err(ModelError::InvalidCostModel {
+                            what: "λ matrix must be symmetric",
+                        });
+                    }
+                }
+            }
+        }
+        if !(alpha.is_finite() && alpha > 0.0 && alpha <= 1.0) {
+            return Err(ModelError::InvalidCostModel {
+                what: "α must lie in (0, 1]",
+            });
+        }
+        Ok(HeteroCostModel {
+            mu,
+            lambda,
+            alpha,
+            servers: m as u32,
+        })
+    }
+
+    /// Embeds a homogeneous model over `m` servers (all `μ_s = μ`, all
+    /// `λ_{st} = λ`).
+    pub fn uniform(m: u32, mu: f64, lambda: f64, alpha: f64) -> Result<Self, ModelError> {
+        let msize = m as usize;
+        let mut lam = vec![lambda; msize * msize];
+        for i in 0..msize {
+            lam[i * msize + i] = 0.0;
+        }
+        Self::new(vec![mu; msize], lam, alpha)
+    }
+
+    /// Number of servers `m`.
+    #[inline]
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// Caching rate at `s`.
+    #[inline]
+    pub fn mu(&self, s: ServerId) -> f64 {
+        self.mu[s.index()]
+    }
+
+    /// Transfer cost between `a` and `b` (zero when equal).
+    #[inline]
+    pub fn lambda(&self, a: ServerId, b: ServerId) -> f64 {
+        self.lambda[a.index() * self.servers as usize + b.index()]
+    }
+
+    /// Discount factor.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Cheapest caching rate across servers — a lower-bound building block.
+    pub fn min_mu(&self) -> f64 {
+        self.mu.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// True if the transfer matrix satisfies the triangle inequality
+    /// (metric networks; relays never pay off within a single instant).
+    pub fn is_metric(&self) -> bool {
+        let m = self.servers as usize;
+        for i in 0..m {
+            for j in 0..m {
+                for k in 0..m {
+                    if self.lambda[i * m + j]
+                        > self.lambda[i * m + k] + self.lambda[k * m + j] + crate::time::EPSILON
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_embedding_round_trips() {
+        let h = HeteroCostModel::uniform(3, 2.0, 5.0, 0.8).unwrap();
+        assert_eq!(h.servers(), 3);
+        assert_eq!(h.mu(ServerId(1)), 2.0);
+        assert_eq!(h.lambda(ServerId(0), ServerId(2)), 5.0);
+        assert_eq!(h.lambda(ServerId(2), ServerId(2)), 0.0);
+        assert_eq!(h.min_mu(), 2.0);
+        assert!(h.is_metric());
+    }
+
+    #[test]
+    fn rejects_malformed_models() {
+        assert!(HeteroCostModel::new(vec![], vec![], 0.8).is_err());
+        assert!(HeteroCostModel::new(vec![1.0], vec![0.0, 1.0], 0.8).is_err());
+        assert!(HeteroCostModel::new(vec![0.0], vec![0.0], 0.8).is_err());
+        // Asymmetric.
+        assert!(HeteroCostModel::new(vec![1.0, 1.0], vec![0.0, 2.0, 3.0, 0.0], 0.8).is_err());
+        // Non-zero diagonal.
+        assert!(HeteroCostModel::new(vec![1.0, 1.0], vec![1.0, 2.0, 2.0, 0.0], 0.8).is_err());
+        // Bad alpha.
+        assert!(HeteroCostModel::uniform(2, 1.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn metric_detection() {
+        // A violating matrix: going around (0→2→1 = 1+1) is cheaper than
+        // direct (0→1 = 5).
+        let h = HeteroCostModel::new(
+            vec![1.0, 1.0, 1.0],
+            vec![
+                0.0, 5.0, 1.0, //
+                5.0, 0.0, 1.0, //
+                1.0, 1.0, 0.0,
+            ],
+            0.8,
+        )
+        .unwrap();
+        assert!(!h.is_metric());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let h = HeteroCostModel::uniform(2, 1.5, 2.5, 0.7).unwrap();
+        let j = serde_json::to_string(&h).unwrap();
+        let back: HeteroCostModel = serde_json::from_str(&j).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests over the model layer: builder/serde round trips,
+//! schedule normalisation invariants, diagram totality.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::cost::CostModel;
+use crate::ids::ServerId;
+use crate::request::{RequestSeq, RequestSeqBuilder, SingleItemTrace};
+use crate::schedule::Schedule;
+use crate::time::approx_eq;
+
+fn seq_strategy() -> impl Strategy<Value = RequestSeq> {
+    (1u32..=5, 1u32..=4, 0usize..=20).prop_flat_map(|(m, k, n)| {
+        (
+            Just(m),
+            Just(k),
+            proptest::collection::vec(1u32..=300, n),
+            proptest::collection::vec(0u32..m, n),
+            proptest::collection::vec(proptest::collection::btree_set(0u32..k, 1..=k as usize), n),
+        )
+            .prop_map(|(m, k, mut ticks, servers, item_sets)| {
+                ticks.sort_unstable();
+                ticks.dedup();
+                let mut b = RequestSeqBuilder::new(m, k);
+                for ((&t, &s), items) in ticks.iter().zip(&servers).zip(&item_sets) {
+                    b = b.push(s, t as f64 / 10.0, items.iter().copied());
+                }
+                b.build().expect("constructed within invariants")
+            })
+    })
+}
+
+/// A feasible random schedule: a growing frontier of intervals chained by
+/// transfers from the origin.
+fn schedule_strategy() -> impl Strategy<Value = (Schedule, SingleItemTrace)> {
+    (2u32..=4, 1usize..=8).prop_flat_map(|(m, hops)| {
+        proptest::collection::vec((0u32..m, 1u32..=40), hops).prop_map(move |steps| {
+            let mut s = Schedule::new();
+            let mut trace_pts = Vec::new();
+            let mut cur = ServerId::ORIGIN;
+            let mut t = 0.0_f64;
+            for (srv, dt) in steps {
+                let next_t = t + dt as f64 / 10.0;
+                s.cache(cur, t, next_t);
+                let dst = ServerId(srv);
+                if dst != cur {
+                    s.transfer(cur, dst, next_t);
+                }
+                trace_pts.push((next_t, dst.0));
+                cur = dst;
+                t = next_t;
+            }
+            let trace = SingleItemTrace::from_pairs(m, &trace_pts);
+            (s, trace)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sequence_serde_round_trips(seq in seq_strategy()) {
+        let json = serde_json::to_string(&seq).unwrap();
+        let back: RequestSeq = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(seq, back);
+    }
+
+    #[test]
+    fn item_traces_partition_accesses(seq in seq_strategy()) {
+        let total: usize = (0..seq.items())
+            .map(|i| seq.item_trace(crate::ids::ItemId(i)).len())
+            .sum();
+        prop_assert_eq!(total, seq.total_item_accesses());
+    }
+
+    #[test]
+    fn pair_views_are_consistent(seq in seq_strategy()) {
+        for a in 0..seq.items() {
+            for b in (a + 1)..seq.items() {
+                let (a, b) = (crate::ids::ItemId(a), crate::ids::ItemId(b));
+                let pv = seq.pair_view(a, b);
+                prop_assert_eq!(pv.count_a(), seq.count_containing(a));
+                prop_assert_eq!(pv.count_b(), seq.count_containing(b));
+                prop_assert_eq!(pv.both.len(), seq.count_pair(a, b));
+                let j = pv.jaccard();
+                prop_assert!((0.0..=1.0).contains(&j));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_schedules_validate_and_account(
+        (schedule, trace) in schedule_strategy(),
+        mu in 1u32..=30,
+        la in 1u32..=30,
+    ) {
+        prop_assert!(schedule.validate(&trace).is_ok());
+        let model = CostModel::new(mu as f64 / 10.0, la as f64 / 10.0, 0.8).unwrap();
+        let c = schedule.cost(model.mu(), model.lambda());
+        prop_assert!(approx_eq(
+            c.total,
+            model.mu() * c.cache_time + model.lambda() * c.transfers as f64
+        ));
+    }
+
+    #[test]
+    fn normalize_preserves_validity_and_never_raises_cost(
+        (mut schedule, trace) in schedule_strategy(),
+    ) {
+        let before = schedule.cost(1.0, 1.0).total;
+        schedule.normalize();
+        let after = schedule.cost(1.0, 1.0).total;
+        prop_assert!(after <= before + 1e-9, "normalize raised cost {before} -> {after}");
+        prop_assert!(schedule.validate(&trace).is_ok(), "normalize broke feasibility");
+        // Idempotent.
+        let mut again = schedule.clone();
+        again.normalize();
+        prop_assert_eq!(&again, &schedule);
+    }
+
+    #[test]
+    fn diagram_renders_all_inputs((schedule, trace) in schedule_strategy()) {
+        let art = crate::diagram::render(&schedule, &trace, 48);
+        prop_assert_eq!(art.lines().count(), trace.servers as usize + 2);
+        prop_assert!(art.contains('*'));
+    }
+}

@@ -1,0 +1,590 @@
+//! Requests and request sequences (`r_i = <s_i, t_i, D_i>`, Section III-A).
+//!
+//! A [`RequestSeq`] is the fundamental input of every algorithm in this
+//! workspace: a time-ordered trajectory of requests, each naming the server
+//! it is made at and the subset of data items it accesses. The builder
+//! enforces the standing assumptions of the paper: strictly increasing
+//! positive times (at most one request per time instance, with `t = 0`
+//! reserved for the origin placement on `s_1`), non-empty duplicate-free
+//! item sets, and in-range identifiers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::ids::{ItemId, ServerId};
+use crate::time::TimePoint;
+
+/// One data request `r_i = <s_i, t_i, D_i>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Server the request is made at (`s_i`).
+    pub server: ServerId,
+    /// Time the request is made (`t_i`), strictly positive.
+    pub time: TimePoint,
+    /// The accessed item subset (`D_i`), sorted and duplicate-free.
+    pub items: Vec<ItemId>,
+}
+
+impl Request {
+    /// True if the request accesses `item`.
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        // Items are sorted by the builder; binary search keeps large D_i fast.
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// True if the request accesses both `a` and `b`.
+    #[inline]
+    pub fn contains_both(&self, a: ItemId, b: ItemId) -> bool {
+        self.contains(a) && self.contains(b)
+    }
+}
+
+/// A validated, time-ordered sequence of requests over `m` servers and
+/// `k` items.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestSeq {
+    servers: u32,
+    items: u32,
+    requests: Vec<Request>,
+}
+
+impl RequestSeq {
+    /// Number of cache servers `m`.
+    #[inline]
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// Number of distinct data items `k`.
+    #[inline]
+    pub fn items(&self) -> u32 {
+        self.items
+    }
+
+    /// Number of requests `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if the sequence contains no requests.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The requests, in strictly increasing time order.
+    #[inline]
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// The request at `index`.
+    #[inline]
+    pub fn get(&self, index: usize) -> &Request {
+        &self.requests[index]
+    }
+
+    /// Time of the last request, or `0` for an empty sequence.
+    pub fn horizon(&self) -> TimePoint {
+        self.requests.last().map_or(0.0, |r| r.time)
+    }
+
+    /// Number of requests containing `item` — the `|d_i|` of Eq. (5).
+    pub fn count_containing(&self, item: ItemId) -> usize {
+        self.requests.iter().filter(|r| r.contains(item)).count()
+    }
+
+    /// Number of requests containing both `a` and `b` — the `|(d_i, d_j)|`
+    /// of Eq. (5).
+    pub fn count_pair(&self, a: ItemId, b: ItemId) -> usize {
+        self.requests
+            .iter()
+            .filter(|r| r.contains_both(a, b))
+            .count()
+    }
+
+    /// Total number of *item accesses*, `Σ_i |d_i|` — the denominator of the
+    /// paper's `ave_cost` metric (Algorithm 1, line 50).
+    pub fn total_item_accesses(&self) -> usize {
+        self.requests.iter().map(|r| r.items.len()).sum()
+    }
+
+    /// Projects the sequence onto a single item: the time-ordered
+    /// `(time, server)` trace of every request containing `item`.
+    ///
+    /// This is the input shape consumed by the single-item off-line
+    /// algorithms (the substrate of [6]).
+    pub fn item_trace(&self, item: ItemId) -> SingleItemTrace {
+        let points = self
+            .requests
+            .iter()
+            .filter(|r| r.contains(item))
+            .map(|r| TracePoint {
+                time: r.time,
+                server: r.server,
+            })
+            .collect();
+        SingleItemTrace {
+            servers: self.servers,
+            points,
+        }
+    }
+
+    /// Projects the sequence onto an item pair, partitioning the requests
+    /// that touch either item into *co-requests* (both items, candidates for
+    /// package service) and per-item *singleton* requests.
+    pub fn pair_view(&self, a: ItemId, b: ItemId) -> PairView {
+        let mut both = Vec::new();
+        let mut only_a = Vec::new();
+        let mut only_b = Vec::new();
+        for (i, r) in self.requests.iter().enumerate() {
+            match (r.contains(a), r.contains(b)) {
+                (true, true) => both.push(i),
+                (true, false) => only_a.push(i),
+                (false, true) => only_b.push(i),
+                (false, false) => {}
+            }
+        }
+        PairView {
+            a,
+            b,
+            both,
+            only_a,
+            only_b,
+        }
+    }
+
+    /// The `(time, server)` trace of the co-requests of a pair, at package
+    /// granularity — the subsequence Phase 2 hands to the algorithm of [6]
+    /// under package rates.
+    pub fn package_trace(&self, a: ItemId, b: ItemId) -> SingleItemTrace {
+        let points = self
+            .requests
+            .iter()
+            .filter(|r| r.contains_both(a, b))
+            .map(|r| TracePoint {
+                time: r.time,
+                server: r.server,
+            })
+            .collect();
+        SingleItemTrace {
+            servers: self.servers,
+            points,
+        }
+    }
+
+    /// The union trace of every request containing `a` or `b` (or both) —
+    /// the input of the Package_Served baseline, which always ships the
+    /// whole package.
+    pub fn union_trace(&self, a: ItemId, b: ItemId) -> SingleItemTrace {
+        let points = self
+            .requests
+            .iter()
+            .filter(|r| r.contains(a) || r.contains(b))
+            .map(|r| TracePoint {
+                time: r.time,
+                server: r.server,
+            })
+            .collect();
+        SingleItemTrace {
+            servers: self.servers,
+            points,
+        }
+    }
+}
+
+/// A `(time, server)` point of a single-item (or single-package) trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Request time.
+    pub time: TimePoint,
+    /// Server the request is made at.
+    pub server: ServerId,
+}
+
+/// A single-item projection of a request sequence: what the off-line
+/// single-item caching algorithms operate on.
+///
+/// The item is implicitly located at [`ServerId::ORIGIN`] at time `0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleItemTrace {
+    /// Number of servers `m` in the network.
+    pub servers: u32,
+    /// Time-ordered request points.
+    pub points: Vec<TracePoint>,
+}
+
+impl SingleItemTrace {
+    /// Builds a trace directly from `(time, server-index)` pairs; intended
+    /// for tests and small examples. Panics on unordered input.
+    pub fn from_pairs(servers: u32, pairs: &[(f64, u32)]) -> Self {
+        let mut last = 0.0_f64;
+        let points = pairs
+            .iter()
+            .map(|&(t, s)| {
+                assert!(t > last, "trace times must strictly increase");
+                assert!(s < servers, "server index out of range");
+                last = t;
+                TracePoint {
+                    time: t,
+                    server: ServerId(s),
+                }
+            })
+            .collect();
+        SingleItemTrace { servers, points }
+    }
+
+    /// Number of request points `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the trace has no request points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// For each point, the index of the most recent *earlier* point at the
+    /// same server — the `r_{p(i)}` of Definition 1 — or `None` when the
+    /// previous same-server event is the origin placement (for
+    /// [`ServerId::ORIGIN`]) or nothing at all.
+    ///
+    /// The origin placement at `(s_1, 0)` is encoded as `Some(usize::MAX)`
+    /// sentinel-free: instead we return a [`Predecessors`] structure that
+    /// distinguishes the three cases explicitly.
+    pub fn predecessors(&self) -> Vec<Predecessor> {
+        let mut last_at: std::collections::HashMap<ServerId, usize> =
+            std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(self.points.len());
+        for (i, p) in self.points.iter().enumerate() {
+            let pred = match last_at.get(&p.server) {
+                Some(&j) => Predecessor::Request(j),
+                None if p.server == ServerId::ORIGIN => Predecessor::Origin,
+                None => Predecessor::None,
+            };
+            out.push(pred);
+            last_at.insert(p.server, i);
+        }
+        out
+    }
+}
+
+/// The most recent same-server event before a trace point (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predecessor {
+    /// A previous request point at the same server, by index.
+    Request(usize),
+    /// The origin placement of the item at `(s_1, t = 0)`.
+    Origin,
+    /// No copy has ever been at this server before.
+    None,
+}
+
+/// Partition of the requests touching an item pair (see
+/// [`RequestSeq::pair_view`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairView {
+    /// First item of the pair.
+    pub a: ItemId,
+    /// Second item of the pair.
+    pub b: ItemId,
+    /// Indices (into the full sequence) of requests containing both items.
+    pub both: Vec<usize>,
+    /// Indices of requests containing `a` but not `b`.
+    pub only_a: Vec<usize>,
+    /// Indices of requests containing `b` but not `a`.
+    pub only_b: Vec<usize>,
+}
+
+impl PairView {
+    /// `|d_a|` — total requests containing `a`.
+    pub fn count_a(&self) -> usize {
+        self.both.len() + self.only_a.len()
+    }
+
+    /// `|d_b|` — total requests containing `b`.
+    pub fn count_b(&self) -> usize {
+        self.both.len() + self.only_b.len()
+    }
+
+    /// The Jaccard similarity of the pair per Eq. (5), `0` when neither item
+    /// is ever requested.
+    pub fn jaccard(&self) -> f64 {
+        let union = self.both.len() + self.only_a.len() + self.only_b.len();
+        if union == 0 {
+            0.0
+        } else {
+            self.both.len() as f64 / union as f64
+        }
+    }
+}
+
+/// Validating builder for [`RequestSeq`].
+#[derive(Debug, Clone)]
+pub struct RequestSeqBuilder {
+    servers: u32,
+    items: u32,
+    requests: Vec<Request>,
+    error: Option<ModelError>,
+}
+
+impl RequestSeqBuilder {
+    /// Starts a sequence over `m` servers and `k` items.
+    pub fn new(servers: u32, items: u32) -> Self {
+        RequestSeqBuilder {
+            servers,
+            items,
+            requests: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Appends a request; errors are deferred to [`Self::build`] so calls
+    /// can be chained.
+    pub fn push(
+        mut self,
+        server: impl Into<ServerId>,
+        time: TimePoint,
+        items: impl IntoIterator<Item = u32>,
+    ) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let index = self.requests.len();
+        let server = server.into();
+        if !time.is_finite() {
+            self.error = Some(ModelError::NonFiniteTime { index });
+            return self;
+        }
+        if time <= 0.0 {
+            self.error = Some(ModelError::NonPositiveTime { index, time });
+            return self;
+        }
+        if let Some(prev) = self.requests.last() {
+            if time <= prev.time {
+                self.error = Some(ModelError::NonIncreasingTime {
+                    index,
+                    prev: prev.time,
+                    next: time,
+                });
+                return self;
+            }
+        }
+        if server.0 >= self.servers {
+            self.error = Some(ModelError::ServerOutOfRange {
+                index,
+                server,
+                servers: self.servers,
+            });
+            return self;
+        }
+        let mut item_ids: Vec<ItemId> = items.into_iter().map(ItemId).collect();
+        item_ids.sort_unstable();
+        if item_ids.is_empty() {
+            self.error = Some(ModelError::EmptyItemSet { index });
+            return self;
+        }
+        for w in item_ids.windows(2) {
+            if w[0] == w[1] {
+                self.error = Some(ModelError::DuplicateItem { index, item: w[0] });
+                return self;
+            }
+        }
+        if let Some(&max) = item_ids.last() {
+            if max.0 >= self.items {
+                self.error = Some(ModelError::ItemOutOfRange {
+                    index,
+                    item: max,
+                    items: self.items,
+                });
+                return self;
+            }
+        }
+        self.requests.push(Request {
+            server,
+            time,
+            items: item_ids,
+        });
+        self
+    }
+
+    /// Finalises the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure recorded by [`Self::push`].
+    pub fn build(self) -> Result<RequestSeq, ModelError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(RequestSeq {
+                servers: self.servers,
+                items: self.items,
+                requests: self.requests,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::approx_eq;
+
+    /// The request sequence of the paper's running example (Fig. 2 / Fig. 8,
+    /// Section V-C), reconstructed from the worked arithmetic:
+    /// packages (d1+d2) at t = 0.8, 1.4, 4.0; d1 singletons at 0.5, 2.6;
+    /// d2 singletons at 1.1, 3.2.
+    fn paper_sequence() -> RequestSeq {
+        RequestSeqBuilder::new(4, 2)
+            .push(1u32, 0.5, [0]) // d1 @ s2
+            .push(2u32, 0.8, [0, 1]) // package @ s3
+            .push(3u32, 1.1, [1]) // d2 @ s4
+            .push(0u32, 1.4, [0, 1]) // package @ s1
+            .push(1u32, 2.6, [0]) // d1 @ s2
+            .push(1u32, 3.2, [1]) // d2 @ s2
+            .push(2u32, 4.0, [0, 1]) // package @ s3
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_accepts_valid_sequence() {
+        let seq = paper_sequence();
+        assert_eq!(seq.len(), 7);
+        assert_eq!(seq.servers(), 4);
+        assert_eq!(seq.items(), 2);
+        assert!(approx_eq(seq.horizon(), 4.0));
+    }
+
+    #[test]
+    fn paper_counts_give_jaccard_three_sevenths() {
+        let seq = paper_sequence();
+        assert_eq!(seq.count_containing(ItemId(0)), 5);
+        assert_eq!(seq.count_containing(ItemId(1)), 5);
+        assert_eq!(seq.count_pair(ItemId(0), ItemId(1)), 3);
+        let pv = seq.pair_view(ItemId(0), ItemId(1));
+        assert!(approx_eq(pv.jaccard(), 3.0 / 7.0));
+        assert_eq!(pv.count_a(), 5);
+        assert_eq!(pv.count_b(), 5);
+        // ave_cost denominator |d1| + |d2| = 10.
+        assert_eq!(seq.total_item_accesses(), 10);
+    }
+
+    #[test]
+    fn pair_view_partitions_correctly() {
+        let seq = paper_sequence();
+        let pv = seq.pair_view(ItemId(0), ItemId(1));
+        assert_eq!(pv.both, vec![1, 3, 6]);
+        assert_eq!(pv.only_a, vec![0, 4]);
+        assert_eq!(pv.only_b, vec![2, 5]);
+    }
+
+    #[test]
+    fn traces_project_correctly() {
+        let seq = paper_sequence();
+        let t1 = seq.item_trace(ItemId(0));
+        let times: Vec<f64> = t1.points.iter().map(|p| p.time).collect();
+        assert_eq!(times, vec![0.5, 0.8, 1.4, 2.6, 4.0]);
+        let pkg = seq.package_trace(ItemId(0), ItemId(1));
+        let times: Vec<f64> = pkg.points.iter().map(|p| p.time).collect();
+        assert_eq!(times, vec![0.8, 1.4, 4.0]);
+        let uni = seq.union_trace(ItemId(0), ItemId(1));
+        assert_eq!(uni.len(), 7);
+    }
+
+    #[test]
+    fn predecessors_follow_definition_1() {
+        let seq = paper_sequence();
+        let pkg = seq.package_trace(ItemId(0), ItemId(1));
+        // Points: 0.8@s3, 1.4@s1, 4.0@s3.
+        let preds = pkg.predecessors();
+        assert_eq!(preds[0], Predecessor::None); // s3 never visited
+        assert_eq!(preds[1], Predecessor::Origin); // s1 holds the origin copy
+        assert_eq!(preds[2], Predecessor::Request(0)); // back to 0.8@s3
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        assert!(matches!(
+            RequestSeqBuilder::new(2, 2).push(0u32, 0.0, [0]).build(),
+            Err(ModelError::NonPositiveTime { .. })
+        ));
+        assert!(matches!(
+            RequestSeqBuilder::new(2, 2)
+                .push(0u32, 1.0, [0])
+                .push(0u32, 1.0, [1])
+                .build(),
+            Err(ModelError::NonIncreasingTime { .. })
+        ));
+        assert!(matches!(
+            RequestSeqBuilder::new(2, 2).push(5u32, 1.0, [0]).build(),
+            Err(ModelError::ServerOutOfRange { .. })
+        ));
+        assert!(matches!(
+            RequestSeqBuilder::new(2, 2).push(0u32, 1.0, [7]).build(),
+            Err(ModelError::ItemOutOfRange { .. })
+        ));
+        assert!(matches!(
+            RequestSeqBuilder::new(2, 2)
+                .push(0u32, 1.0, std::iter::empty::<u32>())
+                .build(),
+            Err(ModelError::EmptyItemSet { .. })
+        ));
+        assert!(matches!(
+            RequestSeqBuilder::new(2, 2).push(0u32, 1.0, [0, 0]).build(),
+            Err(ModelError::DuplicateItem { .. })
+        ));
+        assert!(matches!(
+            RequestSeqBuilder::new(2, 2)
+                .push(0u32, f64::NAN, [0])
+                .build(),
+            Err(ModelError::NonFiniteTime { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_keeps_first_error() {
+        let err = RequestSeqBuilder::new(2, 2)
+            .push(0u32, -1.0, [0])
+            .push(9u32, 2.0, [5])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NonPositiveTime { .. }));
+    }
+
+    #[test]
+    fn request_items_are_sorted_for_binary_search() {
+        let seq = RequestSeqBuilder::new(1, 5)
+            .push(0u32, 1.0, [4, 0, 2])
+            .build()
+            .unwrap();
+        assert_eq!(seq.get(0).items, vec![ItemId(0), ItemId(2), ItemId(4)]);
+        assert!(seq.get(0).contains(ItemId(2)));
+        assert!(!seq.get(0).contains(ItemId(1)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let seq = paper_sequence();
+        let j = serde_json::to_string(&seq).unwrap();
+        let back: RequestSeq = serde_json::from_str(&j).unwrap();
+        assert_eq!(seq, back);
+    }
+
+    #[test]
+    fn trace_from_pairs_validates() {
+        let t = SingleItemTrace::from_pairs(3, &[(0.5, 1), (0.8, 2)]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn trace_from_pairs_rejects_unordered() {
+        let _ = SingleItemTrace::from_pairs(3, &[(0.8, 1), (0.5, 2)]);
+    }
+}

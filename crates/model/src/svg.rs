@@ -1,0 +1,178 @@
+//! SVG space-time diagrams — publication-quality renderings of schedules
+//! in the style of the paper's Figs. 1/2/7.
+//!
+//! Servers are horizontal lanes, time runs rightward; cache intervals are
+//! thick horizontal bars, transfers are vertical arrows, requests are
+//! dots. Pure string generation with no dependencies; output opens in any
+//! browser.
+
+use crate::ids::ServerId;
+use crate::request::SingleItemTrace;
+use crate::schedule::Schedule;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Lane height per server in pixels.
+    pub lane_height: u32,
+    /// Left margin for lane labels.
+    pub margin: u32,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 800,
+            lane_height: 48,
+            margin: 56,
+        }
+    }
+}
+
+/// Renders a schedule/trace pair as a standalone SVG document.
+pub fn render_svg(schedule: &Schedule, trace: &SingleItemTrace, opts: &SvgOptions) -> String {
+    let m = trace.servers.max(1);
+    let horizon = trace
+        .points
+        .iter()
+        .map(|p| p.time)
+        .chain(schedule.intervals.iter().map(|iv| iv.span.end))
+        .chain(schedule.transfers.iter().map(|tr| tr.time))
+        .fold(1.0_f64, f64::max);
+
+    let plot_w = (opts.width - opts.margin - 16) as f64;
+    let height = opts.lane_height * m + 40;
+    let x = |t: f64| opts.margin as f64 + (t / horizon) * plot_w;
+    let lane_y = |s: ServerId| (opts.lane_height * s.0 + opts.lane_height / 2 + 8) as f64;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"##,
+        w = opts.width,
+        h = height
+    ));
+    out.push_str(r##"<rect width="100%" height="100%" fill="white"/>"##);
+
+    // Lanes and labels.
+    for s in 0..m {
+        let y = lane_y(ServerId(s));
+        out.push_str(&format!(
+            r##"<line x1="{x0}" y1="{y}" x2="{x1}" y2="{y}" stroke="#ddd"/>"##,
+            x0 = opts.margin,
+            x1 = opts.width - 8,
+        ));
+        out.push_str(&format!(
+            r##"<text x="8" y="{ty}" fill="#444">s{label}</text>"##,
+            ty = y + 4.0,
+            label = s + 1
+        ));
+    }
+
+    // Cache intervals.
+    for iv in &schedule.intervals {
+        let y = lane_y(iv.server);
+        out.push_str(&format!(
+            r##"<line x1="{x0:.1}" y1="{y}" x2="{x1:.1}" y2="{y}" stroke="#2b6cb0" stroke-width="6" stroke-linecap="round" opacity="0.85"/>"##,
+            x0 = x(iv.span.start),
+            x1 = x(iv.span.end),
+        ));
+    }
+
+    // Transfers.
+    for tr in &schedule.transfers {
+        let (y0, y1) = (lane_y(tr.from), lane_y(tr.to));
+        let xt = x(tr.time);
+        out.push_str(&format!(
+            r##"<line x1="{xt:.1}" y1="{y0}" x2="{xt:.1}" y2="{y1}" stroke="#c05621" stroke-width="2" stroke-dasharray="4 3"/>"##,
+        ));
+        // Arrowhead toward the destination.
+        let dir = if y1 > y0 { -6.0 } else { 6.0 };
+        out.push_str(&format!(
+            r##"<path d="M {x0:.1} {y1} l -4 {dir} l 8 0 z" fill="#c05621"/>"##,
+            x0 = xt,
+        ));
+    }
+
+    // Requests.
+    for p in &trace.points {
+        let y = lane_y(p.server);
+        out.push_str(&format!(
+            r##"<circle cx="{cx:.1}" cy="{y}" r="4" fill="#1a202c"/>"##,
+            cx = x(p.time),
+        ));
+        out.push_str(&format!(
+            r##"<text x="{cx:.1}" y="{ty}" fill="#1a202c" text-anchor="middle" font-size="10">{t}</text>"##,
+            cx = x(p.time),
+            ty = y - 8.0,
+            t = p.time,
+        ));
+    }
+
+    // Time axis.
+    out.push_str(&format!(
+        r##"<text x="{x0}" y="{ty}" fill="#444">t=0</text><text x="{x1}" y="{ty}" fill="#444" text-anchor="end">t={horizon:.2}</text>"##,
+        x0 = opts.margin,
+        x1 = opts.width - 8,
+        ty = height - 8,
+    ));
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Schedule, SingleItemTrace) {
+        let trace = SingleItemTrace::from_pairs(4, &[(0.8, 2), (1.4, 0), (4.0, 2)]);
+        let mut s = Schedule::new();
+        s.cache(ServerId(0), 0.0, 1.4)
+            .cache(ServerId(2), 0.8, 4.0)
+            .transfer(ServerId(0), ServerId(2), 0.8);
+        (s, trace)
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let (s, trace) = sample();
+        let svg = render_svg(&s, &trace, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One circle per request, one thick bar per interval, one dashed
+        // line per transfer.
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert_eq!(svg.matches("stroke-width=\"6\"").count(), 2);
+        assert_eq!(svg.matches("stroke-dasharray").count(), 1);
+        // Every lane labelled.
+        for s in 1..=4 {
+            assert!(svg.contains(&format!(">s{s}</text>")));
+        }
+    }
+
+    #[test]
+    fn custom_options_change_geometry() {
+        let (s, trace) = sample();
+        let small = render_svg(
+            &s,
+            &trace,
+            &SvgOptions {
+                width: 400,
+                lane_height: 24,
+                margin: 40,
+            },
+        );
+        assert!(small.contains(r##"width="400""##));
+        let h = 24 * 4 + 40;
+        assert!(small.contains(&format!(r##"height="{h}""##)));
+    }
+
+    #[test]
+    fn empty_schedule_still_renders() {
+        let trace = SingleItemTrace::from_pairs(2, &[(1.0, 1)]);
+        let svg = render_svg(&Schedule::new(), &trace, &SvgOptions::default());
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("t=1.00"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based cross-validation of the three exact solvers and the
+//! greedy baseline on random instances.
+//!
+//! The validation matrix (DESIGN.md §2 and §8):
+//!
+//! * `optimal` (covering DP) == `exhaustive` (same semantics, no DP)
+//! * `optimal` == `statespace` (independent physics-level ground truth)
+//! * `optimal`'s emitted schedule is feasible and re-accounts to its cost
+//! * `greedy >= optimal` and `greedy <= 2·optimal` (the paper's Eq. 7–8)
+
+use proptest::prelude::*;
+
+use crate::exhaustive::exhaustive_optimal;
+use crate::statespace::statespace_optimal;
+use crate::{greedy::greedy, optimal::optimal};
+use mcs_model::request::SingleItemTrace;
+use mcs_model::{approx_eq, approx_le, CostModel};
+
+/// Strategy: a random trace over `m ∈ 1..=4` servers with `n ∈ 0..=9`
+/// requests at strictly increasing tenth-unit times.
+fn trace_strategy() -> impl Strategy<Value = SingleItemTrace> {
+    (1u32..=4, 0usize..=9).prop_flat_map(|(m, n)| {
+        (
+            Just(m),
+            proptest::collection::vec(1u32..=60, n),
+            proptest::collection::vec(0u32..m, n),
+        )
+            .prop_map(|(m, mut ticks, servers)| {
+                ticks.sort_unstable();
+                ticks.dedup();
+                let pairs: Vec<(f64, u32)> = ticks
+                    .iter()
+                    .zip(servers.iter())
+                    .map(|(&t, &s)| (t as f64 / 10.0, s))
+                    .collect();
+                SingleItemTrace::from_pairs(m, &pairs)
+            })
+    })
+}
+
+fn model_strategy() -> impl Strategy<Value = CostModel> {
+    (1u32..=50, 1u32..=50, 1u32..=10).prop_map(|(mu, la, a)| {
+        CostModel::new(mu as f64 / 10.0, la as f64 / 10.0, a as f64 / 10.0).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn optimal_matches_exhaustive(trace in trace_strategy(), model in model_strategy()) {
+        let dp = optimal(&trace, &model).cost;
+        let ex = exhaustive_optimal(&trace, &model);
+        prop_assert!(approx_eq(dp, ex), "dp={dp} exhaustive={ex}");
+    }
+
+    #[test]
+    fn optimal_matches_statespace(trace in trace_strategy(), model in model_strategy()) {
+        let dp = optimal(&trace, &model).cost;
+        let ss = statespace_optimal(&trace, &model);
+        prop_assert!(approx_eq(dp, ss), "dp={dp} statespace={ss}");
+    }
+
+    #[test]
+    fn optimal_schedule_is_feasible_and_accounts(trace in trace_strategy(), model in model_strategy()) {
+        let out = optimal(&trace, &model);
+        prop_assert!(out.schedule.validate(&trace).is_ok(),
+            "schedule infeasible: {:?}", out.schedule.validate(&trace));
+        let replayed = out.schedule.cost(model.mu(), model.lambda()).total;
+        prop_assert!(approx_eq(replayed, out.cost), "replayed={replayed} reported={}", out.cost);
+    }
+
+    #[test]
+    fn greedy_is_between_one_and_two_times_optimal(trace in trace_strategy(), model in model_strategy()) {
+        let o = optimal(&trace, &model).cost;
+        let g = greedy(&trace, &model);
+        prop_assert!(approx_le(o, g.cost), "greedy {} beat optimal {o}", g.cost);
+        prop_assert!(approx_le(g.cost, 2.0 * o), "greedy {} exceeded 2x optimal {o}", g.cost);
+    }
+
+    #[test]
+    fn greedy_schedule_is_feasible_and_accounts(trace in trace_strategy(), model in model_strategy()) {
+        let g = greedy(&trace, &model);
+        prop_assert!(g.schedule.validate(&trace).is_ok());
+        let replayed = g.schedule.cost(model.mu(), model.lambda()).total;
+        prop_assert!(approx_eq(replayed, g.cost));
+    }
+
+    #[test]
+    fn optimal_cost_is_monotone_in_lambda(trace in trace_strategy(), mu in 1u32..=30) {
+        // More expensive transfers can never make the optimum cheaper.
+        let lo = CostModel::new(mu as f64 / 10.0, 0.5, 0.8).unwrap();
+        let hi = CostModel::new(mu as f64 / 10.0, 2.0, 0.8).unwrap();
+        let c_lo = optimal(&trace, &lo).cost;
+        let c_hi = optimal(&trace, &hi).cost;
+        prop_assert!(approx_le(c_lo, c_hi));
+    }
+
+    #[test]
+    fn optimal_scales_linearly_with_uniform_rate_scaling(trace in trace_strategy()) {
+        // cost(c·μ, c·λ) = c · cost(μ, λ): the basis for the 2α package scaling.
+        let base = CostModel::new(1.0, 1.3, 0.8).unwrap();
+        let scaled = CostModel::new(1.6, 1.3 * 1.6, 0.8).unwrap();
+        let c1 = optimal(&trace, &base).cost;
+        let c2 = optimal(&trace, &scaled).cost;
+        prop_assert!(approx_eq(c2, 1.6 * c1), "c1={c1} c2={c2}");
+    }
+}

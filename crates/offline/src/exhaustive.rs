@@ -1,0 +1,124 @@
+//! Exact optimal cost by exhaustive enumeration of cache/transfer decisions.
+//!
+//! This solver shares the *cost semantics* of the covering reduction (see
+//! crate docs) but none of its algorithmics: it simply tries every subset
+//! `X` of cache-served requests and evaluates
+//! `cost(X) = Σ_{i∈X} μ·len_i + λ·|X̄| + μ·|holes(X)|` directly. It exists
+//! to test the shortest-path implementation in [`crate::optimal`];
+//! the structurally independent ground truth is [`crate::statespace`].
+//!
+//! Exponential in the number of requests that *have* a same-server
+//! predecessor; callers should keep `n ≤ ~20`.
+
+use mcs_model::request::{Predecessor, SingleItemTrace};
+use mcs_model::CostModel;
+
+/// Maximum number of cacheable requests this solver will enumerate (2^24
+/// subsets ≈ 16.8M evaluations).
+pub const MAX_CACHEABLE: usize = 24;
+
+/// Exhaustively computes the optimal off-line cost for a single commodity.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_CACHEABLE`] requests have a same-server
+/// predecessor — the enumeration would be intractable.
+pub fn exhaustive_optimal(trace: &SingleItemTrace, model: &CostModel) -> f64 {
+    let n = trace.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mu = model.mu();
+    let lambda = model.lambda();
+
+    let mut boundary = Vec::with_capacity(n + 1);
+    boundary.push(0.0_f64);
+    boundary.extend(trace.points.iter().map(|p| p.time));
+
+    let preds = trace.predecessors();
+    // Requests that can be cache-served, with (predecessor node, own node).
+    let cacheable: Vec<(usize, usize)> = preds
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| match p {
+            Predecessor::Origin => Some((0, i + 1)),
+            Predecessor::Request(j) => Some((j + 1, i + 1)),
+            Predecessor::None => None,
+        })
+        .collect();
+    assert!(
+        cacheable.len() <= MAX_CACHEABLE,
+        "exhaustive solver limited to {MAX_CACHEABLE} cacheable requests, got {}",
+        cacheable.len()
+    );
+
+    let gap_len: Vec<f64> = (0..n).map(|j| boundary[j + 1] - boundary[j]).collect();
+
+    let mut best = f64::INFINITY;
+    for mask in 0u64..(1u64 << cacheable.len()) {
+        // Cache cost for chosen intervals; coverage of gaps.
+        let mut covered = vec![false; n];
+        let mut cost = 0.0;
+        let mut chosen = 0usize;
+        for (bit, &(a, b)) in cacheable.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                chosen += 1;
+                cost += mu * (boundary[b] - boundary[a]);
+                for c in covered.iter_mut().take(b).skip(a) {
+                    *c = true;
+                }
+            }
+        }
+        // One transfer per non-cache-served request.
+        cost += lambda * (n - chosen) as f64;
+        // Bridge every uncovered gap.
+        for j in 0..n {
+            if !covered[j] {
+                cost += mu * gap_len[j];
+            }
+        }
+        if cost < best {
+            best = cost;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{approx_eq, CostModelBuilder};
+
+    #[test]
+    fn empty_is_free() {
+        let trace = SingleItemTrace::from_pairs(2, &[]);
+        assert_eq!(exhaustive_optimal(&trace, &CostModel::paper_example()), 0.0);
+    }
+
+    #[test]
+    fn single_remote_request() {
+        let trace = SingleItemTrace::from_pairs(2, &[(0.8, 1)]);
+        let c = exhaustive_optimal(&trace, &CostModel::paper_example());
+        assert!(approx_eq(c, 1.8));
+    }
+
+    #[test]
+    fn matches_paper_package_subproblem() {
+        let trace = SingleItemTrace::from_pairs(4, &[(0.8, 2), (1.4, 0), (4.0, 2)]);
+        let pkg = CostModel::paper_example().scaled_for_package();
+        let c = exhaustive_optimal(&trace, &pkg);
+        assert!(approx_eq(c, 8.96), "got {c}");
+    }
+
+    #[test]
+    fn agrees_with_dp_on_a_handcrafted_instance() {
+        let model = CostModelBuilder::new().mu(2.0).lambda(3.0).build().unwrap();
+        let trace = SingleItemTrace::from_pairs(
+            3,
+            &[(0.5, 1), (0.9, 2), (1.3, 0), (2.0, 1), (2.2, 2), (3.5, 0)],
+        );
+        let dp = crate::optimal(&trace, &model).cost;
+        let ex = exhaustive_optimal(&trace, &model);
+        assert!(approx_eq(dp, ex), "dp={dp} exhaustive={ex}");
+    }
+}

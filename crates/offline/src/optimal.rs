@@ -1,0 +1,430 @@
+//! The optimal off-line single-commodity caching algorithm (the substrate
+//! of reference [6] of the paper), re-derived as a minimum-cost
+//! line-covering dynamic program.
+//!
+//! See the crate docs and `DESIGN.md` §2 for the derivation. In short:
+//! every request is served by a local cache interval from its same-server
+//! predecessor (`r_{p(i)}` of Definition 1) or by a `λ` transfer from any
+//! live copy, and the whole horizon `[0, t_n]` must be covered by live
+//! copies. "Short" intervals (`μ·len ≤ λ`) are always taken; the residual
+//! problem — which "long" intervals to take versus bridging uncovered gaps
+//! at `μ` per unit time — is a DAG shortest path over gap boundaries.
+//!
+//! The solver returns both the optimal cost and an explicit
+//! [`Schedule`] that passes the independent feasibility validator of
+//! `mcs-model` with exactly the same cost.
+
+use mcs_model::request::{Predecessor, SingleItemTrace};
+use mcs_model::{approx_eq, approx_le, CostModel, Schedule, ServerId};
+
+/// How a request is served in the optimal schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeDecision {
+    /// Served by a local cache interval from the same-server predecessor.
+    Cache,
+    /// Served by a transfer from a live copy.
+    Transfer,
+}
+
+/// Result of the optimal off-line solver.
+#[derive(Debug, Clone)]
+pub struct OptimalOutcome {
+    /// Optimal total cost under the supplied rates.
+    pub cost: f64,
+    /// Per-request serving decisions, aligned with the trace points.
+    pub decisions: Vec<ServeDecision>,
+    /// An explicit schedule achieving `cost`; feasible by construction and
+    /// cross-checked against the `mcs-model` validator in tests.
+    pub schedule: Schedule,
+}
+
+impl OptimalOutcome {
+    fn empty() -> Self {
+        OptimalOutcome {
+            cost: 0.0,
+            decisions: Vec::new(),
+            schedule: Schedule::new(),
+        }
+    }
+}
+
+/// Shortest-path edge provenance, for schedule reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Edge {
+    /// Bridge (or free traversal of a short-covered gap) from the previous node.
+    Bridge,
+    /// Long cache interval of request `i`, entered from node `from`.
+    Long { request: usize, from: usize },
+}
+
+/// Computes the optimal off-line cost and schedule for a single commodity.
+///
+/// For a plain data item pass the base [`CostModel`]; for a two-item
+/// package pass [`CostModel::scaled_for_package`] — this reproduces the
+/// `2α·(call alg. in [6])` of Algorithm 1, line 40.
+///
+/// Runs in `O(n²)` time and `O(n)` space for `n` trace points (the
+/// per-server predecessor scan is `O(n)` with hashing).
+///
+/// ```
+/// use mcs_model::{request::SingleItemTrace, CostModel};
+/// use mcs_offline::optimal;
+///
+/// // The paper's package sub-problem (§V-C): co-requests at
+/// // (0.8, s3), (1.4, s1), (4.0, s3) under package rates 2αμ = 2αλ = 1.6.
+/// let trace = SingleItemTrace::from_pairs(4, &[(0.8, 2), (1.4, 0), (4.0, 2)]);
+/// let pkg = CostModel::paper_example().scaled_for_package();
+/// let out = optimal(&trace, &pkg);
+/// assert!((out.cost - 8.96).abs() < 1e-9);
+/// out.schedule.validate(&trace).unwrap();
+/// ```
+pub fn optimal(trace: &SingleItemTrace, model: &CostModel) -> OptimalOutcome {
+    let n = trace.len();
+    if n == 0 {
+        return OptimalOutcome::empty();
+    }
+    let mu = model.mu();
+    let lambda = model.lambda();
+
+    // Node j sits at boundary time T[j]; node 0 is the origin placement,
+    // node i+1 is request i. Gap j spans T[j]..T[j+1], j in 0..n.
+    let mut boundary = Vec::with_capacity(n + 1);
+    boundary.push(0.0_f64);
+    boundary.extend(trace.points.iter().map(|p| p.time));
+
+    let preds = trace.predecessors();
+    // Predecessor node index of request i (start node of its cache interval).
+    let pred_node: Vec<Option<usize>> = preds
+        .iter()
+        .map(|p| match p {
+            Predecessor::Origin => Some(0),
+            Predecessor::Request(j) => Some(j + 1),
+            Predecessor::None => None,
+        })
+        .collect();
+    let interval_len =
+        |i: usize| -> f64 { boundary[i + 1] - boundary[pred_node[i].expect("has pred")] };
+
+    // Classify requests: short cache intervals are always taken.
+    let mut is_short = vec![false; n];
+    let mut is_long = vec![false; n];
+    for (i, pred) in pred_node.iter().enumerate() {
+        if pred.is_some() {
+            if approx_le(mu * interval_len(i), lambda) {
+                is_short[i] = true;
+            } else {
+                is_long[i] = true;
+            }
+        }
+    }
+
+    // Gaps already covered by an always-taken short interval.
+    let mut short_cover = vec![false; n];
+    for i in 0..n {
+        if is_short[i] {
+            let a = pred_node[i].unwrap();
+            for flag in short_cover.iter_mut().take(i + 1).skip(a) {
+                *flag = true;
+            }
+        }
+    }
+
+    // Base cost: short caches plus one pending transfer per non-short request.
+    let mut base = 0.0;
+    for (i, &short) in is_short.iter().enumerate() {
+        if short {
+            base += mu * interval_len(i);
+        } else {
+            base += lambda;
+        }
+    }
+
+    // DAG shortest path over nodes 0..=n. Long-interval edges are relaxed
+    // before the bridge edge at each node so that, on exact ties, an
+    // interval (which refunds its λ) is preferred over a bridge.
+    let mut dist = vec![f64::INFINITY; n + 1];
+    let mut parent: Vec<Option<Edge>> = vec![None; n + 1];
+    dist[0] = 0.0;
+    for j in 0..n {
+        let dj = dist[j];
+        if dj.is_infinite() {
+            continue;
+        }
+        // Long edges available from node j: every long request i whose
+        // interval already spans node j (pred_node[i] <= j <= i).
+        for i in j..n {
+            if is_long[i] && pred_node[i].unwrap() <= j {
+                let w = mu * interval_len(i) - lambda;
+                let cand = dj + w;
+                if cand < dist[i + 1] {
+                    dist[i + 1] = cand;
+                    parent[i + 1] = Some(Edge::Long {
+                        request: i,
+                        from: j,
+                    });
+                }
+            }
+        }
+        // Bridge edge j -> j+1.
+        let w = if short_cover[j] {
+            0.0
+        } else {
+            mu * (boundary[j + 1] - boundary[j])
+        };
+        if dj + w < dist[j + 1] {
+            dist[j + 1] = dj + w;
+            parent[j + 1] = Some(Edge::Bridge);
+        }
+    }
+    let cost = base + dist[n];
+
+    // ---- Reconstruction -------------------------------------------------
+    // Chosen cache-served set X = shorts ∪ longs on the shortest path;
+    // bridged gaps = bridge edges over gaps covered by nothing in X.
+    let mut in_x = is_short.clone();
+    let mut bridge_edge = vec![false; n];
+    let mut node = n;
+    while node > 0 {
+        match parent[node].expect("path reaches every node") {
+            Edge::Bridge => {
+                bridge_edge[node - 1] = true;
+                node -= 1;
+            }
+            Edge::Long { request, from } => {
+                in_x[request] = true;
+                node = from;
+            }
+        }
+    }
+
+    // Gap coverage by chosen intervals: interval of request k spans gaps
+    // pred_node[k] ..= k.
+    let mut covered_by: Vec<Option<usize>> = vec![None; n];
+    for k in 0..n {
+        if in_x[k] {
+            let a = pred_node[k].unwrap();
+            for slot in covered_by.iter_mut().take(k + 1).skip(a) {
+                slot.get_or_insert(k);
+            }
+        }
+    }
+
+    let server_of_node = |j: usize| -> ServerId {
+        if j == 0 {
+            ServerId::ORIGIN
+        } else {
+            trace.points[j - 1].server
+        }
+    };
+
+    let mut schedule = Schedule::new();
+    let mut decisions = Vec::with_capacity(n);
+
+    // Physical bridges: only where a bridge edge crosses a truly uncovered gap.
+    let mut bridged = vec![false; n];
+    for j in 0..n {
+        if bridge_edge[j] && covered_by[j].is_none() && !short_cover[j] {
+            bridged[j] = true;
+            schedule.cache(server_of_node(j), boundary[j], boundary[j + 1]);
+        }
+    }
+
+    for i in 0..n {
+        let p = trace.points[i];
+        if in_x[i] {
+            decisions.push(ServeDecision::Cache);
+            schedule.cache(p.server, boundary[pred_node[i].unwrap()], p.time);
+        } else {
+            decisions.push(ServeDecision::Transfer);
+            // Source: a chosen interval alive over the gap immediately
+            // before t_i, else the bridge copy for that gap, else (i == 0
+            // with a covered zero predecessor) the origin.
+            let source = if let Some(k) = covered_by[i] {
+                trace.points[k].server
+            } else if bridged[i] {
+                server_of_node(i)
+            } else if short_cover[i] {
+                // A short interval covers the gap; find it.
+                let k = (0..n)
+                    .find(|&k| is_short[k] && pred_node[k].unwrap() <= i && k >= i)
+                    .expect("short cover implies a covering short interval");
+                trace.points[k].server
+            } else {
+                unreachable!("gap before a transfer-served request must be covered")
+            };
+            debug_assert_ne!(
+                source, p.server,
+                "optimal path should never transfer a copy to itself"
+            );
+            schedule.transfer(source, p.server, p.time);
+        }
+    }
+
+    debug_assert!(
+        approx_eq(schedule.cost(mu, lambda).total, cost),
+        "reconstructed schedule cost {} != DP cost {}",
+        schedule.cost(mu, lambda).total,
+        cost
+    );
+
+    OptimalOutcome {
+        cost,
+        decisions,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::CostModelBuilder;
+
+    fn unit_model() -> CostModel {
+        CostModel::new(1.0, 1.0, 0.8).unwrap()
+    }
+
+    #[test]
+    fn empty_trace_costs_nothing() {
+        let trace = SingleItemTrace::from_pairs(3, &[]);
+        let out = optimal(&trace, &unit_model());
+        assert_eq!(out.cost, 0.0);
+        assert!(out.schedule.intervals.is_empty());
+        assert!(out.schedule.transfers.is_empty());
+    }
+
+    #[test]
+    fn single_request_at_origin_is_cached() {
+        // Item already at s1; keep it for t units: μ·t beats λ + bridging.
+        let trace = SingleItemTrace::from_pairs(2, &[(0.5, 0)]);
+        let out = optimal(&trace, &unit_model());
+        assert!(approx_eq(out.cost, 0.5));
+        assert_eq!(out.decisions, vec![ServeDecision::Cache]);
+        out.schedule.validate(&trace).unwrap();
+    }
+
+    #[test]
+    fn single_remote_request_bridges_then_transfers() {
+        // Request at s2 at t=0.8: cache at s1 for 0.8 then transfer — the
+        // Tr(0.8) term of the running example (before the 2α scaling).
+        let trace = SingleItemTrace::from_pairs(2, &[(0.8, 1)]);
+        let out = optimal(&trace, &unit_model());
+        assert!(approx_eq(out.cost, 0.8 + 1.0));
+        assert_eq!(out.decisions, vec![ServeDecision::Transfer]);
+        out.schedule.validate(&trace).unwrap();
+        assert!(approx_eq(out.schedule.cost(1.0, 1.0).total, out.cost));
+    }
+
+    #[test]
+    fn paper_running_example_package_cost() {
+        // Section V-C step 4: the package co-requests at (0.8, s3),
+        // (1.4, s1), (4.0, s3) under rates (2αμ, 2αλ) = (1.6, 1.6) cost
+        // C(4.0) = 8.96: s1 caches [0,1.4] (serving the 1.4 request
+        // locally), a transfer at 0.8 serves s3, whose copy is then kept
+        // over [0.8, 4.0] to serve the 4.0 request locally.
+        let trace = SingleItemTrace::from_pairs(4, &[(0.8, 2), (1.4, 0), (4.0, 2)]);
+        let pkg = CostModel::paper_example().scaled_for_package();
+        let out = optimal(&trace, &pkg);
+        assert!(
+            approx_eq(out.cost, 8.96),
+            "expected the paper's 8.96, got {}",
+            out.cost
+        );
+        assert_eq!(
+            out.decisions,
+            vec![
+                ServeDecision::Transfer,
+                ServeDecision::Cache,
+                ServeDecision::Cache
+            ]
+        );
+        out.schedule.validate(&trace).unwrap();
+        assert!(approx_eq(out.schedule.cost(1.6, 1.6).total, 8.96));
+    }
+
+    #[test]
+    fn long_interval_doubles_as_backbone() {
+        // Two requests at s1 (origin) far apart with a remote request in
+        // between: the s1 interval should span the whole horizon and source
+        // the remote transfer, beating bridge-per-gap.
+        // Requests: (1.0, s2), (10.0, s1). μ=1, λ=2.
+        let model = CostModelBuilder::new().mu(1.0).lambda(2.0).build().unwrap();
+        let trace = SingleItemTrace::from_pairs(2, &[(1.0, 1), (10.0, 0)]);
+        let out = optimal(&trace, &model);
+        // Keep s1 copy [0,10] (10μ, serves the 10.0 request locally) and
+        // transfer at 1.0 (λ): 10 + 2 = 12. The alternative — transfer both
+        // with bridging — costs 1 + 2 (first) + 9 + 2 = 14.
+        assert!(approx_eq(out.cost, 12.0));
+        out.schedule.validate(&trace).unwrap();
+    }
+
+    #[test]
+    fn dense_same_server_chain_prefers_caching() {
+        let model = CostModelBuilder::new()
+            .mu(1.0)
+            .lambda(10.0)
+            .build()
+            .unwrap();
+        let trace = SingleItemTrace::from_pairs(3, &[(1.0, 0), (2.0, 0), (3.0, 0), (4.0, 0)]);
+        let out = optimal(&trace, &model);
+        // All local: cache s1 over [0,4].
+        assert!(approx_eq(out.cost, 4.0));
+        assert!(out.decisions.iter().all(|d| *d == ServeDecision::Cache));
+        out.schedule.validate(&trace).unwrap();
+    }
+
+    #[test]
+    fn high_mu_prefers_transfers() {
+        // μ huge relative to λ: every request should be transfer-served with
+        // minimal bridging — but bridging is still μ-priced, so the optimum
+        // is λ per request plus the unavoidable μ·t_n backbone.
+        let model = CostModelBuilder::new().mu(5.0).lambda(1.0).build().unwrap();
+        let trace = SingleItemTrace::from_pairs(3, &[(1.0, 1), (2.0, 2), (3.0, 1)]);
+        let out = optimal(&trace, &model);
+        // Bridging everything would cost μ·3 + 3λ = 18, but holding the s2
+        // copy over [1,3] both serves the t=3 request locally AND covers the
+        // backbone: bridge [0,1] (5) + 2 transfers (2) + interval (10) = 17.
+        assert!(approx_eq(out.cost, 17.0));
+        assert_eq!(
+            out.decisions,
+            vec![
+                ServeDecision::Transfer,
+                ServeDecision::Transfer,
+                ServeDecision::Cache
+            ]
+        );
+        out.schedule.validate(&trace).unwrap();
+    }
+
+    #[test]
+    fn schedule_cost_always_matches_reported_cost() {
+        let model = CostModelBuilder::new().mu(2.0).lambda(3.0).build().unwrap();
+        let trace = SingleItemTrace::from_pairs(
+            4,
+            &[
+                (0.5, 1),
+                (0.8, 2),
+                (1.1, 3),
+                (1.4, 0),
+                (2.6, 1),
+                (3.2, 1),
+                (4.0, 2),
+            ],
+        );
+        let out = optimal(&trace, &model);
+        out.schedule.validate(&trace).unwrap();
+        assert!(approx_eq(
+            out.schedule.cost(model.mu(), model.lambda()).total,
+            out.cost
+        ));
+    }
+
+    #[test]
+    fn equal_boundary_short_interval_ties_choose_cache() {
+        // μ·len == λ exactly: short by the tolerant comparison.
+        let model = CostModelBuilder::new().mu(1.0).lambda(1.0).build().unwrap();
+        let trace = SingleItemTrace::from_pairs(1, &[(1.0, 0), (2.0, 0)]);
+        let out = optimal(&trace, &model);
+        assert!(approx_eq(out.cost, 2.0));
+        assert!(out.decisions.iter().all(|d| *d == ServeDecision::Cache));
+    }
+}

@@ -1,0 +1,246 @@
+//! Capacity-oriented baselines: classical cache replacement under a slot
+//! budget, priced in the paper's cost model.
+//!
+//! The paper's introduction contrasts its *cost-oriented* model ("storage
+//! capacity ... can be viewed as virtually infinite as long as user can
+//! afford it") with the classical *capacity-oriented* caching literature
+//! it cites (web caching / cooperative caching [2], [11]–[16], including
+//! Cao & Irani's cost-aware GreedyDual). This module makes that contrast
+//! measurable: each server owns `capacity` item slots, a miss transfers
+//! the item from the most recent holder (`λ`) and evicts by policy, and
+//! every resident copy still pays `μ` per unit time — so the *monetary*
+//! cost of capacity-style management can be compared directly against the
+//! cost-oriented algorithms on the same trace.
+//!
+//! Policies:
+//! * [`EvictionPolicy::Lru`] — least-recently-used.
+//! * [`EvictionPolicy::GreedyDual`] — GreedyDual with uniform fetch cost
+//!   `λ`: each resident copy carries credit `H`, misses charge the victim
+//!   floor, hits restore credit (with uniform costs this degenerates to a
+//!   LRU-like order but keeps the classic bookkeeping; the structure
+//!   matters once per-item costs differ).
+
+use std::collections::HashMap;
+
+use mcs_model::{CostModel, ItemId, RequestSeq, ServerId, TimePoint};
+
+/// Eviction policy of the capacity-oriented cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Least-recently-used.
+    Lru,
+    /// GreedyDual (Cao & Irani) with uniform fetch cost `λ`.
+    GreedyDual,
+}
+
+/// Outcome of a capacity-oriented run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityOutcome {
+    /// Total monetary cost under the paper's model (`μ`·copy-time + `λ`·misses).
+    pub cost: f64,
+    /// Item-access hits.
+    pub hits: usize,
+    /// Item-access misses (= transfers).
+    pub misses: usize,
+    /// Evictions performed.
+    pub evictions: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// When the copy landed in this cache (for μ accounting).
+    since: TimePoint,
+    /// LRU recency stamp / GreedyDual credit.
+    priority: f64,
+}
+
+/// Runs a capacity-constrained multi-item cache fleet over a request
+/// sequence. Every server starts empty except the origin, which holds all
+/// items (origin slots are unbounded — it models the backing store and
+/// pays `μ` per resident item like everyone else).
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+pub fn capacity_run(
+    seq: &RequestSeq,
+    model: &CostModel,
+    capacity: usize,
+    policy: EvictionPolicy,
+) -> CapacityOutcome {
+    assert!(capacity >= 1, "need at least one slot per server");
+    let mu = model.mu();
+    let lambda = model.lambda();
+    let horizon = seq.horizon();
+
+    // (server, item) → slot; origin is special-cased.
+    let mut caches: HashMap<ServerId, HashMap<ItemId, Slot>> = HashMap::new();
+    let mut origin_items: HashMap<ItemId, TimePoint> =
+        (0..seq.items()).map(|i| (ItemId(i), 0.0)).collect();
+    // Most recent holder of each item (the transfer source).
+    let mut lru_clock = 0.0_f64;
+    let mut inflation = 0.0_f64; // GreedyDual L value
+
+    let mut cost = 0.0;
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    let mut evictions = 0usize;
+
+    for r in seq.requests() {
+        lru_clock += 1.0;
+        for &item in &r.items {
+            if r.server == ServerId::ORIGIN {
+                // The origin always holds everything.
+                hits += 1;
+                continue;
+            }
+            let cache = caches.entry(r.server).or_default();
+            if let Some(slot) = cache.get_mut(&item) {
+                hits += 1;
+                slot.priority = match policy {
+                    EvictionPolicy::Lru => lru_clock,
+                    EvictionPolicy::GreedyDual => inflation + lambda,
+                };
+                continue;
+            }
+            // Miss: fetch (λ) and insert, evicting if full.
+            misses += 1;
+            cost += lambda;
+            if cache.len() >= capacity {
+                let (&victim, &vslot) = cache
+                    .iter()
+                    .min_by(|a, b| {
+                        a.1.priority
+                            .partial_cmp(&b.1.priority)
+                            .expect("finite priorities")
+                            .then(a.0.cmp(b.0))
+                    })
+                    .expect("cache non-empty");
+                if policy == EvictionPolicy::GreedyDual {
+                    inflation = vslot.priority;
+                }
+                // Settle the evicted copy's residence cost.
+                cost += mu * (r.time - vslot.since);
+                cache.remove(&victim);
+                evictions += 1;
+            }
+            let priority = match policy {
+                EvictionPolicy::Lru => lru_clock,
+                EvictionPolicy::GreedyDual => inflation + lambda,
+            };
+            cache.insert(
+                item,
+                Slot {
+                    since: r.time,
+                    priority,
+                },
+            );
+        }
+    }
+
+    // Settle residence to the horizon: edge caches and the origin copies.
+    for cache in caches.values() {
+        for slot in cache.values() {
+            cost += mu * (horizon - slot.since);
+        }
+    }
+    for (_, since) in origin_items.drain() {
+        cost += mu * (horizon - since);
+    }
+
+    CapacityOutcome {
+        cost,
+        hits,
+        misses,
+        evictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::RequestSeqBuilder;
+
+    fn model() -> CostModel {
+        // Transfer-heavy regime: slots that avoid re-fetches pay off.
+        CostModel::new(1.0, 5.0, 0.8).unwrap()
+    }
+
+    /// Requests cycling through 3 items at one edge server.
+    fn cycling_seq() -> RequestSeq {
+        let mut b = RequestSeqBuilder::new(2, 3);
+        let mut t = 0.0;
+        for i in 0..12 {
+            t += 1.0;
+            b = b.push(1u32, t, [(i % 3) as u32]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn capacity_one_thrashes_capacity_three_hits() {
+        let seq = cycling_seq();
+        let tight = capacity_run(&seq, &model(), 1, EvictionPolicy::Lru);
+        let roomy = capacity_run(&seq, &model(), 3, EvictionPolicy::Lru);
+        // With one slot every access misses; with three the working set fits.
+        assert_eq!(tight.hits, 0);
+        assert_eq!(tight.misses, 12);
+        assert_eq!(roomy.misses, 3);
+        assert_eq!(roomy.hits, 9);
+        assert!(roomy.cost < tight.cost);
+        assert!(tight.evictions > 0);
+        assert_eq!(roomy.evictions, 0);
+    }
+
+    #[test]
+    fn origin_requests_always_hit() {
+        let seq = RequestSeqBuilder::new(2, 1)
+            .push(0u32, 1.0, [0])
+            .push(0u32, 2.0, [0])
+            .build()
+            .unwrap();
+        let out = capacity_run(&seq, &model(), 1, EvictionPolicy::Lru);
+        assert_eq!(out.hits, 2);
+        assert_eq!(out.misses, 0);
+    }
+
+    #[test]
+    fn greedy_dual_and_lru_account_every_access() {
+        // Under uniform λ GreedyDual orders ~like recency but its credit
+        // ties break differently, so hit profiles may diverge (here GD's
+        // tie-break actually salvages hits on the cyclic pattern that
+        // defeats pure LRU). Both must account for every access.
+        let seq = cycling_seq();
+        let lru = capacity_run(&seq, &model(), 2, EvictionPolicy::Lru);
+        let gd = capacity_run(&seq, &model(), 2, EvictionPolicy::GreedyDual);
+        assert_eq!(lru.hits + lru.misses, 12);
+        assert_eq!(gd.hits + gd.misses, 12);
+        // Cyclic pattern of 3 items through 2 LRU slots: total thrash.
+        assert_eq!(lru.hits, 0);
+        assert!(gd.hits >= lru.hits);
+    }
+
+    #[test]
+    fn cost_oriented_optimal_beats_capacity_oriented_on_money() {
+        // The paper's core thesis: on the monetary metric, cost-oriented
+        // scheduling beats slot-managed caching.
+        let seq = cycling_seq();
+        let m = model();
+        let capacity = capacity_run(&seq, &m, 2, EvictionPolicy::Lru);
+        let optimal_sum: f64 = (0..seq.items())
+            .map(|i| mcs_offline::optimal(&seq.item_trace(ItemId(i)), &m).cost)
+            .sum();
+        assert!(
+            optimal_sum < capacity.cost,
+            "optimal {optimal_sum} should beat capacity-oriented {}",
+            capacity.cost
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let seq = cycling_seq();
+        let _ = capacity_run(&seq, &model(), 0, EvictionPolicy::Lru);
+    }
+}

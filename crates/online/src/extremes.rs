@@ -1,0 +1,154 @@
+//! The two trivial on-line policies bracketing ski-rental.
+//!
+//! * [`always_transfer`] — keep nothing but the moving backbone copy;
+//!   every remote request pays a transfer. Optimal when `λ ≪ μ`.
+//! * [`cache_everywhere`] — never drop a delivered copy; every server pays
+//!   caching from its first touch to the horizon. Optimal when `μ ≪ λ`.
+//!
+//! Both emit feasible schedules; the harness uses them to show where the
+//! ski-rental hedge wins (the E10 table).
+
+use std::collections::HashMap;
+
+use mcs_model::request::SingleItemTrace;
+use mcs_model::{CostModel, Schedule, ServerId, TimePoint};
+
+use crate::ski_rental::OnlineOutcome;
+
+/// Keep only the backbone (most recent request's copy); transfer on every
+/// remote request.
+pub fn always_transfer(trace: &SingleItemTrace, model: &CostModel) -> OnlineOutcome {
+    let mu = model.mu();
+    let lambda = model.lambda();
+    let mut schedule = Schedule::new();
+    let mut cost = 0.0;
+    let mut transfers = 0usize;
+    let mut hits = 0usize;
+
+    let mut backbone = ServerId::ORIGIN;
+    let mut backbone_since: TimePoint = 0.0;
+
+    for p in &trace.points {
+        if p.server == backbone {
+            hits += 1;
+        } else {
+            // Settle the old backbone epoch, transfer, move the backbone.
+            cost += mu * (p.time - backbone_since);
+            schedule.cache(backbone, backbone_since, p.time);
+            schedule.transfer(backbone, p.server, p.time);
+            cost += lambda;
+            transfers += 1;
+            backbone = p.server;
+            backbone_since = p.time;
+        }
+    }
+    // Final epoch up to the horizon.
+    if let Some(last) = trace.points.last() {
+        if last.time > backbone_since {
+            cost += mu * (last.time - backbone_since);
+            schedule.cache(backbone, backbone_since, last.time);
+        }
+    }
+
+    OnlineOutcome {
+        cost,
+        transfers,
+        hits,
+        schedule,
+    }
+}
+
+/// Never drop a copy: each touched server caches from first delivery to
+/// the horizon.
+pub fn cache_everywhere(trace: &SingleItemTrace, model: &CostModel) -> OnlineOutcome {
+    let mu = model.mu();
+    let lambda = model.lambda();
+    let mut first_touch: HashMap<ServerId, TimePoint> = HashMap::new();
+    first_touch.insert(ServerId::ORIGIN, 0.0);
+
+    let mut schedule = Schedule::new();
+    let mut cost = 0.0;
+    let mut transfers = 0usize;
+    let mut hits = 0usize;
+    let mut last_server = ServerId::ORIGIN;
+
+    for p in &trace.points {
+        if let std::collections::hash_map::Entry::Vacant(e) = first_touch.entry(p.server) {
+            schedule.transfer(last_server, p.server, p.time);
+            cost += lambda;
+            transfers += 1;
+            e.insert(p.time);
+        } else {
+            hits += 1;
+        }
+        last_server = p.server;
+    }
+    let horizon = trace.points.last().map_or(0.0, |p| p.time);
+    for (s, since) in first_touch {
+        if horizon > since {
+            cost += mu * (horizon - since);
+            schedule.cache(s, since, horizon);
+        }
+    }
+
+    OnlineOutcome {
+        cost,
+        transfers,
+        hits,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::approx_eq;
+
+    #[test]
+    fn always_transfer_costs_backbone_plus_misses() {
+        let trace = SingleItemTrace::from_pairs(3, &[(1.0, 1), (2.0, 2), (3.0, 1)]);
+        let model = CostModel::paper_example();
+        let out = always_transfer(&trace, &model);
+        // Backbone sweeps the whole horizon (3μ) plus 3 transfers.
+        assert!(approx_eq(out.cost, 3.0 + 3.0));
+        assert_eq!(out.transfers, 3);
+        out.schedule.validate(&trace).unwrap();
+        assert!(approx_eq(out.schedule.cost(1.0, 1.0).total, out.cost));
+    }
+
+    #[test]
+    fn cache_everywhere_transfers_once_per_server() {
+        let trace = SingleItemTrace::from_pairs(3, &[(1.0, 1), (2.0, 2), (3.0, 1), (3.5, 2)]);
+        let model = CostModel::paper_example();
+        let out = cache_everywhere(&trace, &model);
+        assert_eq!(out.transfers, 2);
+        assert_eq!(out.hits, 2);
+        // s1: [0,3.5], s2: [1,3.5], s3: [2,3.5].
+        assert!(approx_eq(out.cost, 3.5 + 2.5 + 1.5 + 2.0));
+        out.schedule.validate(&trace).unwrap();
+        assert!(approx_eq(out.schedule.cost(1.0, 1.0).total, out.cost));
+    }
+
+    #[test]
+    fn extremes_bracket_by_regime() {
+        use crate::ski_rental::ski_rental;
+        // Transfer-cheap regime: always_transfer should beat cache_everywhere.
+        let cheap_transfer = CostModel::new(10.0, 0.1, 0.8).unwrap();
+        // Cache-cheap regime: the reverse.
+        let cheap_cache = CostModel::new(0.05, 10.0, 0.8).unwrap();
+        let pts: Vec<(f64, u32)> = (1..=10).map(|i| (i as f64, (i % 3) as u32)).collect();
+        let trace = SingleItemTrace::from_pairs(3, &pts);
+
+        let at = always_transfer(&trace, &cheap_transfer).cost;
+        let ce = cache_everywhere(&trace, &cheap_transfer).cost;
+        assert!(at < ce);
+
+        let at = always_transfer(&trace, &cheap_cache).cost;
+        let ce = cache_everywhere(&trace, &cheap_cache).cost;
+        assert!(ce < at);
+
+        // Ski-rental is never worse than twice the better extreme here.
+        let sr = ski_rental(&trace, &cheap_cache).cost;
+        assert!(sr <= 2.0 * ce.min(at) + 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! The discrete-event sweep: schedule and trace events grouped by time
+//! instant, in deterministic order.
+
+use mcs_model::request::SingleItemTrace;
+use mcs_model::time::total_cmp;
+use mcs_model::{Schedule, ServerId, TimePoint};
+
+/// One event in the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A cache interval opens at a server (index into `schedule.intervals`).
+    IntervalStart(usize),
+    /// A cache interval closes (index into `schedule.intervals`).
+    IntervalEnd(usize),
+    /// A transfer fires (index into `schedule.transfers`).
+    Transfer(usize),
+    /// A request must be served (index into `trace.points`).
+    Request(usize),
+}
+
+/// All events at one time instant, pre-partitioned by kind.
+#[derive(Debug, Clone, Default)]
+pub struct Instant {
+    /// The shared time.
+    pub time: TimePoint,
+    /// Intervals opening here.
+    pub starts: Vec<usize>,
+    /// Transfers firing here.
+    pub transfers: Vec<usize>,
+    /// Requests due here.
+    pub requests: Vec<usize>,
+    /// Intervals closing here.
+    pub ends: Vec<usize>,
+}
+
+/// Builds the time-grouped event timeline for a schedule/trace pair.
+///
+/// Times within `EPSILON` of each other are merged into one instant so
+/// that the standard-form convention — transfers, servings and interval
+/// boundaries coinciding at request times — resolves consistently.
+pub fn timeline(schedule: &Schedule, trace: &SingleItemTrace) -> Vec<Instant> {
+    let mut events: Vec<(TimePoint, Event)> = Vec::new();
+    for (i, iv) in schedule.intervals.iter().enumerate() {
+        events.push((iv.span.start, Event::IntervalStart(i)));
+        events.push((iv.span.end, Event::IntervalEnd(i)));
+    }
+    for (i, tr) in schedule.transfers.iter().enumerate() {
+        events.push((tr.time, Event::Transfer(i)));
+    }
+    for (i, p) in trace.points.iter().enumerate() {
+        events.push((p.time, Event::Request(i)));
+    }
+    events.sort_by(|a, b| total_cmp(a.0, b.0));
+
+    let mut out: Vec<Instant> = Vec::new();
+    for (t, ev) in events {
+        let fresh = match out.last() {
+            Some(last) => (t - last.time).abs() > mcs_model::EPSILON,
+            None => true,
+        };
+        if fresh {
+            out.push(Instant {
+                time: t,
+                ..Default::default()
+            });
+        }
+        let slot = out.last_mut().expect("just ensured non-empty");
+        match ev {
+            Event::IntervalStart(i) => slot.starts.push(i),
+            Event::Transfer(i) => slot.transfers.push(i),
+            Event::Request(i) => slot.requests.push(i),
+            Event::IntervalEnd(i) => slot.ends.push(i),
+        }
+    }
+    out
+}
+
+/// The live-copy state of the network during the sweep.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Number of open cache intervals per server.
+    open: Vec<u32>,
+}
+
+impl Network {
+    /// A network of `m` servers with no live copies.
+    pub fn new(servers: u32) -> Self {
+        Network {
+            open: vec![0; servers as usize],
+        }
+    }
+
+    /// True if any interval is open at `server`.
+    #[inline]
+    pub fn has_copy(&self, server: ServerId) -> bool {
+        self.open[server.index()] > 0
+    }
+
+    /// Total number of live copies (open intervals) network-wide.
+    pub fn total_copies(&self) -> u32 {
+        self.open.iter().sum()
+    }
+
+    /// Opens an interval at `server`.
+    pub fn open(&mut self, server: ServerId) {
+        self.open[server.index()] += 1;
+    }
+
+    /// Closes an interval at `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no interval is open there — the replay validates schedule
+    /// well-formedness before closing.
+    pub fn close(&mut self, server: ServerId) {
+        assert!(
+            self.open[server.index()] > 0,
+            "closing an interval at {server} with none open"
+        );
+        self.open[server.index()] -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_groups_coincident_events() {
+        let trace = SingleItemTrace::from_pairs(2, &[(1.0, 1)]);
+        let mut s = Schedule::new();
+        s.cache(ServerId(0), 0.0, 1.0)
+            .transfer(ServerId(0), ServerId(1), 1.0);
+        let tl = timeline(&s, &trace);
+        // Instants: t=0 (start), t=1 (transfer + request + end).
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].starts, vec![0]);
+        assert_eq!(tl[1].transfers, vec![0]);
+        assert_eq!(tl[1].requests, vec![0]);
+        assert_eq!(tl[1].ends, vec![0]);
+    }
+
+    #[test]
+    fn timeline_is_time_sorted() {
+        let trace = SingleItemTrace::from_pairs(2, &[(0.5, 0), (2.0, 1)]);
+        let mut s = Schedule::new();
+        s.cache(ServerId(0), 0.0, 2.0)
+            .transfer(ServerId(0), ServerId(1), 2.0);
+        let tl = timeline(&s, &trace);
+        for w in tl.windows(2) {
+            assert!(w[0].time < w[1].time);
+        }
+    }
+
+    #[test]
+    fn network_tracks_open_counts() {
+        let mut n = Network::new(3);
+        assert!(!n.has_copy(ServerId(1)));
+        n.open(ServerId(1));
+        n.open(ServerId(1));
+        n.open(ServerId(2));
+        assert!(n.has_copy(ServerId(1)));
+        assert_eq!(n.total_copies(), 3);
+        n.close(ServerId(1));
+        assert!(n.has_copy(ServerId(1)));
+        n.close(ServerId(1));
+        assert!(!n.has_copy(ServerId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "none open")]
+    fn closing_unopened_interval_panics() {
+        let mut n = Network::new(2);
+        n.close(ServerId(0));
+    }
+}

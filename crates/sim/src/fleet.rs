@@ -1,0 +1,157 @@
+//! Fleet-level replay: validate a complete [`DpGreedyReport`] against its
+//! request sequence.
+//!
+//! Every explicit schedule inside the report (package schedules of the
+//! packed pairs, per-item schedules of the unpacked singletons) is
+//! replayed through the event engine and its cost re-derived; the greedy
+//! singleton costs of Phase 2 are bookkeeping upper bounds (each arm is
+//! individually realisable — see the `dp-greedy` docs) and are carried
+//! through unchanged but reported separately.
+
+use dp_greedy::two_phase::DpGreedyReport;
+use mcs_model::{CostModel, RequestSeq};
+
+use crate::replay::{replay, ReplayError};
+
+/// One replayed commodity.
+#[derive(Debug, Clone)]
+pub struct CommodityCheck {
+    /// Human-readable label (`"package(d1,d2)"`, `"item d3"`).
+    pub label: String,
+    /// Cost reported by the algorithm.
+    pub reported: f64,
+    /// Cost re-derived by replay.
+    pub replayed: f64,
+    /// Transfers executed during replay.
+    pub transfers: usize,
+}
+
+/// Aggregate outcome of a fleet replay.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-commodity checks (everything with an explicit schedule).
+    pub commodities: Vec<CommodityCheck>,
+    /// Total replayed cost over explicit schedules.
+    pub replayed_cost: f64,
+    /// Greedy bookkeeping cost carried from the report (no schedule).
+    pub bookkept_cost: f64,
+    /// `replayed + bookkept` — must equal the report's total.
+    pub total_cost: f64,
+}
+
+/// Replays every schedule in a DP_Greedy report and cross-checks costs.
+///
+/// # Errors
+///
+/// Returns the first [`ReplayError`] if any schedule is physically
+/// infeasible, or a synthesized error if a replayed cost disagrees with
+/// the reported one beyond tolerance.
+pub fn replay_dp_greedy(
+    seq: &RequestSeq,
+    report: &DpGreedyReport,
+    model: &CostModel,
+) -> Result<FleetReport, ReplayError> {
+    let mut commodities = Vec::new();
+    let mut replayed_cost = 0.0;
+    let mut bookkept_cost = 0.0;
+
+    let pkg_model = model.scaled_for_package();
+    for pair in &report.pairs {
+        let co = seq.package_trace(pair.a, pair.b);
+        let rep = replay(&pair.package_schedule, &co)?;
+        let replayed = rep.cost(pkg_model.mu(), pkg_model.lambda());
+        if (replayed - pair.package_cost).abs() > 1e-6 {
+            return Err(ReplayError {
+                time: co.points.last().map_or(0.0, |p| p.time),
+                reason: format!(
+                    "package ({}, {}): replayed {replayed} != reported {}",
+                    pair.a, pair.b, pair.package_cost
+                ),
+            });
+        }
+        commodities.push(CommodityCheck {
+            label: format!("package({}, {})", pair.a, pair.b),
+            reported: pair.package_cost,
+            replayed,
+            transfers: rep.transfers,
+        });
+        replayed_cost += replayed;
+        bookkept_cost += pair.a_singleton_cost + pair.b_singleton_cost;
+    }
+
+    for s in &report.singletons {
+        let trace = seq.item_trace(s.item);
+        let rep = replay(&s.schedule, &trace)?;
+        let replayed = rep.cost(model.mu(), model.lambda());
+        if (replayed - s.cost).abs() > 1e-6 {
+            return Err(ReplayError {
+                time: trace.points.last().map_or(0.0, |p| p.time),
+                reason: format!(
+                    "item {}: replayed {replayed} != reported {}",
+                    s.item, s.cost
+                ),
+            });
+        }
+        commodities.push(CommodityCheck {
+            label: format!("item {}", s.item),
+            reported: s.cost,
+            replayed,
+            transfers: rep.transfers,
+        });
+        replayed_cost += replayed;
+    }
+
+    Ok(FleetReport {
+        commodities,
+        replayed_cost,
+        bookkept_cost,
+        total_cost: replayed_cost + bookkept_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
+    use mcs_model::RequestSeqBuilder;
+
+    fn paper_sequence() -> RequestSeq {
+        RequestSeqBuilder::new(4, 2)
+            .push(1u32, 0.5, [0])
+            .push(2u32, 0.8, [0, 1])
+            .push(3u32, 1.1, [1])
+            .push(0u32, 1.4, [0, 1])
+            .push(1u32, 2.6, [0])
+            .push(1u32, 3.2, [1])
+            .push(2u32, 4.0, [0, 1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fleet_replay_confirms_the_running_example() {
+        let seq = paper_sequence();
+        let model = CostModel::paper_example();
+        let report = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.4));
+        let fleet = replay_dp_greedy(&seq, &report, &model).expect("feasible fleet");
+        assert_eq!(fleet.commodities.len(), 1); // one package, no singletons
+        assert!((fleet.replayed_cost - 8.96).abs() < 1e-9);
+        assert!((fleet.bookkept_cost - 6.0).abs() < 1e-9);
+        assert!((fleet.total_cost - report.total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_replay_covers_singletons_too() {
+        let seq = paper_sequence();
+        let model = CostModel::paper_example();
+        // θ = 0.99: nothing packs, both items replay as singletons.
+        let report = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.99));
+        let fleet = replay_dp_greedy(&seq, &report, &model).unwrap();
+        assert_eq!(fleet.commodities.len(), 2);
+        assert_eq!(fleet.bookkept_cost, 0.0);
+        assert!((fleet.total_cost - report.total_cost).abs() < 1e-9);
+        for c in &fleet.commodities {
+            assert!((c.reported - c.replayed).abs() < 1e-9, "{}", c.label);
+        }
+    }
+}

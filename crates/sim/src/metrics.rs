@@ -1,0 +1,88 @@
+//! Occupancy and traffic metrics accumulated during replay.
+
+use serde::{Deserialize, Serialize};
+
+use mcs_model::ServerId;
+
+/// Metrics of one replay run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayMetrics {
+    /// Maximum concurrent live copies observed.
+    pub peak_copies: u32,
+    /// Time-weighted mean copy count (total copy-time / horizon swept).
+    pub mean_copies: f64,
+    /// Transfers received per server.
+    pub transfers_in: Vec<usize>,
+    /// Transfers sourced per server.
+    pub transfers_out: Vec<usize>,
+    total_copy_time: f64,
+    total_time: f64,
+}
+
+impl ReplayMetrics {
+    /// Fresh metrics for `m` servers.
+    pub fn new(servers: u32) -> Self {
+        ReplayMetrics {
+            peak_copies: 0,
+            mean_copies: 0.0,
+            transfers_in: vec![0; servers as usize],
+            transfers_out: vec![0; servers as usize],
+            total_copy_time: 0.0,
+            total_time: 0.0,
+        }
+    }
+
+    /// Records a swept gap with a constant copy count.
+    pub fn observe_gap(&mut self, copies: u32, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        self.peak_copies = self.peak_copies.max(copies);
+        self.total_copy_time += copies as f64 * dt;
+        self.total_time += dt;
+        self.mean_copies = if self.total_time > 0.0 {
+            self.total_copy_time / self.total_time
+        } else {
+            0.0
+        };
+    }
+
+    /// Records one transfer.
+    pub fn observe_transfer(&mut self, from: ServerId, to: ServerId) {
+        self.transfers_out[from.index()] += 1;
+        self.transfers_in[to.index()] += 1;
+    }
+
+    /// Total transfers observed.
+    pub fn total_transfers(&self) -> usize {
+        self.transfers_in.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_observation_tracks_peak_and_mean() {
+        let mut m = ReplayMetrics::new(2);
+        m.observe_gap(1, 1.0);
+        m.observe_gap(3, 1.0);
+        assert_eq!(m.peak_copies, 3);
+        assert!((m.mean_copies - 2.0).abs() < 1e-12);
+        // Zero-length gaps are ignored.
+        m.observe_gap(100, 0.0);
+        assert_eq!(m.peak_copies, 3);
+    }
+
+    #[test]
+    fn transfer_counting() {
+        let mut m = ReplayMetrics::new(3);
+        m.observe_transfer(ServerId(0), ServerId(1));
+        m.observe_transfer(ServerId(0), ServerId(2));
+        m.observe_transfer(ServerId(2), ServerId(1));
+        assert_eq!(m.transfers_out, vec![2, 0, 1]);
+        assert_eq!(m.transfers_in, vec![0, 2, 1]);
+        assert_eq!(m.total_transfers(), 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! The zone-partitioned city: a rectangular grid of cache-server zones with
+//! weighted hotspots.
+//!
+//! The paper partitions Shenzhen into ~50 parts, "each maintaining a data
+//! server to serve the user requests made in the taxis". Movement in a
+//! metropolis is not uniform: commercial centres attract traffic [21]. We
+//! model that with a handful of weighted hotspot zones; the popularity of
+//! any zone decays with its grid distance to the hotspots, and taxis chase
+//! sampled hotspot targets (see [`crate::mobility`]).
+
+use serde::{Deserialize, Serialize};
+
+use mcs_model::ServerId;
+
+/// A rectangular grid of zones; zone `(row, col)` maps to server
+/// `row * cols + col`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CityGrid {
+    /// Number of grid rows.
+    pub rows: u32,
+    /// Number of grid columns.
+    pub cols: u32,
+}
+
+/// A hotspot: an attractive zone with a sampling weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hotspot {
+    /// Zone index of the hotspot.
+    pub zone: u32,
+    /// Relative attraction weight (> 0).
+    pub weight: f64,
+}
+
+impl CityGrid {
+    /// The paper's layout: 50 zones (10 × 5).
+    pub fn shenzhen_like() -> Self {
+        CityGrid { rows: 5, cols: 10 }
+    }
+
+    /// Total zone (= server) count `m`.
+    #[inline]
+    pub fn zones(&self) -> u32 {
+        self.rows * self.cols
+    }
+
+    /// `(row, col)` of a zone index.
+    #[inline]
+    pub fn coords(&self, zone: u32) -> (u32, u32) {
+        (zone / self.cols, zone % self.cols)
+    }
+
+    /// Zone index of `(row, col)`.
+    #[inline]
+    pub fn zone_at(&self, row: u32, col: u32) -> u32 {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// The server hosted by a zone.
+    #[inline]
+    pub fn server(&self, zone: u32) -> ServerId {
+        ServerId(zone)
+    }
+
+    /// Manhattan distance between two zones.
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        ar.abs_diff(br) + ac.abs_diff(bc)
+    }
+
+    /// One grid step from `zone` toward `target` (row first, then column);
+    /// returns `zone` when already there.
+    pub fn step_toward(&self, zone: u32, target: u32) -> u32 {
+        let (mut r, mut c) = self.coords(zone);
+        let (tr, tc) = self.coords(target);
+        if r != tr {
+            r = if tr > r { r + 1 } else { r - 1 };
+        } else if c != tc {
+            c = if tc > c { c + 1 } else { c - 1 };
+        }
+        self.zone_at(r, c)
+    }
+
+    /// Default hotspot layout: `count` hotspots spread along the grid
+    /// diagonal with geometrically decaying weights — a primary CBD plus
+    /// secondary centres, echoing the commercial-centre analysis of [21].
+    pub fn default_hotspots(&self, count: u32) -> Vec<Hotspot> {
+        let count = count.max(1).min(self.zones());
+        (0..count)
+            .map(|i| {
+                let row = (i * self.rows.saturating_sub(1)) / count.max(1);
+                let col = (i * self.cols.saturating_sub(1)) / count.max(1);
+                Hotspot {
+                    zone: self.zone_at(row.min(self.rows - 1), col.min(self.cols - 1)),
+                    weight: 1.0 / (1.0 + i as f64),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shenzhen_like_has_50_zones() {
+        let g = CityGrid::shenzhen_like();
+        assert_eq!(g.zones(), 50);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let g = CityGrid { rows: 4, cols: 7 };
+        for z in 0..g.zones() {
+            let (r, c) = g.coords(z);
+            assert_eq!(g.zone_at(r, c), z);
+            assert!(r < 4 && c < 7);
+        }
+    }
+
+    #[test]
+    fn distance_is_manhattan() {
+        let g = CityGrid { rows: 4, cols: 7 };
+        let a = g.zone_at(0, 0);
+        let b = g.zone_at(3, 6);
+        assert_eq!(g.distance(a, b), 9);
+        assert_eq!(g.distance(a, a), 0);
+        assert_eq!(g.distance(a, b), g.distance(b, a));
+    }
+
+    #[test]
+    fn step_toward_decreases_distance() {
+        let g = CityGrid { rows: 5, cols: 10 };
+        let target = g.zone_at(4, 9);
+        let mut z = g.zone_at(0, 0);
+        let mut steps = 0;
+        while z != target {
+            let next = g.step_toward(z, target);
+            assert_eq!(g.distance(next, target) + 1, g.distance(z, target));
+            z = next;
+            steps += 1;
+            assert!(steps <= 13, "walk should terminate");
+        }
+        assert_eq!(steps, 13);
+        assert_eq!(g.step_toward(target, target), target);
+    }
+
+    #[test]
+    fn default_hotspots_are_in_range_with_positive_weights() {
+        let g = CityGrid::shenzhen_like();
+        let hs = g.default_hotspots(5);
+        assert_eq!(hs.len(), 5);
+        for h in &hs {
+            assert!(h.zone < g.zones());
+            assert!(h.weight > 0.0);
+        }
+        // Primary hotspot dominates.
+        assert!(hs[0].weight > hs[4].weight);
+    }
+
+    #[test]
+    fn hotspot_count_is_clamped() {
+        let g = CityGrid { rows: 1, cols: 2 };
+        assert_eq!(g.default_hotspots(10).len(), 2);
+        assert_eq!(g.default_hotspots(0).len(), 1);
+    }
+}

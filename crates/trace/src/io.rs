@@ -1,0 +1,170 @@
+//! Trace persistence: JSON import/export of request sequences with their
+//! generation provenance.
+//!
+//! A [`TraceFile`] bundles the validated [`RequestSeq`] with the
+//! [`WorkloadConfig`] that generated it (when synthetic), so experiment
+//! outputs can always be traced back to their seed. Real traces imported
+//! from elsewhere simply omit the config.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use mcs_model::RequestSeq;
+
+use crate::workload::WorkloadConfig;
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A persisted trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceFile {
+    /// Format version (for forward compatibility checks).
+    pub version: u32,
+    /// Generation provenance, if synthetic.
+    pub config: Option<WorkloadConfig>,
+    /// The request sequence.
+    pub sequence: RequestSeq,
+}
+
+/// IO/format errors.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialisation failure.
+    Json(serde_json::Error),
+    /// Version mismatch.
+    Version {
+        /// Version found in the file.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io: {e}"),
+            TraceIoError::Json(e) => write!(f, "trace json: {e}"),
+            TraceIoError::Version { found } => write!(
+                f,
+                "trace format version {found} unsupported (expected {FORMAT_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Json(e)
+    }
+}
+
+impl TraceFile {
+    /// Wraps a synthetic trace with its provenance.
+    pub fn synthetic(config: WorkloadConfig, sequence: RequestSeq) -> Self {
+        TraceFile {
+            version: FORMAT_VERSION,
+            config: Some(config),
+            sequence,
+        }
+    }
+
+    /// Wraps an external trace.
+    pub fn external(sequence: RequestSeq) -> Self {
+        TraceFile {
+            version: FORMAT_VERSION,
+            config: None,
+            sequence,
+        }
+    }
+
+    /// Serialises to a writer as pretty JSON.
+    pub fn write_to<W: Write>(&self, w: W) -> Result<(), TraceIoError> {
+        serde_json::to_writer_pretty(w, self)?;
+        Ok(())
+    }
+
+    /// Deserialises from a reader, checking the version.
+    pub fn read_from<R: Read>(r: R) -> Result<Self, TraceIoError> {
+        let file: TraceFile = serde_json::from_reader(r)?;
+        if file.version != FORMAT_VERSION {
+            return Err(TraceIoError::Version {
+                found: file.version,
+            });
+        }
+        Ok(file)
+    }
+
+    /// Saves to a path.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+        let f = std::fs::File::create(path)?;
+        self.write_to(std::io::BufWriter::new(f))
+    }
+
+    /// Loads from a path.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceIoError> {
+        let f = std::fs::File::open(path)?;
+        Self::read_from(std::io::BufReader::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::generate;
+
+    #[test]
+    fn round_trip_through_memory() {
+        let cfg = WorkloadConfig::small(3);
+        let seq = generate(&cfg);
+        let file = TraceFile::synthetic(cfg, seq);
+        let mut buf = Vec::new();
+        file.write_to(&mut buf).unwrap();
+        let back = TraceFile::read_from(buf.as_slice()).unwrap();
+        assert_eq!(file, back);
+    }
+
+    #[test]
+    fn round_trip_through_disk() {
+        let cfg = WorkloadConfig::small(5);
+        let seq = generate(&cfg);
+        let file = TraceFile::synthetic(cfg, seq);
+        let dir = std::env::temp_dir().join("dpg-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        file.save(&path).unwrap();
+        let back = TraceFile::load(&path).unwrap();
+        assert_eq!(file, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let cfg = WorkloadConfig::small(1);
+        let seq = generate(&cfg);
+        let mut file = TraceFile::external(seq);
+        file.version = 99;
+        let mut buf = Vec::new();
+        serde_json::to_writer(&mut buf, &file).unwrap();
+        let err = TraceFile::read_from(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Version { found: 99 }));
+    }
+
+    #[test]
+    fn corrupt_json_is_an_error() {
+        let err = TraceFile::read_from(&b"{not json"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Json(_)));
+        assert!(err.to_string().contains("json"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # mcs-trace — synthetic metropolitan taxi workload
+//!
+//! The paper evaluates on GPS taxi traces from Shenzhen [20]: the city is
+//! partitioned into ~50 zones, each hosting a cache server; 10 taxis are
+//! selected, each associated with one distinct data item; and the request
+//! trajectory of an item is the movement trajectory of its taxi. We do not
+//! have that proprietary dataset, so this crate generates the closest
+//! synthetic equivalent (see DESIGN.md §3):
+//!
+//! * [`city`] — a rectangular zone grid with weighted *hotspots*
+//!   (commercial centres [21]); zone popularity decays with hotspot
+//!   distance, producing the skewed spatial request distribution of the
+//!   paper's Fig. 9.
+//! * [`mobility`] — taxis move between zones drawn toward sampled hotspot
+//!   targets; taxi *pairs* share episodes of joint travel with a
+//!   configurable affinity, producing the spread of pair frequencies and
+//!   Jaccard similarities of the paper's Fig. 10.
+//! * [`workload`] — turns trajectories into a validated
+//!   [`mcs_model::RequestSeq`]: per time step, co-located requesting taxis
+//!   form one multi-item request (this is where item correlation comes
+//!   from — items whose taxis ride together are accessed together).
+//! * [`stats`] — zone histograms, pair frequency/Jaccard spectra and
+//!   summary statistics used by the figure runners.
+//!
+//! Everything is seeded (`rand_chacha`) and fully deterministic for a
+//! given [`workload::WorkloadConfig`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod city;
+pub mod io;
+pub mod mobility;
+pub mod stats;
+pub mod workload;
+
+pub use city::CityGrid;
+pub use stats::TraceStats;
+pub use workload::{generate, WorkloadConfig};

@@ -1,0 +1,187 @@
+//! Taxi mobility: hotspot-chasing walks with paired travel episodes.
+//!
+//! Each taxi repeatedly samples a hotspot target (weight-proportional),
+//! walks toward it one zone per time step (with occasional random detours)
+//! and, on arrival, dwells briefly before picking the next target.
+//!
+//! Taxis are organised in *pairs* `(2p, 2p+1)` with a per-pair **affinity**
+//! `κ_p ∈ [0, 1]`: at the start of each episode the pair travels together
+//! with probability `κ_p` (the follower shadows the leader's route).
+//! Because co-located taxis produce co-requests (see
+//! [`crate::workload`]), the affinity directly tunes the Jaccard
+//! similarity of the corresponding item pair — giving the spectrum of
+//! similarities that the paper's Fig. 10 extracts from the Shenzhen data.
+
+use rand::Rng;
+
+use crate::city::{CityGrid, Hotspot};
+
+/// Per-taxi mobility state.
+#[derive(Debug, Clone)]
+struct TaxiState {
+    zone: u32,
+    target: u32,
+    dwell: u32,
+    /// True while shadowing the pair leader.
+    following: bool,
+}
+
+/// Simulates all taxi positions over `steps` time steps.
+///
+/// Returns `positions[step][taxi] = zone`. Deterministic for a given RNG.
+pub fn simulate_positions<R: Rng>(
+    grid: &CityGrid,
+    hotspots: &[Hotspot],
+    pair_affinity: &[f64],
+    taxis: usize,
+    steps: usize,
+    detour_prob: f64,
+    rng: &mut R,
+) -> Vec<Vec<u32>> {
+    assert!(!hotspots.is_empty(), "need at least one hotspot");
+    let total_weight: f64 = hotspots.iter().map(|h| h.weight).sum();
+    let sample_hotspot = |rng: &mut R| -> u32 {
+        let mut x = rng.gen::<f64>() * total_weight;
+        for h in hotspots {
+            x -= h.weight;
+            if x <= 0.0 {
+                return h.zone;
+            }
+        }
+        hotspots[hotspots.len() - 1].zone
+    };
+
+    let affinity_of = |taxi: usize| -> f64 { pair_affinity.get(taxi / 2).copied().unwrap_or(0.0) };
+
+    let mut states: Vec<TaxiState> = (0..taxis)
+        .map(|_| {
+            let zone = rng.gen_range(0..grid.zones());
+            TaxiState {
+                zone,
+                target: sample_hotspot(rng),
+                dwell: 0,
+                following: false,
+            }
+        })
+        .collect();
+
+    let mut positions = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        for i in 0..taxis {
+            // Followers are teleported to their leader after the leader
+            // moves; skip their own dynamics.
+            if states[i].following {
+                continue;
+            }
+            if states[i].dwell > 0 {
+                states[i].dwell -= 1;
+            } else if states[i].zone == states[i].target {
+                // Arrived: dwell 0–2 steps, then pick a new episode target.
+                states[i].dwell = rng.gen_range(0..3);
+                states[i].target = sample_hotspot(rng);
+                // Episode boundary: decide pair travel for the *follower*
+                // (odd index) of this leader if `i` is even.
+                if i % 2 == 0 && i + 1 < taxis {
+                    let together = rng.gen::<f64>() < affinity_of(i);
+                    states[i + 1].following = together;
+                    if !together {
+                        // Release the follower with a fresh target of its own.
+                        states[i + 1].target = sample_hotspot(rng);
+                    }
+                }
+            } else if rng.gen::<f64>() < detour_prob {
+                // Random detour: one step toward a uniformly random zone.
+                let z = rng.gen_range(0..grid.zones());
+                states[i].zone = grid.step_toward(states[i].zone, z);
+            } else {
+                states[i].zone = grid.step_toward(states[i].zone, states[i].target);
+            }
+        }
+        // Snap followers to their leaders.
+        for i in 0..taxis {
+            if states[i].following {
+                debug_assert!(i % 2 == 1);
+                states[i].zone = states[i - 1].zone;
+            }
+        }
+        positions.push(states.iter().map(|s| s.zone).collect());
+    }
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn setup() -> (CityGrid, Vec<Hotspot>) {
+        let grid = CityGrid::shenzhen_like();
+        let hotspots = grid.default_hotspots(5);
+        (grid, hotspots)
+    }
+
+    #[test]
+    fn positions_are_in_range_and_deterministic() {
+        let (grid, hs) = setup();
+        let mut r1 = ChaCha12Rng::seed_from_u64(7);
+        let mut r2 = ChaCha12Rng::seed_from_u64(7);
+        let a = simulate_positions(&grid, &hs, &[0.5], 2, 200, 0.1, &mut r1);
+        let b = simulate_positions(&grid, &hs, &[0.5], 2, 200, 0.1, &mut r2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        for step in &a {
+            assert_eq!(step.len(), 2);
+            for &z in step {
+                assert!(z < grid.zones());
+            }
+        }
+    }
+
+    #[test]
+    fn movement_is_one_zone_per_step() {
+        let (grid, hs) = setup();
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let pos = simulate_positions(&grid, &hs, &[0.0], 1, 300, 0.05, &mut rng);
+        for w in pos.windows(2) {
+            assert!(grid.distance(w[0][0], w[1][0]) <= 1);
+        }
+    }
+
+    #[test]
+    fn high_affinity_pairs_colocate_more_than_low() {
+        let (grid, hs) = setup();
+        let colocation = |aff: f64, seed: u64| -> f64 {
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let pos = simulate_positions(&grid, &hs, &[aff], 2, 2000, 0.05, &mut rng);
+            let hits = pos.iter().filter(|p| p[0] == p[1]).count();
+            hits as f64 / pos.len() as f64
+        };
+        let high = colocation(0.95, 11);
+        let low = colocation(0.05, 11);
+        assert!(
+            high > low + 0.2,
+            "affinity should drive co-location: high={high} low={low}"
+        );
+    }
+
+    #[test]
+    fn hotspot_weighting_skews_visits() {
+        let (grid, hs) = setup();
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let pos = simulate_positions(&grid, &hs, &[0.0], 4, 3000, 0.05, &mut rng);
+        let mut visits = vec![0usize; grid.zones() as usize];
+        for step in &pos {
+            for &z in step {
+                visits[z as usize] += 1;
+            }
+        }
+        let primary = hs[0].zone as usize;
+        let avg = visits.iter().sum::<usize>() as f64 / visits.len() as f64;
+        assert!(
+            visits[primary] as f64 > 1.5 * avg,
+            "primary hotspot should be over-visited: {} vs avg {avg}",
+            visits[primary]
+        );
+    }
+}

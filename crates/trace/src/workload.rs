@@ -1,0 +1,351 @@
+//! Workload generation: from taxi trajectories to a validated
+//! [`RequestSeq`].
+//!
+//! Following the paper's setup, item `d_i` is bound to taxi `i` ("10 taxis,
+//! each accessing a single distinct data item"). At every time step each
+//! taxi requests with probability `request_prob`; all requesting taxis in
+//! the same zone at the same step are merged into **one** multi-item
+//! request at that zone's server — this is where item correlation arises:
+//! items whose taxis ride together are accessed together. Step times are
+//! de-conflicted per zone so the model-level rule "at most one request per
+//! time instance" holds.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use mcs_model::{RequestSeq, RequestSeqBuilder};
+
+use crate::city::{CityGrid, Hotspot};
+use crate::mobility::simulate_positions;
+
+/// Full configuration of a synthetic workload; serialisable for
+/// provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// City layout (zones = cache servers).
+    pub grid: CityGrid,
+    /// Hotspots; empty selects [`CityGrid::default_hotspots`] with 5.
+    pub hotspots: Vec<Hotspot>,
+    /// Number of taxis = number of distinct data items `k`.
+    pub taxis: usize,
+    /// Simulation steps.
+    pub steps: usize,
+    /// Wall-clock duration of one step (sets the μ-vs-λ balance of the
+    /// resulting traces).
+    pub step_duration: f64,
+    /// Probability a taxi issues a request in a step.
+    pub request_prob: f64,
+    /// Probability of a random detour step.
+    pub detour_prob: f64,
+    /// Per-pair travel affinity `κ_p` for taxi pairs `(2p, 2p+1)`;
+    /// missing entries default to 0.
+    pub pair_affinity: Vec<f64>,
+    /// Probability that a taxi joins its pair partner's request when both
+    /// are in the same zone in the same step (shared passenger/interest —
+    /// the news-text-plus-pictures effect the paper motivates).
+    pub joint_request_prob: f64,
+    /// Optional diurnal cycle: metropolitan request volume is not flat
+    /// over the day.
+    #[serde(default)]
+    pub diurnal: Option<DiurnalCycle>,
+    /// Per-taxi activity multipliers on `request_prob` (missing entries
+    /// default to 1) — some taxis are simply busier than others.
+    #[serde(default)]
+    pub taxi_activity: Vec<f64>,
+    /// RNG seed (ChaCha12) — identical configs generate identical traces.
+    pub seed: u64,
+}
+
+/// A square-wave day/night request-volume cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalCycle {
+    /// Steps per full day (first half is day, second half night).
+    pub period_steps: usize,
+    /// Multiplier on `request_prob` during the night half (≤ 1 for quieter
+    /// nights).
+    pub night_factor: f64,
+}
+
+impl DiurnalCycle {
+    /// True if `step` falls in the night half of its period.
+    pub fn is_night(&self, step: usize) -> bool {
+        self.period_steps > 0 && (step % self.period_steps) * 2 >= self.period_steps
+    }
+}
+
+impl WorkloadConfig {
+    /// The paper-like default: 50 zones, 10 taxis (= 10 items, 5 pairs with
+    /// a spread of affinities), ~3000 steps.
+    pub fn paper_like(seed: u64) -> Self {
+        WorkloadConfig {
+            grid: CityGrid::shenzhen_like(),
+            hotspots: Vec::new(),
+            taxis: 10,
+            steps: 3000,
+            step_duration: 0.1,
+            request_prob: 0.25,
+            detour_prob: 0.08,
+            // A spread of affinities producing Jaccard similarities from
+            // ~0.05 to ~0.8 (the x-axis range of Figs. 11/13).
+            pair_affinity: vec![0.95, 0.7, 0.45, 0.25, 0.05],
+            joint_request_prob: 0.9,
+            diurnal: None,
+            taxi_activity: Vec::new(),
+            seed,
+        }
+    }
+
+    /// A small, fast configuration for tests.
+    pub fn small(seed: u64) -> Self {
+        WorkloadConfig {
+            grid: CityGrid { rows: 3, cols: 4 },
+            hotspots: Vec::new(),
+            taxis: 4,
+            steps: 300,
+            step_duration: 0.1,
+            request_prob: 0.3,
+            detour_prob: 0.1,
+            pair_affinity: vec![0.8, 0.2],
+            joint_request_prob: 0.9,
+            diurnal: None,
+            taxi_activity: Vec::new(),
+            seed,
+        }
+    }
+}
+
+/// Generates the request sequence for a configuration.
+///
+/// ```
+/// use mcs_trace::workload::{generate, WorkloadConfig};
+///
+/// let seq = generate(&WorkloadConfig::small(42));
+/// assert_eq!(seq.items(), 4);
+/// assert!(!seq.is_empty());
+/// // Identical configs produce identical traces.
+/// assert_eq!(seq, generate(&WorkloadConfig::small(42)));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no taxis, no steps, or a
+/// non-positive step duration).
+pub fn generate(config: &WorkloadConfig) -> RequestSeq {
+    assert!(config.taxis > 0, "need at least one taxi");
+    assert!(config.steps > 0, "need at least one step");
+    assert!(config.step_duration > 0.0, "step duration must be positive");
+
+    let hotspots = if config.hotspots.is_empty() {
+        config.grid.default_hotspots(5)
+    } else {
+        config.hotspots.clone()
+    };
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+    let positions = simulate_positions(
+        &config.grid,
+        &hotspots,
+        &config.pair_affinity,
+        config.taxis,
+        config.steps,
+        config.detour_prob,
+        &mut rng,
+    );
+
+    let zones = config.grid.zones() as usize;
+    let mut builder = RequestSeqBuilder::new(config.grid.zones(), config.taxis as u32);
+    // Sub-step offsets keep request times globally strict while preserving
+    // step granularity: zone z in step s fires at (s + 1 + z/(zones+1))·dt.
+    let dt = config.step_duration;
+    for (step, taxi_zones) in positions.iter().enumerate() {
+        // Base Bernoulli requests, modulated by the diurnal cycle and
+        // per-taxi activity.
+        let cycle_factor = match &config.diurnal {
+            Some(cycle) if cycle.is_night(step) => cycle.night_factor,
+            _ => 1.0,
+        };
+        let mut requesting: Vec<bool> = (0..config.taxis)
+            .map(|taxi| {
+                let activity = config.taxi_activity.get(taxi).copied().unwrap_or(1.0);
+                rng.gen::<f64>() < config.request_prob * cycle_factor * activity
+            })
+            .collect();
+        // Joint-interest rule: a co-located pair partner joins the request
+        // with probability `joint_request_prob`.
+        for p in 0..config.taxis / 2 {
+            let (i, j) = (2 * p, 2 * p + 1);
+            if taxi_zones[i] == taxi_zones[j] && requesting[i] != requesting[j] {
+                let joins = rng.gen::<f64>() < config.joint_request_prob;
+                if joins {
+                    requesting[i] = true;
+                    requesting[j] = true;
+                }
+            }
+        }
+        // Group requesting taxis by zone, preserving item order.
+        let mut by_zone: Vec<Vec<u32>> = vec![Vec::new(); zones];
+        for (taxi, &zone) in taxi_zones.iter().enumerate() {
+            if requesting[taxi] {
+                by_zone[zone as usize].push(taxi as u32);
+            }
+        }
+        for (zone, items) in by_zone.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let time = (step as f64 + 1.0 + zone as f64 / (zones as f64 + 1.0)) * dt;
+            builder = builder.push(zone as u32, time, items);
+        }
+    }
+    builder
+        .build()
+        .expect("generated workload always satisfies the sequence invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::ItemId;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::small(42);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        assert!(
+            a.len() > 50,
+            "expected a non-trivial sequence, got {}",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&WorkloadConfig::small(1));
+        let b = generate(&WorkloadConfig::small(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sequence_respects_model_invariants() {
+        // `generate` goes through the validating builder; just double-check
+        // the shape.
+        let seq = generate(&WorkloadConfig::small(7));
+        assert_eq!(seq.servers(), 12);
+        assert_eq!(seq.items(), 4);
+        let mut last = 0.0;
+        for r in seq.requests() {
+            assert!(r.time > last);
+            last = r.time;
+            assert!(!r.items.is_empty());
+        }
+    }
+
+    #[test]
+    fn affinity_orders_pair_jaccard() {
+        // Pair 0 has affinity 0.8, pair 1 has 0.2: J(d1,d2) > J(d3,d4).
+        let seq = generate(&WorkloadConfig::small(11));
+        let pv_hi = seq.pair_view(ItemId(0), ItemId(1));
+        let pv_lo = seq.pair_view(ItemId(2), ItemId(3));
+        assert!(
+            pv_hi.jaccard() > pv_lo.jaccard(),
+            "J(hi)={} J(lo)={}",
+            pv_hi.jaccard(),
+            pv_lo.jaccard()
+        );
+    }
+
+    #[test]
+    fn paper_like_config_produces_a_jaccard_spread() {
+        let seq = generate(&WorkloadConfig::paper_like(3));
+        let mut js: Vec<f64> = (0..5)
+            .map(|p| seq.pair_view(ItemId(2 * p), ItemId(2 * p + 1)).jaccard())
+            .collect();
+        // Affinities 0.95 … 0.05 should map to a decreasing-ish spread with
+        // a wide range.
+        let max = js.iter().cloned().fold(0.0, f64::max);
+        let min = js.iter().cloned().fold(1.0, f64::min);
+        assert!(max > 0.4, "max J {max} too small; js={js:?}");
+        assert!(min < 0.2, "min J {min} too large; js={js:?}");
+        js.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(js[0] > js[4]);
+    }
+
+    #[test]
+    fn request_times_follow_step_granularity() {
+        let cfg = WorkloadConfig::small(5);
+        let seq = generate(&cfg);
+        for r in seq.requests() {
+            let steps = r.time / cfg.step_duration;
+            // Each time is (step + 1 + frac) · dt with frac < 1.
+            assert!(steps >= 1.0 - 1e-9);
+            assert!(steps <= (cfg.steps as f64) + 1.0);
+        }
+    }
+
+    #[test]
+    fn diurnal_cycle_quiets_the_night() {
+        let mut day_cfg = WorkloadConfig::small(31);
+        day_cfg.steps = 2000;
+        let mut night_cfg = day_cfg.clone();
+        night_cfg.diurnal = Some(DiurnalCycle {
+            period_steps: 200,
+            night_factor: 0.1,
+        });
+        let flat = generate(&day_cfg);
+        let cyclic = generate(&night_cfg);
+        // Less traffic overall with quiet nights.
+        assert!(cyclic.len() < flat.len());
+        // Requests inside night windows are rare: count per half-period.
+        let cycle = night_cfg.diurnal.unwrap();
+        let step_of = |t: f64| (t / night_cfg.step_duration) as usize;
+        let night: usize = cyclic
+            .requests()
+            .iter()
+            .filter(|r| cycle.is_night(step_of(r.time)))
+            .count();
+        let day = cyclic.len() - night;
+        assert!(
+            (night as f64) < 0.4 * day as f64,
+            "night {night} vs day {day}"
+        );
+    }
+
+    #[test]
+    fn is_night_splits_the_period_in_half() {
+        let c = DiurnalCycle {
+            period_steps: 10,
+            night_factor: 0.5,
+        };
+        for s in 0..5 {
+            assert!(!c.is_night(s), "step {s}");
+            assert!(c.is_night(s + 5), "step {}", s + 5);
+        }
+        assert!(!c.is_night(10));
+    }
+
+    #[test]
+    fn taxi_activity_skews_item_counts() {
+        let mut cfg = WorkloadConfig::small(17);
+        cfg.steps = 1500;
+        cfg.pair_affinity = vec![0.0, 0.0]; // isolate the activity effect
+        cfg.joint_request_prob = 0.0;
+        cfg.taxi_activity = vec![2.0, 1.0, 1.0, 0.2];
+        let seq = generate(&cfg);
+        let busy = seq.count_containing(ItemId(0));
+        let normal = seq.count_containing(ItemId(1));
+        let idle = seq.count_containing(ItemId(3));
+        assert!(busy > normal, "busy {busy} vs normal {normal}");
+        assert!(idle < normal / 2, "idle {idle} vs normal {normal}");
+    }
+
+    #[test]
+    fn serde_round_trip_of_config() {
+        let cfg = WorkloadConfig::paper_like(9);
+        let j = serde_json::to_string(&cfg).unwrap();
+        let back: WorkloadConfig = serde_json::from_str(&j).unwrap();
+        assert_eq!(cfg, back);
+        assert_eq!(generate(&cfg), generate(&back));
+    }
+}

@@ -1,0 +1,45 @@
+//! On-line vs off-line: the extension experiment (E10).
+//!
+//! Serves each taxi item's trace with the ski-rental on-line policy and
+//! the two trivial extremes, comparing against the off-line optimum the
+//! DP substrate computes — the "online vs. off-line" question of the
+//! paper's reference [6].
+//!
+//! ```text
+//! cargo run --release --example online_vs_offline
+//! ```
+
+use dp_greedy_suite::online::extremes::{always_transfer, cache_everywhere};
+use dp_greedy_suite::online::harness::competitive_ratio;
+use dp_greedy_suite::online::ski_rental::ski_rental;
+use dp_greedy_suite::prelude::*;
+
+fn main() {
+    let mut config = WorkloadConfig::paper_like(7);
+    config.steps = 1500;
+    let seq = generate(&config);
+    let model = CostModel::new(3.0, 3.0, 0.8).expect("valid model");
+
+    println!(
+        "{:<6} {:>5} {:>12} {:>12} {:>12} {:>12}",
+        "item", "n", "offline", "ski-rental", "always-tx", "cache-all"
+    );
+    let mut worst: f64 = 0.0;
+    for i in 0..seq.items() {
+        let trace = seq.item_trace(ItemId(i));
+        let sr = competitive_ratio(&trace, &model, ski_rental);
+        let at = competitive_ratio(&trace, &model, always_transfer);
+        let ce = competitive_ratio(&trace, &model, cache_everywhere);
+        worst = worst.max(sr.ratio);
+        println!(
+            "d{:<5} {:>5} {:>12.2} {:>11.3}x {:>11.3}x {:>11.3}x",
+            i + 1,
+            trace.len(),
+            sr.offline,
+            sr.ratio,
+            at.ratio,
+            ce.ratio
+        );
+    }
+    println!("\nworst ski-rental competitive ratio: {worst:.3} (3-competitive family, per [6])");
+}

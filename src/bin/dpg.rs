@@ -1,0 +1,276 @@
+//! `dpg` — command-line front end for the DP_Greedy reproduction.
+//!
+//! ```text
+//! dpg generate --out trace.json [--seed N] [--steps N] [--taxis N]
+//! dpg stats trace.json
+//! dpg solve trace.json [--algo dpg|optimal|greedy|package|multi]
+//!                      [--mu X] [--lambda X] [--alpha X] [--theta X]
+//! dpg example
+//! ```
+//!
+//! Traces are the JSON format of `mcs_trace::io` (generated here or
+//! imported from elsewhere).
+
+use std::process::ExitCode;
+
+use dp_greedy_suite::dp_greedy::multi_item::{dp_greedy_multi, MultiItemConfig};
+use dp_greedy_suite::prelude::*;
+use dp_greedy_suite::trace::io::TraceFile;
+use dp_greedy_suite::trace::stats::{pair_spectrum, TraceStats};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dpg generate --out FILE [--seed N] [--steps N] [--taxis N]\n  \
+         dpg stats FILE\n  \
+         dpg solve FILE [--algo dpg|optimal|greedy|package|multi] \
+         [--mu X] [--lambda X] [--alpha X] [--theta X]\n  \
+         dpg svg FILE --out FILE.svg [--item N] [--mu X] [--lambda X]\n  \
+         dpg explain FILE [--a N --b N] [--mu X] [--lambda X] [--alpha X]\n  \
+         dpg example"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<Result<T, String>> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<T>()
+            .map_err(|_| format!("bad value for {flag}"))
+    })
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let out: String = parse_flag(args, "--out").ok_or("--out FILE is required")??;
+    let seed: u64 = parse_flag(args, "--seed").transpose()?.unwrap_or(20190923);
+    let mut cfg = WorkloadConfig::paper_like(seed);
+    if let Some(steps) = parse_flag(args, "--steps").transpose()? {
+        cfg.steps = steps;
+    }
+    if let Some(taxis) = parse_flag::<usize>(args, "--taxis").transpose()? {
+        cfg.taxis = taxis;
+        // Spread affinities over the new pair count.
+        let pairs = taxis / 2;
+        cfg.pair_affinity = (0..pairs)
+            .map(|p| 0.95 - 0.9 * p as f64 / pairs.max(1) as f64)
+            .collect();
+    }
+    let seq = generate(&cfg);
+    println!(
+        "generated {} requests ({} item accesses) over {} zones",
+        seq.len(),
+        seq.total_item_accesses(),
+        seq.servers()
+    );
+    TraceFile::synthetic(cfg, seq)
+        .save(&out)
+        .map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats needs a trace file")?;
+    let file = TraceFile::load(path).map_err(|e| e.to_string())?;
+    let seq = &file.sequence;
+    let st = TraceStats::from_sequence(seq);
+    println!(
+        "{} requests, {} item accesses, {} servers, {} items, horizon t={:.2}",
+        st.requests,
+        st.item_accesses,
+        seq.servers(),
+        seq.items(),
+        st.horizon
+    );
+    if let Some((zone, count)) = st.hottest_zone() {
+        println!(
+            "hottest zone: {zone} with {count} requests; top-10 share {:.1}%",
+            100.0 * st.top_zone_share(10)
+        );
+    }
+    println!("\ntop pairs by Jaccard:");
+    for row in pair_spectrum(seq).iter().take(8) {
+        println!(
+            "  ({}, {})  freq={:<6} J={:.4}",
+            row.a, row.b, row.frequency, row.jaccard
+        );
+    }
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("solve needs a trace file")?;
+    let file = TraceFile::load(path).map_err(|e| e.to_string())?;
+    let seq = &file.sequence;
+
+    let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(2.0);
+    let lambda: f64 = parse_flag(args, "--lambda").transpose()?.unwrap_or(4.0);
+    let alpha: f64 = parse_flag(args, "--alpha").transpose()?.unwrap_or(0.8);
+    let theta: f64 = parse_flag(args, "--theta").transpose()?.unwrap_or(0.3);
+    let algo: String = parse_flag(args, "--algo")
+        .transpose()?
+        .unwrap_or_else(|| "dpg".to_string());
+    let model = CostModel::new(mu, lambda, alpha).map_err(|e| e.to_string())?;
+
+    println!(
+        "μ={mu} λ={lambda} α={alpha} θ={theta}  ({} requests)",
+        seq.len()
+    );
+    match algo.as_str() {
+        "dpg" => {
+            let r = dp_greedy(seq, &DpGreedyConfig::new(model).with_theta(theta));
+            println!("packed pairs: {:?}", r.packing.pairs);
+            for p in &r.pairs {
+                println!(
+                    "  ({}, {}) J={:.3}: C12={:.2} C1'={:.2} C2'={:.2} (ave {:.4})",
+                    p.a,
+                    p.b,
+                    p.jaccard,
+                    p.package_cost,
+                    p.a_singleton_cost,
+                    p.b_singleton_cost,
+                    p.ave_cost()
+                );
+            }
+            println!(
+                "DP_Greedy total={:.2} ave_cost={:.4}",
+                r.total_cost,
+                r.ave_cost()
+            );
+        }
+        "optimal" => {
+            let r = optimal_non_packing(seq, &model);
+            println!(
+                "Optimal total={:.2} ave_cost={:.4}",
+                r.total_cost,
+                r.ave_cost()
+            );
+        }
+        "greedy" => {
+            let r = greedy_non_packing(seq, &model);
+            println!(
+                "Greedy total={:.2} ave_cost={:.4}",
+                r.total_cost,
+                r.ave_cost()
+            );
+        }
+        "package" => {
+            let r = package_served(seq, &model, theta);
+            println!(
+                "Package_Served total={:.2} ave_cost={:.4}",
+                r.total_cost,
+                r.ave_cost()
+            );
+        }
+        "multi" => {
+            let r = dp_greedy_multi(seq, &MultiItemConfig::new(model).with_theta(theta));
+            for g in &r.groups {
+                let items: Vec<String> = g.items.iter().map(|d| d.to_string()).collect();
+                println!(
+                    "  group [{}]: package={:.2} partial={:.2} ({} group deliveries)",
+                    items.join(", "),
+                    g.package_cost,
+                    g.partial_cost,
+                    g.group_deliveries
+                );
+            }
+            println!(
+                "Multi-item DP_Greedy total={:.2} ave_cost={:.4}",
+                r.total_cost,
+                r.ave_cost()
+            );
+        }
+        other => return Err(format!("unknown algorithm {other}")),
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("explain needs a trace file")?;
+    let a: u32 = parse_flag(args, "--a").transpose()?.unwrap_or(0);
+    let b: u32 = parse_flag(args, "--b").transpose()?.unwrap_or(1);
+    let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(2.0);
+    let lambda: f64 = parse_flag(args, "--lambda").transpose()?.unwrap_or(4.0);
+    let alpha: f64 = parse_flag(args, "--alpha").transpose()?.unwrap_or(0.8);
+
+    let file = TraceFile::load(path).map_err(|e| e.to_string())?;
+    let model = CostModel::new(mu, lambda, alpha).map_err(|e| e.to_string())?;
+    let config = DpGreedyConfig::new(model);
+    print!(
+        "{}",
+        dp_greedy_suite::dp_greedy::explain::explain_pair_text(
+            &file.sequence,
+            ItemId(a),
+            ItemId(b),
+            &config
+        )
+    );
+    Ok(())
+}
+
+fn cmd_svg(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("svg needs a trace file")?;
+    let out: String = parse_flag(args, "--out").ok_or("--out FILE is required")??;
+    let item: u32 = parse_flag(args, "--item").transpose()?.unwrap_or(0);
+    let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(2.0);
+    let lambda: f64 = parse_flag(args, "--lambda").transpose()?.unwrap_or(4.0);
+
+    let file = TraceFile::load(path).map_err(|e| e.to_string())?;
+    let model = CostModel::new(mu, lambda, 0.8).map_err(|e| e.to_string())?;
+    let trace = file.sequence.item_trace(ItemId(item));
+    if trace.is_empty() {
+        return Err(format!("item d{} has no requests in this trace", item + 1));
+    }
+    let solved = optimal(&trace, &model);
+    let svg = dp_greedy_suite::model::svg::render_svg(
+        &solved.schedule,
+        &trace,
+        &dp_greedy_suite::model::svg::SvgOptions::default(),
+    );
+    std::fs::write(&out, svg).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out} (optimal schedule for d{}, cost {:.2}, {} requests)",
+        item + 1,
+        solved.cost,
+        trace.len()
+    );
+    Ok(())
+}
+
+fn cmd_example() -> Result<(), String> {
+    let report = dp_greedy_suite::dp_greedy::paper_example::paper_report();
+    let pair = &report.pairs[0];
+    println!("Section V-C running example (μ=λ=1, α=0.8, θ=0.4):");
+    println!("  J(d1,d2) = {:.4}", pair.jaccard);
+    println!(
+        "  C12 = {:.2}, C1' = {:.2}, C2' = {:.2}",
+        pair.package_cost, pair.a_singleton_cost, pair.b_singleton_cost
+    );
+    println!("  total = {:.2} (paper: 14.96)", report.total_cost);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "solve" => cmd_solve(rest),
+        "svg" => cmd_svg(rest),
+        "explain" => cmd_explain(rest),
+        "example" => cmd_example(),
+        "--help" | "-h" | "help" => return usage(),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

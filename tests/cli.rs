@@ -1,0 +1,140 @@
+//! End-to-end test of the `dpg` command-line tool: generate → stats →
+//! solve, exercising the trace IO format across a process boundary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dpg() -> Command {
+    // Cargo builds the binary next to the test executable's parent dir.
+    let mut path = PathBuf::from(env!("CARGO_BIN_EXE_dpg"));
+    if !path.exists() {
+        path = PathBuf::from("target/debug/dpg");
+    }
+    Command::new(path)
+}
+
+fn temp_trace_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dpg-cli-test-{tag}.json"))
+}
+
+#[test]
+fn example_subcommand_prints_the_paper_total() {
+    let out = dpg().arg("example").output().expect("run dpg example");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("14.96"), "missing total in: {text}");
+}
+
+#[test]
+fn generate_stats_solve_round_trip() {
+    let path = temp_trace_path("roundtrip");
+    let out = dpg()
+        .args([
+            "generate",
+            "--out",
+            path.to_str().unwrap(),
+            "--steps",
+            "200",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("run dpg generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(path.exists());
+
+    let out = dpg()
+        .args(["stats", path.to_str().unwrap()])
+        .output()
+        .expect("run dpg stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("requests"));
+    assert!(text.contains("top pairs by Jaccard"));
+
+    for algo in ["dpg", "optimal", "greedy", "package", "multi"] {
+        let out = dpg()
+            .args(["solve", path.to_str().unwrap(), "--algo", algo])
+            .output()
+            .expect("run dpg solve");
+        assert!(
+            out.status.success(),
+            "algo {algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("ave_cost"), "algo {algo}: {text}");
+    }
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn svg_subcommand_writes_a_drawing() {
+    let trace_path = temp_trace_path("svg");
+    let svg_path = std::env::temp_dir().join("dpg-cli-test.svg");
+    dpg()
+        .args([
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--steps",
+            "100",
+        ])
+        .output()
+        .expect("generate");
+    let out = dpg()
+        .args([
+            "svg",
+            trace_path.to_str().unwrap(),
+            "--out",
+            svg_path.to_str().unwrap(),
+            "--item",
+            "1",
+        ])
+        .output()
+        .expect("run dpg svg");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let svg = std::fs::read_to_string(&svg_path).expect("svg written");
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("<circle"));
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&svg_path).ok();
+}
+
+#[test]
+fn solve_rejects_unknown_algorithms_and_missing_files() {
+    let out = dpg()
+        .args(["solve", "/nonexistent/trace.json"])
+        .output()
+        .expect("run dpg");
+    assert!(!out.status.success());
+
+    let path = temp_trace_path("badalgo");
+    dpg()
+        .args(["generate", "--out", path.to_str().unwrap(), "--steps", "50"])
+        .output()
+        .expect("generate");
+    let out = dpg()
+        .args(["solve", path.to_str().unwrap(), "--algo", "nope"])
+        .output()
+        .expect("run dpg");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = dpg().output().expect("run dpg");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
