@@ -5,7 +5,8 @@
 //! the same ablations (how much cost each choice saves) is printed by
 //! `figures --ablations` from `mcs-experiments`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcs_bench::harness::{black_box, Criterion};
+use mcs_bench::{criterion_group, criterion_main};
 
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
 use mcs_bench::{bench_model, bench_trace, bench_workload};

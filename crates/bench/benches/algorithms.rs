@@ -2,7 +2,8 @@
 //! baseline, Phase 1 correlation analysis, and the full two-phase
 //! DP_Greedy pipeline.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcs_bench::harness::{black_box, Criterion};
+use mcs_bench::{criterion_group, criterion_main};
 
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
 use mcs_bench::{bench_model, bench_trace, bench_workload};

@@ -2,7 +2,8 @@
 //! single-copy substrate, heterogeneous exact/greedy, the multi-item and
 //! windowed DP_Greedy variants, and on-line DP_Greedy.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_bench::harness::{black_box, BenchmarkId, Criterion};
+use mcs_bench::{criterion_group, criterion_main};
 
 use dp_greedy::multi_item::{dp_greedy_multi, MultiItemConfig};
 use dp_greedy::two_phase::DpGreedyConfig;

@@ -4,7 +4,8 @@
 //! printed tables come from the `figures` binary; these measure the cost
 //! of producing them).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcs_bench::harness::{black_box, Criterion};
+use mcs_bench::{criterion_group, criterion_main};
 
 use mcs_experiments::{fig09, fig10, fig11, fig12, fig13, online_exp, ratio_exp};
 use mcs_trace::workload::WorkloadConfig;

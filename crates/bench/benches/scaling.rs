@@ -3,7 +3,8 @@
 //! substrate DP itself is quadratic in `n` and insensitive to `m` (its
 //! per-server scan is linear), and the pre-scan is `O(mn)`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcs_bench::harness::{black_box, BenchmarkId, Criterion, Throughput};
+use mcs_bench::{criterion_group, criterion_main};
 
 use dp_greedy::prescan::PreScan;
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};

@@ -1,0 +1,306 @@
+//! Minimal `Instant`-based timing harness with a criterion-shaped API.
+//!
+//! The no-network build cannot pull criterion from the registry, so the
+//! bench targets run on this shim instead. It keeps the subset of the
+//! criterion surface the benches use — [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], [`black_box`] and
+//! the `criterion_group!`/`criterion_main!` macros — so a future return
+//! to criterion is a one-line import change per bench file.
+//!
+//! Methodology: one warm-up call, then the iteration count is doubled
+//! until a batch takes ≥ 2 ms (so `Instant` granularity is noise), then
+//! `sample_size` batches are timed and the per-iteration median and
+//! minimum are reported. Set `MCS_BENCH_FAST=1` to run each bench exactly
+//! once (smoke mode for CI).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target duration for one calibrated batch of iterations.
+const BATCH_TARGET: Duration = Duration::from_millis(2);
+
+/// Top-level harness state: sample count and an optional name filter
+/// taken from the command line (`cargo bench -p mcs-bench -- <filter>`).
+pub struct Criterion {
+    samples: usize,
+    filter: Option<String>,
+    fast: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            samples: 15,
+            filter,
+            fast: std::env::var_os("MCS_BENCH_FAST").is_some(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed batches per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Opens a named group; benches inside print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            samples: None,
+            throughput: None,
+        }
+    }
+
+    /// Times a single free-standing benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let samples = self.samples;
+        self.run(name, samples, None, f);
+    }
+
+    /// Prints the closing line. (Criterion compatibility; summary only.)
+    pub fn finish(&self) {}
+
+    fn run(
+        &mut self,
+        name: &str,
+        samples: usize,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: if self.fast { 1 } else { samples },
+            fast: self.fast,
+            result: None,
+        };
+        f(&mut b);
+        let Some(m) = b.result else {
+            println!("{name:<44} (no measurement: bencher.iter never called)");
+            return;
+        };
+        let mut line = format!(
+            "{name:<44} median {:>10}  min {:>10}  ({} x {} iters)",
+            fmt_time(m.median),
+            fmt_time(m.min),
+            b.samples,
+            m.iters,
+        );
+        if let Some(Throughput::Elements(n)) = throughput {
+            if m.median > 0.0 {
+                let rate = n as f64 / m.median;
+                line.push_str(&format!("  {:.2} Melem/s", rate / 1e6));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    samples: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for the rest of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(1));
+        self
+    }
+
+    /// Declares the work per iteration, reported as elements/second.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `group/name`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{name}", self.name);
+        let samples = self.samples.unwrap_or(self.c.samples);
+        let throughput = self.throughput;
+        self.c.run(&full, samples, throughput, f);
+    }
+
+    /// Times `group/id` with a borrowed input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.0);
+        let samples = self.samples.unwrap_or(self.c.samples);
+        let throughput = self.throughput;
+        self.c.run(&full, samples, throughput, |b| f(b, input));
+    }
+
+    /// Ends the group. (Criterion compatibility; nothing to flush.)
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, rendered into the printed name.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter` style id.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing summary, in seconds.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    median: f64,
+    min: f64,
+    iters: u64,
+}
+
+/// Hands the closure to time to the measurement loop.
+pub struct Bencher {
+    samples: usize,
+    fast: bool,
+    result: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the per-iteration median/min over all batches.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.fast {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed().as_secs_f64();
+            self.result = Some(Sample {
+                median: dt,
+                min: dt,
+                iters: 1,
+            });
+            return;
+        }
+        black_box(f()); // warm-up
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            if start.elapsed() >= BATCH_TARGET || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        self.result = Some(Sample {
+            median: per_iter[per_iter.len() / 2],
+            min: per_iter[0],
+            iters,
+        });
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Builds the `fn benches()` entry point, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+            c.finish();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::harness::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Builds `fn main()` from a `criterion_group!` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($name:ident) => {
+        fn main() {
+            $name();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples: 3,
+            fast: true,
+            result: None,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        let m = b.result.expect("measured");
+        assert!(m.median >= 0.0);
+        assert_eq!(m.iters, 1);
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(fmt_time(2.5e-9).ends_with("ns"));
+        assert!(fmt_time(3.1e-6).ends_with("µs"));
+        assert!(fmt_time(4.2e-3).ends_with("ms"));
+        assert!(fmt_time(1.5).ends_with('s'));
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("quadratic", 1000).0, "quadratic/1000");
+        assert_eq!(BenchmarkId::from_parameter(50).0, "50");
+    }
+}

@@ -2,6 +2,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use mcs_model::request::SingleItemTrace;
 use mcs_model::{CostModel, RequestSeq};
 use mcs_trace::workload::{generate, WorkloadConfig};

@@ -1,7 +1,7 @@
 //! The comparison algorithms of the paper's evaluation (Section VI).
 //!
 //! * **Optimal** (non-packing): every item is served individually by the
-//!   optimal off-line algorithm of [6] — "this algorithm has the best
+//!   optimal off-line algorithm of \[6\] — "this algorithm has the best
 //!   results, and can be used as a yardstick". One extreme of Fig. 13
 //!   (no packing ability at all).
 //! * **Package_Served**: requests containing `d_i`, `d_j` or both are
@@ -11,14 +11,12 @@
 //! * **Greedy** (non-packing): every item served by the simple greedy of
 //!   Fig. 4 — the ablation baseline quantifying what the DP contributes.
 
-use serde::Serialize;
-
 use mcs_correlation::{greedy_matching, JaccardMatrix};
 use mcs_model::{CostModel, ItemId, RequestSeq};
 use mcs_offline::{greedy::greedy, optimal};
 
 /// Summary of a baseline run over a full request sequence.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BaselineReport {
     /// Baseline name (for experiment tables).
     pub name: &'static str,
@@ -120,6 +118,13 @@ pub fn package_served(seq: &RequestSeq, model: &CostModel, theta: f64) -> Baseli
         per_item,
     }
 }
+
+mcs_model::impl_to_json!(BaselineReport {
+    name,
+    total_cost,
+    total_accesses,
+    per_item
+});
 
 #[cfg(test)]
 mod tests {

@@ -5,7 +5,7 @@
 //! * **Phase 1** (via `mcs-correlation`): Jaccard-similarity analysis of the
 //!   request sequence and greedy threshold matching of item pairs.
 //! * **Phase 2** ([`two_phase`]): for each packed pair, the co-requests are
-//!   served by the optimal off-line algorithm of [6] at package rates
+//!   served by the optimal off-line algorithm of \[6\] at package rates
 //!   (`2αμ`, `2αλ`); requests for a *single* item of the pair are served by
 //!   the three-arm greedy of Observation 2 (cache from `r_{p(i)}`, transfer
 //!   from `r_{i−1}`, or package delivery at `2αλ`); unpacked items are

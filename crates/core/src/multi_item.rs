@@ -21,8 +21,6 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
-
 use mcs_correlation::grouping::{agglomerative_grouping, Grouping};
 use mcs_correlation::JaccardMatrix;
 use mcs_model::{CostModel, ItemId, RequestSeq, Schedule, ServerId, TimePoint};
@@ -64,7 +62,7 @@ impl MultiItemConfig {
 }
 
 /// Cost report for one multi-item group.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GroupReport {
     /// Group members, ascending.
     pub items: Vec<ItemId>,
@@ -88,7 +86,7 @@ impl GroupReport {
 }
 
 /// Full multi-item report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MultiItemReport {
     /// Phase 1 grouping.
     pub grouping: Grouping,
@@ -226,6 +224,22 @@ pub fn dp_greedy_multi(seq: &RequestSeq, config: &MultiItemConfig) -> MultiItemR
         total_accesses: seq.total_item_accesses(),
     }
 }
+
+mcs_model::impl_to_json!(GroupReport {
+    items,
+    package_cost,
+    partial_cost,
+    group_deliveries,
+    accesses,
+    package_schedule
+});
+mcs_model::impl_to_json!(MultiItemReport {
+    grouping,
+    groups,
+    singletons,
+    total_cost,
+    total_accesses
+});
 
 #[cfg(test)]
 mod tests {

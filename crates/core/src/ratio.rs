@@ -197,7 +197,6 @@ mod tests {
     use super::*;
     use mcs_model::{approx_eq, RequestSeq, RequestSeqBuilder};
     use mcs_offline::optimal;
-    use proptest::prelude::*;
 
     fn paper_sequence() -> RequestSeq {
         RequestSeqBuilder::new(4, 2)
@@ -277,77 +276,83 @@ mod tests {
         );
     }
 
-    /// Random small instances: strictly-increasing times, 2 items, m ≤ 3.
-    fn small_seq_strategy() -> impl Strategy<Value = RequestSeq> {
-        (1usize..=7, 2u32..=3).prop_flat_map(|(n, m)| {
-            (
-                proptest::collection::vec(1u32..=40, n),
-                proptest::collection::vec(0u32..m, n),
-                proptest::collection::vec(0u32..3, n),
-                Just(m),
-            )
-                .prop_map(|(mut ticks, servers, kinds, m)| {
-                    ticks.sort_unstable();
-                    ticks.dedup();
-                    let mut b = RequestSeqBuilder::new(m, 2);
-                    for ((&t, &s), &kind) in ticks.iter().zip(&servers).zip(&kinds) {
-                        let items: Vec<u32> = match kind {
-                            0 => vec![0],
-                            1 => vec![1],
-                            _ => vec![0, 1],
-                        };
-                        b = b.push(s, t as f64 / 10.0, items);
-                    }
-                    b.build().unwrap()
-                })
-        })
-    }
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
-        #[test]
-        fn theorem_1_bound_on_random_instances(
-            seq in small_seq_strategy(),
-            alpha_ticks in 2u32..=10,
-            mu_ticks in 1u32..=30,
-            la_ticks in 1u32..=30,
-        ) {
-            let model = CostModel::new(
-                mu_ticks as f64 / 10.0,
-                la_ticks as f64 / 10.0,
-                alpha_ticks as f64 / 10.0,
-            ).unwrap();
-            let config = DpGreedyConfig::new(model);
-            let check = ratio_check(&seq, ItemId(0), ItemId(1), &config);
-            prop_assert!(check.exact.is_finite());
-            prop_assert!(
-                check.dpg <= check.bound * check.exact + 1e-9,
-                "C_DPG={} > (2/α)·C*={}·{}",
-                check.dpg, check.bound, check.exact
-            );
+        /// Random small instances: strictly-increasing times, 2 items, m ≤ 3.
+        fn small_seq_strategy() -> impl Strategy<Value = RequestSeq> {
+            (1usize..=7, 2u32..=3).prop_flat_map(|(n, m)| {
+                (
+                    proptest::collection::vec(1u32..=40, n),
+                    proptest::collection::vec(0u32..m, n),
+                    proptest::collection::vec(0u32..3, n),
+                    Just(m),
+                )
+                    .prop_map(|(mut ticks, servers, kinds, m)| {
+                        ticks.sort_unstable();
+                        ticks.dedup();
+                        let mut b = RequestSeqBuilder::new(m, 2);
+                        for ((&t, &s), &kind) in ticks.iter().zip(&servers).zip(&kinds) {
+                            let items: Vec<u32> = match kind {
+                                0 => vec![0],
+                                1 => vec![1],
+                                _ => vec![0, 1],
+                            };
+                            b = b.push(s, t as f64 / 10.0, items);
+                        }
+                        b.build().unwrap()
+                    })
+            })
         }
 
-        #[test]
-        fn strict_mode_is_realizable_hence_at_least_exact(
-            seq in small_seq_strategy(),
-        ) {
-            let model = CostModel::paper_example();
-            let config = DpGreedyConfig::new(model).strict();
-            let dpg = dp_greedy_pair(&seq, ItemId(0), ItemId(1), &config).total();
-            let exact = packed_exact_optimal(&seq, ItemId(0), ItemId(1), &model);
-            prop_assert!(
-                dpg >= exact - 1e-9,
-                "strict DP_Greedy {dpg} beat the exact packed optimum {exact}"
-            );
-        }
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
 
-        #[test]
-        fn lemma_1_on_random_instances(seq in small_seq_strategy()) {
-            let model = CostModel::paper_example();
-            let exact = packed_exact_optimal(&seq, ItemId(0), ItemId(1), &model);
-            let opt_pair = crate::baselines::optimal_pair(&seq, ItemId(0), ItemId(1), &model);
-            prop_assert!(exact >= model.alpha() * opt_pair - 1e-9);
+            #[test]
+            fn theorem_1_bound_on_random_instances(
+                seq in small_seq_strategy(),
+                alpha_ticks in 2u32..=10,
+                mu_ticks in 1u32..=30,
+                la_ticks in 1u32..=30,
+            ) {
+                let model = CostModel::new(
+                    mu_ticks as f64 / 10.0,
+                    la_ticks as f64 / 10.0,
+                    alpha_ticks as f64 / 10.0,
+                ).unwrap();
+                let config = DpGreedyConfig::new(model);
+                let check = ratio_check(&seq, ItemId(0), ItemId(1), &config);
+                prop_assert!(check.exact.is_finite());
+                prop_assert!(
+                    check.dpg <= check.bound * check.exact + 1e-9,
+                    "C_DPG={} > (2/α)·C*={}·{}",
+                    check.dpg, check.bound, check.exact
+                );
+            }
+
+            #[test]
+            fn strict_mode_is_realizable_hence_at_least_exact(
+                seq in small_seq_strategy(),
+            ) {
+                let model = CostModel::paper_example();
+                let config = DpGreedyConfig::new(model).strict();
+                let dpg = dp_greedy_pair(&seq, ItemId(0), ItemId(1), &config).total();
+                let exact = packed_exact_optimal(&seq, ItemId(0), ItemId(1), &model);
+                prop_assert!(
+                    dpg >= exact - 1e-9,
+                    "strict DP_Greedy {dpg} beat the exact packed optimum {exact}"
+                );
+            }
+
+            #[test]
+            fn lemma_1_on_random_instances(seq in small_seq_strategy()) {
+                let model = CostModel::paper_example();
+                let exact = packed_exact_optimal(&seq, ItemId(0), ItemId(1), &model);
+                let opt_pair = crate::baselines::optimal_pair(&seq, ItemId(0), ItemId(1), &model);
+                prop_assert!(exact >= model.alpha() * opt_pair - 1e-9);
+            }
         }
     }
 }

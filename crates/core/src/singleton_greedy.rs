@@ -20,8 +20,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use mcs_model::{CostModel, ServerId, TimePoint};
 
 /// One event in the merged per-item view of a packed pair: every request
@@ -38,7 +36,7 @@ pub struct PairItemEvent {
 }
 
 /// Which arm served a singleton request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Arm {
     /// Local cache from `r_{p(i)}`.
     Cache,
@@ -49,7 +47,7 @@ pub enum Arm {
 }
 
 /// The serving record of one singleton request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArmChoice {
     /// Index into the event list.
     pub event_index: usize,
@@ -60,7 +58,7 @@ pub struct ArmChoice {
 }
 
 /// Outcome of the singleton greedy over one item of a packed pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SingletonGreedyOutcome {
     /// Total cost over the singleton requests (co-requests cost nothing
     /// here; they are billed by the package DP).
@@ -139,6 +137,30 @@ pub fn singleton_greedy(
         arm_counts,
     }
 }
+
+impl mcs_model::json::ToJson for Arm {
+    fn to_json(&self) -> mcs_model::json::Json {
+        mcs_model::json::Json::Str(
+            match self {
+                Arm::Cache => "Cache",
+                Arm::Transfer => "Transfer",
+                Arm::Package => "Package",
+            }
+            .to_string(),
+        )
+    }
+}
+
+mcs_model::impl_to_json!(ArmChoice {
+    event_index,
+    arm,
+    cost
+});
+mcs_model::impl_to_json!(SingletonGreedyOutcome {
+    cost,
+    choices,
+    arm_counts
+});
 
 #[cfg(test)]
 mod tests {

@@ -4,15 +4,13 @@
 //!   sequence (Eq. 4/5) and greedily pack disjoint item pairs whose
 //!   similarity strictly exceeds the threshold `θ`.
 //! * **Phase 2**: for each packed pair, serve the co-requests with the
-//!   optimal off-line algorithm of [6] under package rates (`2αμ`, `2αλ`),
+//!   optimal off-line algorithm of \[6\] under package rates (`2αμ`, `2αλ`),
 //!   and each single-item request with the three-arm greedy of
 //!   Observation 2. Unpacked items are served individually by the optimal
 //!   off-line algorithm.
 //!
 //! The headline metric is the paper's `ave_cost` (Algorithm 1, line 50):
 //! total cost divided by the total number of item accesses `Σ|d_i|`.
-
-use serde::Serialize;
 
 use mcs_correlation::{greedy_matching, JaccardMatrix, Packing};
 use mcs_model::{CostModel, ItemId, RequestSeq, Schedule};
@@ -78,7 +76,7 @@ impl DpGreedyConfig {
 }
 
 /// Cost report for one packed pair.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PairReport {
     /// First item (lower id).
     pub a: ItemId,
@@ -122,7 +120,7 @@ impl PairReport {
 
 /// Cost report for an unpacked item (served by the optimal off-line
 /// algorithm individually).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SingletonReport {
     /// The item.
     pub item: ItemId,
@@ -135,7 +133,7 @@ pub struct SingletonReport {
 }
 
 /// Full DP_Greedy output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DpGreedyReport {
     /// Phase 1 outcome.
     pub packing: Packing,
@@ -268,6 +266,32 @@ pub fn dp_greedy(seq: &RequestSeq, config: &DpGreedyConfig) -> DpGreedyReport {
         total_accesses: seq.total_item_accesses(),
     }
 }
+
+mcs_model::impl_to_json!(PairReport {
+    a,
+    b,
+    jaccard,
+    package_cost,
+    a_singleton_cost,
+    b_singleton_cost,
+    accesses,
+    package_schedule,
+    a_greedy,
+    b_greedy
+});
+mcs_model::impl_to_json!(SingletonReport {
+    item,
+    cost,
+    accesses,
+    schedule
+});
+mcs_model::impl_to_json!(DpGreedyReport {
+    packing,
+    pairs,
+    singletons,
+    total_cost,
+    total_accesses
+});
 
 #[cfg(test)]
 mod tests {

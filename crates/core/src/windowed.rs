@@ -14,8 +14,6 @@
 //! experiment (`mcs-experiments::drift_exp`) shows when adaptation beats
 //! a single global packing despite that overhead.
 
-use serde::Serialize;
-
 use mcs_model::{CostModel, Request, RequestSeq, RequestSeqBuilder};
 
 use crate::two_phase::{dp_greedy, DpGreedyConfig, DpGreedyReport};
@@ -30,7 +28,7 @@ pub struct WindowedConfig {
 }
 
 /// Report for one window.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WindowReport {
     /// Window start time (inclusive).
     pub start: f64,
@@ -45,7 +43,7 @@ pub struct WindowReport {
 }
 
 /// Aggregate windowed report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WindowedReport {
     /// Per-window details.
     pub windows: Vec<WindowReport>,
@@ -148,6 +146,19 @@ pub fn auto_theta(seq: &RequestSeq, model: &CostModel, grid: &[f64]) -> (f64, Dp
     }
     best.expect("grid non-empty")
 }
+
+mcs_model::impl_to_json!(WindowReport {
+    start,
+    end,
+    requests,
+    pairs,
+    cost
+});
+mcs_model::impl_to_json!(WindowedReport {
+    windows,
+    total_cost,
+    total_accesses
+});
 
 #[cfg(test)]
 mod tests {

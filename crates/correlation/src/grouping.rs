@@ -7,13 +7,11 @@
 //! Jaccard similarity, i.e. two groups merge while the mean pairwise
 //! similarity across the cut stays above the threshold.
 
-use serde::{Deserialize, Serialize};
-
 use crate::jaccard::JaccardMatrix;
 use mcs_model::ItemId;
 
 /// A grouping of items into packages of size ≥ 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grouping {
     /// Item groups; each inner vector is sorted ascending. Groups of size 1
     /// are served individually.
@@ -87,6 +85,8 @@ pub fn agglomerative_grouping(matrix: &JaccardMatrix, theta: f64, max_group: usi
     groups.sort();
     Grouping { groups, theta }
 }
+
+mcs_model::impl_to_json!(Grouping { groups, theta });
 
 #[cfg(test)]
 mod tests {

@@ -7,8 +7,6 @@
 //! when both the frequency and the Jaccard similarity for two data items
 //! are high".
 
-use serde::{Deserialize, Serialize};
-
 use mcs_model::{ItemId, RequestSeq};
 
 /// Raw co-occurrence statistics of a request sequence: per-item request
@@ -27,7 +25,7 @@ use mcs_model::{ItemId, RequestSeq};
 /// assert_eq!(co.pair_count(ItemId(0), ItemId(1)), 1);
 /// assert!((co.jaccard(ItemId(0), ItemId(1)) - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoOccurrence {
     k: usize,
     /// `|d_i|` — number of requests containing item `i`.
@@ -108,7 +106,7 @@ impl CoOccurrence {
 }
 
 /// The symmetric correlation matrix `A` of Eq. (4), materialised.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JaccardMatrix {
     k: usize,
     /// Row-major `k×k` values; diagonal fixed at 1.
@@ -160,6 +158,13 @@ impl JaccardMatrix {
         out
     }
 }
+
+mcs_model::impl_to_json!(CoOccurrence {
+    k,
+    item_counts,
+    pair_counts
+});
+mcs_model::impl_to_json!(JaccardMatrix { k, values });
 
 #[cfg(test)]
 mod tests {

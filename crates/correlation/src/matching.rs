@@ -5,14 +5,12 @@
 //! leftover items are served individually. Ties are broken by ascending
 //! item indices so the packing is deterministic.
 
-use serde::{Deserialize, Serialize};
-
 use crate::jaccard::JaccardMatrix;
 use mcs_model::ItemId;
 
 /// The outcome of Phase 1: disjoint packed pairs plus unpacked singletons —
 /// the paper's `package_list`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Packing {
     /// Packed pairs `(d_i, d_j)` with `i < j`, in acceptance order
     /// (descending similarity).
@@ -93,6 +91,12 @@ pub fn greedy_matching_from_pairs(
         theta,
     }
 }
+
+mcs_model::impl_to_json!(Packing {
+    pairs,
+    singletons,
+    theta
+});
 
 #[cfg(test)]
 mod tests {

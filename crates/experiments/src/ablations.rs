@@ -10,8 +10,7 @@
 //! * **Threshold θ** — full-pipeline `ave_cost` across θ, motivating the
 //!   paper's θ = 0.3.
 
-use rayon::prelude::*;
-use serde::Serialize;
+use crate::par::{par_map, par_map_range};
 
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
 use mcs_correlation::exact::{exact_matching, packing_weight};
@@ -23,7 +22,7 @@ use mcs_trace::workload::{generate, WorkloadConfig};
 use crate::table::{fmt_f, Table};
 
 /// All ablation results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Ablations {
     /// (greedy weight, exact weight, greedy pairs, exact pairs) on k = 16.
     pub matching: MatchingAblation,
@@ -36,7 +35,7 @@ pub struct Ablations {
 }
 
 /// Matching ablation outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MatchingAblation {
     /// Total packed similarity of greedy matching.
     pub greedy_weight: f64,
@@ -49,7 +48,7 @@ pub struct MatchingAblation {
 }
 
 /// Package-arm ablation outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PackageArmAblation {
     /// Faithful (paper) total cost.
     pub faithful: f64,
@@ -60,7 +59,7 @@ pub struct PackageArmAblation {
 }
 
 /// Bridging ablation outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BridgingAblation {
     /// Sum of per-item optimal costs.
     pub covering_dp: f64,
@@ -99,13 +98,10 @@ pub fn run(config: &WorkloadConfig) -> Ablations {
     };
 
     // -- Bridging ----------------------------------------------------------
-    let per_item: Vec<(f64, f64)> = (0..seq.items())
-        .into_par_iter()
-        .map(|i| {
-            let trace = seq.item_trace(ItemId(i));
-            (optimal(&trace, &model).cost, greedy(&trace, &model).cost)
-        })
-        .collect();
+    let per_item: Vec<(f64, f64)> = par_map_range(seq.items() as usize, |i| {
+        let trace = seq.item_trace(ItemId(i as u32));
+        (optimal(&trace, &model).cost, greedy(&trace, &model).cost)
+    });
     let covering_dp: f64 = per_item.iter().map(|&(o, _)| o).sum();
     let always_bridge: f64 = per_item.iter().map(|&(_, g)| g).sum();
     let worst_item_ratio = per_item
@@ -121,13 +117,10 @@ pub fn run(config: &WorkloadConfig) -> Ablations {
 
     // -- θ sweep -----------------------------------------------------------
     let thetas = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9];
-    let theta_sweep: Vec<(f64, f64)> = thetas
-        .par_iter()
-        .map(|&theta| {
-            let cfg = DpGreedyConfig::new(model).with_theta(theta);
-            (theta, dp_greedy(&seq, &cfg).ave_cost())
-        })
-        .collect();
+    let theta_sweep: Vec<(f64, f64)> = par_map(&thetas, |&theta| {
+        let cfg = DpGreedyConfig::new(model).with_theta(theta);
+        (theta, dp_greedy(&seq, &cfg).ave_cost())
+    });
 
     Ablations {
         matching,
@@ -201,6 +194,29 @@ impl Ablations {
         out
     }
 }
+
+mcs_model::impl_to_json!(Ablations {
+    matching,
+    package_arm,
+    bridging,
+    theta_sweep
+});
+mcs_model::impl_to_json!(MatchingAblation {
+    greedy_weight,
+    exact_weight,
+    greedy_pairs,
+    exact_pairs
+});
+mcs_model::impl_to_json!(PackageArmAblation {
+    faithful,
+    strict,
+    disabled
+});
+mcs_model::impl_to_json!(BridgingAblation {
+    covering_dp,
+    always_bridge,
+    worst_item_ratio
+});
 
 #[cfg(test)]
 mod tests {

@@ -12,8 +12,8 @@
 use std::path::PathBuf;
 
 use mcs_experiments::{
-    ablations, capacity_exp, drift_exp, fig09, fig10, fig11, fig12, fig13, multi_exp, online_exp,
-    ratio_exp, replication,
+    ablations, capacity_exp, chaos_exp, drift_exp, fig09, fig10, fig11, fig12, fig13, multi_exp,
+    online_exp, ratio_exp, replication,
 };
 use mcs_experiments::{paper_workload, DEFAULT_SEED};
 
@@ -23,6 +23,7 @@ struct Args {
     ratio: bool,
     online: bool,
     ablations: bool,
+    chaos: bool,
     seed: u64,
     steps: Option<usize>,
     json: Option<PathBuf>,
@@ -35,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         ratio: false,
         online: false,
         ablations: false,
+        chaos: false,
         seed: DEFAULT_SEED,
         steps: None,
         json: None,
@@ -61,11 +63,16 @@ fn parse_args() -> Result<Args, String> {
                 args.ablations = true;
                 any = true;
             }
+            "--chaos" => {
+                args.chaos = true;
+                any = true;
+            }
             "--all" => {
                 args.figs = vec![9, 10, 11, 12, 13];
                 args.ratio = true;
                 args.online = true;
                 args.ablations = true;
+                args.chaos = true;
                 any = true;
             }
             "--seed" => {
@@ -87,7 +94,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "figures [--fig 9|10|11|12|13] [--ratio] [--online] [--ablations] \
-                     [--all] [--seed N] [--steps N] [--json DIR]"
+                     [--chaos] [--all] [--seed N] [--steps N] [--json DIR]"
                 );
                 std::process::exit(0);
             }
@@ -99,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         args.ratio = true;
         args.online = true;
         args.ablations = true;
+        args.chaos = true;
     }
     Ok(args)
 }
@@ -112,15 +120,11 @@ fn write_dat(dir: &Option<PathBuf>, name: &str, title: &str, columns: &[&str], r
     }
 }
 
-fn write_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+fn write_json<T: mcs_model::json::ToJson>(dir: &Option<PathBuf>, name: &str, value: &T) {
     if let Some(dir) = dir {
         std::fs::create_dir_all(dir).expect("create json dir");
         let path = dir.join(format!("{name}.json"));
-        std::fs::write(
-            &path,
-            serde_json::to_string_pretty(value).expect("serialise"),
-        )
-        .expect("write json");
+        std::fs::write(&path, value.to_json().to_string_pretty()).expect("write json");
         eprintln!("wrote {}", path.display());
     }
 }
@@ -230,5 +234,11 @@ fn main() {
         let cap = capacity_exp::run(&config);
         println!("{}", cap.table());
         write_json(&args.json, "capacity", &cap);
+    }
+    if args.chaos {
+        let c = chaos_exp::run(&config, args.seed);
+        println!("{}", c.table());
+        println!("worst degradation ratio: {:.4}\n", c.worst_ratio());
+        write_json(&args.json, "chaos", &c);
     }
 }

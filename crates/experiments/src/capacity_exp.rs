@@ -7,8 +7,7 @@
 //! cost-oriented algorithms (per-item Optimal and DP_Greedy) on the same
 //! city workload.
 
-use rayon::prelude::*;
-use serde::Serialize;
+use crate::par::par_map;
 
 use dp_greedy::baselines::optimal_non_packing;
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
@@ -19,7 +18,7 @@ use mcs_trace::workload::{generate, WorkloadConfig};
 use crate::table::{fmt_f, Table};
 
 /// One capacity point.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CapacityRow {
     /// Slots per edge server.
     pub capacity: usize,
@@ -32,7 +31,7 @@ pub struct CapacityRow {
 }
 
 /// Experiment output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CapacityExp {
     /// Capacity sweep rows.
     pub rows: Vec<CapacityRow>,
@@ -48,19 +47,16 @@ pub fn run(config: &WorkloadConfig) -> CapacityExp {
     let model = CostModel::new(2.0, 4.0, 0.8).expect("valid");
     let accesses = seq.total_item_accesses() as f64;
 
-    let rows: Vec<CapacityRow> = [1usize, 2, 4, 8]
-        .par_iter()
-        .map(|&capacity| {
-            let lru = capacity_run(&seq, &model, capacity, EvictionPolicy::Lru);
-            let gd = capacity_run(&seq, &model, capacity, EvictionPolicy::GreedyDual);
-            CapacityRow {
-                capacity,
-                lru: lru.cost,
-                greedy_dual: gd.cost,
-                lru_hit_ratio: lru.hits as f64 / accesses,
-            }
-        })
-        .collect();
+    let rows: Vec<CapacityRow> = par_map(&[1usize, 2, 4, 8], |&capacity| {
+        let lru = capacity_run(&seq, &model, capacity, EvictionPolicy::Lru);
+        let gd = capacity_run(&seq, &model, capacity, EvictionPolicy::GreedyDual);
+        CapacityRow {
+            capacity,
+            lru: lru.cost,
+            greedy_dual: gd.cost,
+            lru_hit_ratio: lru.hits as f64 / accesses,
+        }
+    });
 
     let optimal = optimal_non_packing(&seq, &model).total_cost;
     let dpg = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.3)).total_cost;
@@ -116,6 +112,18 @@ impl CapacityExp {
         t
     }
 }
+
+mcs_model::impl_to_json!(CapacityRow {
+    capacity,
+    lru,
+    greedy_dual,
+    lru_hit_ratio
+});
+mcs_model::impl_to_json!(CapacityExp {
+    rows,
+    optimal,
+    dp_greedy
+});
 
 #[cfg(test)]
 mod tests {

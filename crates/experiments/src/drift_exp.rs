@@ -13,10 +13,8 @@
 //! non-packing Optimal across α, on both the drifting and a stationary
 //! control workload.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-use rayon::prelude::*;
-use serde::Serialize;
+use crate::par::par_map;
+use mcs_model::rng::Rng;
 
 use dp_greedy::baselines::optimal_non_packing;
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
@@ -26,7 +24,7 @@ use mcs_model::{CostModel, RequestSeq, RequestSeqBuilder};
 use crate::table::{fmt_f, Table};
 
 /// One α measurement on one workload kind.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DriftRow {
     /// Discount factor.
     pub alpha: f64,
@@ -41,7 +39,7 @@ pub struct DriftRow {
 }
 
 /// Experiment output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DriftExp {
     /// All rows.
     pub rows: Vec<DriftRow>,
@@ -52,16 +50,16 @@ pub struct DriftExp {
 /// Builds the workload. `drifting = false` keeps `d1`–`d2` for both
 /// halves (the control).
 pub fn drift_workload(n: usize, drifting: bool, seed: u64) -> (RequestSeq, f64) {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let servers = 8u32;
     let mut b = RequestSeqBuilder::new(servers, 5);
     let mut t = 0.0_f64;
     let half = n / 2;
     for i in 0..n {
-        t += 0.05 + rng.gen::<f64>() * 0.15;
+        t += 0.05 + rng.gen_f64() * 0.15;
         let server = rng.gen_range(0..servers);
         let partner = if drifting && i >= half { 2u32 } else { 1u32 };
-        let items: Vec<u32> = match rng.gen_range(0..10) {
+        let items: Vec<u32> = match rng.gen_range(0u32..10) {
             0..=5 => vec![0, partner], // the active bundle
             6 => vec![0],              // lone d1
             7 => vec![partner],        // lone partner
@@ -84,29 +82,26 @@ pub fn run(seed: u64) -> DriftExp {
     for drifting in [true, false] {
         let (seq, boundary) = drift_workload(800, drifting, seed);
         window = boundary;
-        let batch: Vec<DriftRow> = alphas
-            .par_iter()
-            .map(|&alpha| {
-                let model = CostModel::new(2.0, 4.0, alpha).expect("valid");
-                let cfg = DpGreedyConfig::new(model).with_theta(0.3);
-                let global = dp_greedy(&seq, &cfg);
-                let windowed = dp_greedy_windowed(
-                    &seq,
-                    &WindowedConfig {
-                        inner: cfg,
-                        window: boundary,
-                    },
-                );
-                let opt = optimal_non_packing(&seq, &model);
-                DriftRow {
-                    alpha,
-                    drifting,
-                    global: global.ave_cost(),
-                    windowed: windowed.ave_cost(),
-                    optimal: opt.ave_cost(),
-                }
-            })
-            .collect();
+        let batch: Vec<DriftRow> = par_map(&alphas, |&alpha| {
+            let model = CostModel::new(2.0, 4.0, alpha).expect("valid");
+            let cfg = DpGreedyConfig::new(model).with_theta(0.3);
+            let global = dp_greedy(&seq, &cfg);
+            let windowed = dp_greedy_windowed(
+                &seq,
+                &WindowedConfig {
+                    inner: cfg,
+                    window: boundary,
+                },
+            );
+            let opt = optimal_non_packing(&seq, &model);
+            DriftRow {
+                alpha,
+                drifting,
+                global: global.ave_cost(),
+                windowed: windowed.ave_cost(),
+                optimal: opt.ave_cost(),
+            }
+        });
         rows.extend(batch);
     }
     DriftExp { rows, window }
@@ -134,6 +129,15 @@ impl DriftExp {
         t
     }
 }
+
+mcs_model::impl_to_json!(DriftRow {
+    alpha,
+    drifting,
+    global,
+    windowed,
+    optimal
+});
+mcs_model::impl_to_json!(DriftExp { rows, window });
 
 #[cfg(test)]
 mod tests {

@@ -4,15 +4,13 @@
 //! requests across Shenzhen; our synthetic city must reproduce that
 //! qualitative shape: a few hotspot zones dominating the request volume.
 
-use serde::Serialize;
-
 use mcs_trace::stats::TraceStats;
 use mcs_trace::workload::{generate, WorkloadConfig};
 
 use crate::table::{fmt_f, Table};
 
 /// Output of the Fig. 9 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig09 {
     /// Requests per zone.
     pub zone_histogram: Vec<usize>,
@@ -64,6 +62,13 @@ impl Fig09 {
         t
     }
 }
+
+mcs_model::impl_to_json!(Fig09 {
+    zone_histogram,
+    requests,
+    top10_share,
+    uniform_share
+});
 
 #[cfg(test)]
 mod tests {

@@ -5,15 +5,13 @@
 //! Our synthetic trace must produce the same qualitative artefact: a
 //! handful of high-J designed pairs standing out of a low-J background.
 
-use serde::Serialize;
-
 use mcs_trace::stats::{pair_spectrum, PairSpectrumRow};
 use mcs_trace::workload::{generate, WorkloadConfig};
 
 use crate::table::{fmt_f, Table};
 
 /// Output of the Fig. 10 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10 {
     /// The full pair spectrum, descending Jaccard.
     pub spectrum: Vec<PairSpectrumRow>,
@@ -44,6 +42,8 @@ impl Fig10 {
         t
     }
 }
+
+mcs_model::impl_to_json!(Fig10 { spectrum });
 
 #[cfg(test)]
 mod tests {

@@ -7,8 +7,7 @@
 //! Jaccard similarity, with break-even around `J ≈ 0.3` — which is exactly
 //! why its experiments set `θ = 0.3`.
 
-use rayon::prelude::*;
-use serde::Serialize;
+use crate::par::par_map;
 
 use dp_greedy::baselines::optimal_pair;
 use dp_greedy::two_phase::{dp_greedy_pair, DpGreedyConfig};
@@ -18,7 +17,7 @@ use mcs_trace::workload::{generate, WorkloadConfig};
 use crate::table::{fmt_f, Table};
 
 /// One pair measurement.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Fig11Row {
     /// First item of the pair.
     pub a: u32,
@@ -33,7 +32,7 @@ pub struct Fig11Row {
 }
 
 /// Output of the Fig. 11 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11 {
     /// Rows sorted by ascending Jaccard.
     pub rows: Vec<Fig11Row>,
@@ -54,26 +53,26 @@ pub fn run(config: &WorkloadConfig) -> Fig11 {
         .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
         .collect();
 
-    let mut rows: Vec<Fig11Row> = pairs
-        .par_iter()
-        .filter_map(|&(i, j)| {
-            let (a, b) = (ItemId(i), ItemId(j));
-            let pv = seq.pair_view(a, b);
-            let accesses = pv.count_a() + pv.count_b();
-            if accesses == 0 {
-                return None;
-            }
-            let report = dp_greedy_pair(&seq, a, b, &dpg_config);
-            let opt = optimal_pair(&seq, a, b, &model);
-            Some(Fig11Row {
-                a: i,
-                b: j,
-                jaccard: pv.jaccard(),
-                dp_greedy: report.total() / accesses as f64,
-                optimal: opt / accesses as f64,
-            })
+    let mut rows: Vec<Fig11Row> = par_map(&pairs, |&(i, j)| {
+        let (a, b) = (ItemId(i), ItemId(j));
+        let pv = seq.pair_view(a, b);
+        let accesses = pv.count_a() + pv.count_b();
+        if accesses == 0 {
+            return None;
+        }
+        let report = dp_greedy_pair(&seq, a, b, &dpg_config);
+        let opt = optimal_pair(&seq, a, b, &model);
+        Some(Fig11Row {
+            a: i,
+            b: j,
+            jaccard: pv.jaccard(),
+            dp_greedy: report.total() / accesses as f64,
+            optimal: opt / accesses as f64,
         })
-        .collect();
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     rows.sort_by(|x, y| x.jaccard.partial_cmp(&y.jaccard).unwrap());
 
     // Break-even: smallest J such that every row with J' >= J has
@@ -122,6 +121,15 @@ impl Fig11 {
     }
 }
 
+mcs_model::impl_to_json!(Fig11Row {
+    a,
+    b,
+    jaccard,
+    dp_greedy,
+    optimal
+});
+mcs_model::impl_to_json!(Fig11 { rows, break_even });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,9 +164,10 @@ mod tests {
         let f = run(&paper_workload(DEFAULT_SEED));
         let be = f.break_even.expect("a break-even Jaccard should exist");
         // The paper reports ≈ 0.3 on its dataset; accept a generous band
-        // for the synthetic one.
+        // for the synthetic one (the in-tree PRNG's workload lands its
+        // break-even a little above the old generator's).
         assert!(
-            (0.1..=0.55).contains(&be),
+            (0.1..=0.65).contains(&be),
             "break-even {be} out of plausible band"
         );
     }

@@ -7,8 +7,7 @@
 //! favourable; the first request of each server always needs a transfer,
 //! which tilts the peak right of `ρ = 1`.
 
-use rayon::prelude::*;
-use serde::Serialize;
+use crate::par::par_map;
 
 use dp_greedy::baselines::optimal_non_packing;
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
@@ -18,7 +17,7 @@ use mcs_trace::workload::{generate, WorkloadConfig};
 use crate::table::{fmt_f, Table};
 
 /// One sweep point.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Fig12Row {
     /// `ρ = λ/μ`.
     pub rho: f64,
@@ -33,7 +32,7 @@ pub struct Fig12Row {
 }
 
 /// Output of the Fig. 12 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12 {
     /// Sweep rows, ascending `ρ`.
     pub rows: Vec<Fig12Row>,
@@ -50,25 +49,22 @@ pub fn default_rhos() -> Vec<f64> {
 /// Runs the sweep (points in parallel).
 pub fn run(config: &WorkloadConfig, rhos: &[f64]) -> Fig12 {
     let seq = generate(config);
-    let rows: Vec<Fig12Row> = rhos
-        .par_iter()
-        .map(|&rho| {
-            let model = CostModelBuilder::new()
-                .from_rho(rho, 6.0)
-                .alpha(0.8)
-                .build()
-                .expect("valid model");
-            let dpg = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.3));
-            let opt = optimal_non_packing(&seq, &model);
-            Fig12Row {
-                rho,
-                mu: model.mu(),
-                lambda: model.lambda(),
-                dp_greedy: dpg.ave_cost(),
-                optimal: opt.ave_cost(),
-            }
-        })
-        .collect();
+    let rows: Vec<Fig12Row> = par_map(rhos, |&rho| {
+        let model = CostModelBuilder::new()
+            .from_rho(rho, 6.0)
+            .alpha(0.8)
+            .build()
+            .expect("valid model");
+        let dpg = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.3));
+        let opt = optimal_non_packing(&seq, &model);
+        Fig12Row {
+            rho,
+            mu: model.mu(),
+            lambda: model.lambda(),
+            dp_greedy: dpg.ave_cost(),
+            optimal: opt.ave_cost(),
+        }
+    });
     Fig12 { rows }
 }
 
@@ -100,6 +96,15 @@ impl Fig12 {
         t
     }
 }
+
+mcs_model::impl_to_json!(Fig12Row {
+    rho,
+    mu,
+    lambda,
+    dp_greedy,
+    optimal
+});
+mcs_model::impl_to_json!(Fig12 { rows });
 
 #[cfg(test)]
 mod tests {

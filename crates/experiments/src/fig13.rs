@@ -12,8 +12,7 @@
 //! Package_Served deteriorates while DP_Greedy tracks the better of the
 //! two extremes thanks to its selective packing.
 
-use rayon::prelude::*;
-use serde::Serialize;
+use crate::par::par_map;
 
 use dp_greedy::baselines::{optimal_pair, package_served_pair};
 use dp_greedy::two_phase::{dp_greedy_pair, DpGreedyConfig};
@@ -23,7 +22,7 @@ use mcs_trace::workload::{generate, WorkloadConfig};
 use crate::table::{fmt_f, Table};
 
 /// One (α, pair) measurement.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Fig13Row {
     /// Discount factor.
     pub alpha: f64,
@@ -42,7 +41,7 @@ pub struct Fig13Row {
 }
 
 /// Output of the Fig. 13 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13 {
     /// All rows, grouped by α then ascending Jaccard.
     pub rows: Vec<Fig13Row>,
@@ -60,44 +59,42 @@ pub fn run(config: &WorkloadConfig) -> Fig13 {
     let k = seq.items();
     let pairs: Vec<(u32, u32)> = (0..k / 2).map(|p| (2 * p, 2 * p + 1)).collect();
 
-    let mut rows: Vec<Fig13Row> = ALPHAS
-        .par_iter()
-        .flat_map(|&alpha| {
-            let seq = &seq;
-            pairs
-                .par_iter()
-                .filter_map(move |&(i, j)| {
-                    let model = CostModel::new(2.0, 4.0, alpha).expect("valid");
-                    let (a, b) = (ItemId(i), ItemId(j));
-                    let pv = seq.pair_view(a, b);
-                    let accesses = (pv.count_a() + pv.count_b()) as f64;
-                    if accesses == 0.0 {
-                        return None;
-                    }
-                    let optimal = optimal_pair(seq, a, b, &model) / accesses;
-                    // Selective packing per Algorithm 1: Phase 2 only runs
-                    // on pairs whose similarity strictly exceeds θ; below
-                    // it DP_Greedy serves both items individually.
-                    let dp_greedy = if pv.jaccard() > THETA {
-                        dp_greedy_pair(seq, a, b, &DpGreedyConfig::new(model).with_theta(THETA))
-                            .total()
-                            / accesses
-                    } else {
-                        optimal
-                    };
-                    Some(Fig13Row {
-                        alpha,
-                        a: i,
-                        b: j,
-                        jaccard: pv.jaccard(),
-                        package_served: package_served_pair(seq, a, b, &model) / accesses,
-                        optimal,
-                        dp_greedy,
-                    })
-                })
-                .collect::<Vec<_>>()
-        })
+    let combos: Vec<(f64, u32, u32)> = ALPHAS
+        .iter()
+        .flat_map(|&alpha| pairs.iter().map(move |&(i, j)| (alpha, i, j)))
         .collect();
+    let mut rows: Vec<Fig13Row> = par_map(&combos, |&(alpha, i, j)| {
+        let seq = &seq;
+        let model = CostModel::new(2.0, 4.0, alpha).expect("valid");
+        let (a, b) = (ItemId(i), ItemId(j));
+        let pv = seq.pair_view(a, b);
+        let accesses = (pv.count_a() + pv.count_b()) as f64;
+        if accesses == 0.0 {
+            return None;
+        }
+        let optimal = optimal_pair(seq, a, b, &model) / accesses;
+        // Selective packing per Algorithm 1: Phase 2 only runs
+        // on pairs whose similarity strictly exceeds θ; below
+        // it DP_Greedy serves both items individually.
+        let dp_greedy = if pv.jaccard() > THETA {
+            dp_greedy_pair(seq, a, b, &DpGreedyConfig::new(model).with_theta(THETA)).total()
+                / accesses
+        } else {
+            optimal
+        };
+        Some(Fig13Row {
+            alpha,
+            a: i,
+            b: j,
+            jaccard: pv.jaccard(),
+            package_served: package_served_pair(seq, a, b, &model) / accesses,
+            optimal,
+            dp_greedy,
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     rows.sort_by(|x, y| {
         x.alpha
             .partial_cmp(&y.alpha)
@@ -152,6 +149,17 @@ impl Fig13 {
         ))
     }
 }
+
+mcs_model::impl_to_json!(Fig13Row {
+    alpha,
+    a,
+    b,
+    jaccard,
+    package_served,
+    optimal,
+    dp_greedy
+});
+mcs_model::impl_to_json!(Fig13 { rows });
 
 #[cfg(test)]
 mod tests {

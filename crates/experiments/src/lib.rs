@@ -12,16 +12,18 @@
 //! | [`fig13`]    | Fig. 13 | `ave_cost` vs `α` for Package_Served / Optimal / DP_Greedy |
 //! | [`ratio_exp`]| Thm. 1  | empirical `C_DPG/C*` against the `2/α` bound |
 //! | [`online_exp`]| E10    | competitive ratios of the on-line policies |
+//! | [`chaos_exp`]| —       | robustness: degradation under injected faults |
 //!
 //! All sweeps are deterministic (seeded workloads) and parallelised with
-//! Rayon where points are independent. The `figures` binary drives them
-//! from the command line.
+//! the in-tree [`par`] helper where points are independent. The `figures`
+//! binary drives them from the command line.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
 pub mod capacity_exp;
+pub mod chaos_exp;
 pub mod drift_exp;
 pub mod export;
 pub mod fig09;
@@ -31,6 +33,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod multi_exp;
 pub mod online_exp;
+pub mod par;
 pub mod ratio_exp;
 pub mod replication;
 pub mod table;

@@ -11,10 +11,8 @@
 //!   extension), and
 //! * the non-packing **Optimal** yardstick.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-use rayon::prelude::*;
-use serde::Serialize;
+use crate::par::par_map;
+use mcs_model::rng::Rng;
 
 use dp_greedy::baselines::optimal_non_packing;
 use dp_greedy::multi_item::{dp_greedy_multi, MultiItemConfig};
@@ -24,7 +22,7 @@ use mcs_model::{CostModel, RequestSeq, RequestSeqBuilder};
 use crate::table::{fmt_f, Table};
 
 /// One α measurement.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MultiRow {
     /// Discount factor.
     pub alpha: f64,
@@ -37,7 +35,7 @@ pub struct MultiRow {
 }
 
 /// Experiment output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MultiExp {
     /// Rows per α.
     pub rows: Vec<MultiRow>,
@@ -49,19 +47,19 @@ pub struct MultiExp {
 /// servers, `n` requests, co-access probability `q`.
 pub fn bundle_workload(servers: u32, bundles: u32, n: usize, q: f64, seed: u64) -> RequestSeq {
     let items = bundles * 3;
-    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = RequestSeqBuilder::new(servers, items);
     let mut t = 0.0_f64;
     for _ in 0..n {
-        t += 0.05 + rng.gen::<f64>() * 0.2;
+        t += 0.05 + rng.gen_f64() * 0.2;
         let bundle = rng.gen_range(0..bundles);
         let base = bundle * 3;
         let server = rng.gen_range(0..servers);
-        let items: Vec<u32> = if rng.gen::<f64>() < q {
+        let items: Vec<u32> = if rng.gen_f64() < q {
             vec![base, base + 1, base + 2]
         } else {
             // A partial access: one or two of the bundle members.
-            match rng.gen_range(0..4) {
+            match rng.gen_range(0u32..4) {
                 0 => vec![base],
                 1 => vec![base + 1],
                 2 => vec![base + 2],
@@ -81,21 +79,18 @@ pub fn run(seed: u64) -> MultiExp {
     let seq = bundle_workload(12, 3, 900, 0.6, seed);
     let requests = seq.len();
     let alphas = [0.2, 0.4, 0.6, 0.8];
-    let rows: Vec<MultiRow> = alphas
-        .par_iter()
-        .map(|&alpha| {
-            let model = CostModel::new(2.0, 4.0, alpha).expect("valid");
-            let pairwise = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.3));
-            let multi = dp_greedy_multi(&seq, &MultiItemConfig::new(model).with_theta(0.3));
-            let opt = optimal_non_packing(&seq, &model);
-            MultiRow {
-                alpha,
-                pairwise: pairwise.ave_cost(),
-                multi: multi.ave_cost(),
-                optimal: opt.ave_cost(),
-            }
-        })
-        .collect();
+    let rows: Vec<MultiRow> = par_map(&alphas, |&alpha| {
+        let model = CostModel::new(2.0, 4.0, alpha).expect("valid");
+        let pairwise = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.3));
+        let multi = dp_greedy_multi(&seq, &MultiItemConfig::new(model).with_theta(0.3));
+        let opt = optimal_non_packing(&seq, &model);
+        MultiRow {
+            alpha,
+            pairwise: pairwise.ave_cost(),
+            multi: multi.ave_cost(),
+            optimal: opt.ave_cost(),
+        }
+    });
     MultiExp { rows, requests }
 }
 
@@ -120,6 +115,14 @@ impl MultiExp {
         t
     }
 }
+
+mcs_model::impl_to_json!(MultiRow {
+    alpha,
+    pairwise,
+    multi,
+    optimal
+});
+mcs_model::impl_to_json!(MultiExp { rows, requests });
 
 #[cfg(test)]
 mod tests {

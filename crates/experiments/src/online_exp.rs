@@ -4,8 +4,7 @@
 //! ski-rental, always-transfer and cache-everywhere; the table reports the
 //! measured competitive ratio of each against the off-line optimum.
 
-use rayon::prelude::*;
-use serde::Serialize;
+use crate::par::{par_map, par_map_range};
 
 use mcs_model::{CostModel, ItemId};
 use mcs_online::extremes::{always_transfer, cache_everywhere};
@@ -17,7 +16,7 @@ use mcs_trace::workload::{generate, WorkloadConfig};
 use crate::table::{fmt_f, Table};
 
 /// Ratios for one item trace.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct OnlineRow {
     /// The item.
     pub item: u32,
@@ -35,7 +34,7 @@ pub struct OnlineRow {
 
 /// Whole-sequence comparison of correlation-aware vs blind on-line
 /// serving at one α.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct OnlineDpgRow {
     /// Discount factor.
     pub alpha: f64,
@@ -48,7 +47,7 @@ pub struct OnlineDpgRow {
 }
 
 /// Output of the on-line experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OnlineExp {
     /// One row per item.
     pub rows: Vec<OnlineRow>,
@@ -60,48 +59,43 @@ pub struct OnlineExp {
 pub fn run(config: &WorkloadConfig) -> OnlineExp {
     let seq = generate(config);
     let model = CostModel::new(3.0, 3.0, 0.8).expect("valid");
-    let rows: Vec<OnlineRow> = (0..seq.items())
-        .into_par_iter()
-        .map(|i| {
-            let trace = seq.item_trace(ItemId(i));
-            let sr = competitive_ratio(&trace, &model, ski_rental);
-            let at = competitive_ratio(&trace, &model, always_transfer);
-            let ce = competitive_ratio(&trace, &model, cache_everywhere);
-            OnlineRow {
-                item: i,
-                requests: trace.len(),
-                offline: sr.offline,
-                ski_rental: sr.ratio,
-                always_transfer: at.ratio,
-                cache_everywhere: ce.ratio,
-            }
-        })
-        .collect();
+    let rows: Vec<OnlineRow> = par_map_range(seq.items() as usize, |i| {
+        let i = i as u32;
+        let trace = seq.item_trace(ItemId(i));
+        let sr = competitive_ratio(&trace, &model, ski_rental);
+        let at = competitive_ratio(&trace, &model, always_transfer);
+        let ce = competitive_ratio(&trace, &model, cache_everywhere);
+        OnlineRow {
+            item: i,
+            requests: trace.len(),
+            offline: sr.offline,
+            ski_rental: sr.ratio,
+            always_transfer: at.ratio,
+            cache_everywhere: ce.ratio,
+        }
+    });
 
-    let dpg_rows: Vec<OnlineDpgRow> = [0.3, 0.5, 0.8]
-        .par_iter()
-        .map(|&alpha| {
-            let model = CostModel::new(3.0, 3.0, alpha).expect("valid");
-            let out = online_dp_greedy(
-                &seq,
-                &OnlineDpgConfig {
-                    model,
-                    theta: 0.3,
-                    refresh_every: 100,
-                    decay: 1.0,
-                },
-            );
-            let blind: f64 = (0..seq.items())
-                .map(|i| ski_rental(&seq.item_trace(ItemId(i)), &model).cost)
-                .sum();
-            OnlineDpgRow {
-                alpha,
-                online_dpg: out.cost,
-                package_transfers: out.package_transfers,
-                blind,
-            }
-        })
-        .collect();
+    let dpg_rows: Vec<OnlineDpgRow> = par_map(&[0.3, 0.5, 0.8], |&alpha| {
+        let model = CostModel::new(3.0, 3.0, alpha).expect("valid");
+        let out = online_dp_greedy(
+            &seq,
+            &OnlineDpgConfig {
+                model,
+                theta: 0.3,
+                refresh_every: 100,
+                decay: 1.0,
+            },
+        );
+        let blind: f64 = (0..seq.items())
+            .map(|i| ski_rental(&seq.item_trace(ItemId(i)), &model).cost)
+            .sum();
+        OnlineDpgRow {
+            alpha,
+            online_dpg: out.cost,
+            package_transfers: out.package_transfers,
+            blind,
+        }
+    });
 
     OnlineExp { rows, dpg_rows }
 }
@@ -170,6 +164,22 @@ impl OnlineExp {
         t
     }
 }
+
+mcs_model::impl_to_json!(OnlineRow {
+    item,
+    requests,
+    offline,
+    ski_rental,
+    always_transfer,
+    cache_everywhere
+});
+mcs_model::impl_to_json!(OnlineDpgRow {
+    alpha,
+    online_dpg,
+    package_transfers,
+    blind
+});
+mcs_model::impl_to_json!(OnlineExp { rows, dpg_rows });
 
 #[cfg(test)]
 mod tests {

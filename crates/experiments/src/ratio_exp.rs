@@ -4,10 +4,8 @@
 //! computable) are solved by both DP_Greedy and the exact packed-model DP;
 //! the worst observed ratio per α is reported against the theorem's bound.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-use rayon::prelude::*;
-use serde::Serialize;
+use crate::par::par_map_range;
+use mcs_model::rng::Rng;
 
 use dp_greedy::ratio::ratio_check;
 use dp_greedy::two_phase::DpGreedyConfig;
@@ -16,7 +14,7 @@ use mcs_model::{CostModel, ItemId, RequestSeq, RequestSeqBuilder};
 use crate::table::{fmt_f, Table};
 
 /// Aggregated ratios for one α.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RatioRow {
     /// Discount factor.
     pub alpha: f64,
@@ -31,21 +29,21 @@ pub struct RatioRow {
 }
 
 /// Output of the ratio experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RatioExp {
     /// One row per α.
     pub rows: Vec<RatioRow>,
 }
 
 /// Generates one random two-item instance.
-fn random_instance(rng: &mut ChaCha12Rng, servers: u32, max_n: usize) -> RequestSeq {
+fn random_instance(rng: &mut Rng, servers: u32, max_n: usize) -> RequestSeq {
     let n = rng.gen_range(2..=max_n);
     let mut ticks: Vec<u32> = (0..n).map(|_| rng.gen_range(1..=80)).collect();
     ticks.sort_unstable();
     ticks.dedup();
     let mut b = RequestSeqBuilder::new(servers, 2);
     for &t in &ticks {
-        let items: Vec<u32> = match rng.gen_range(0..3) {
+        let items: Vec<u32> = match rng.gen_range(0u32..3) {
             0 => vec![0],
             1 => vec![1],
             _ => vec![0, 1],
@@ -61,22 +59,18 @@ pub fn run(samples: usize, seed: u64) -> RatioExp {
     let rows = alphas
         .iter()
         .map(|&alpha| {
-            let ratios: Vec<f64> = (0..samples)
-                .into_par_iter()
-                .map(|i| {
-                    let mut rng =
-                        ChaCha12Rng::seed_from_u64(seed ^ (i as u64) << 8 ^ (alpha * 100.0) as u64);
-                    let seq = random_instance(&mut rng, 3, 9);
-                    let model = CostModel::new(
-                        rng.gen_range(1..=30) as f64 / 10.0,
-                        rng.gen_range(1..=30) as f64 / 10.0,
-                        alpha,
-                    )
-                    .expect("valid");
-                    let config = DpGreedyConfig::new(model);
-                    ratio_check(&seq, ItemId(0), ItemId(1), &config).ratio
-                })
-                .collect();
+            let ratios: Vec<f64> = par_map_range(samples, |i| {
+                let mut rng = Rng::seed_from_u64(seed ^ (i as u64) << 8 ^ (alpha * 100.0) as u64);
+                let seq = random_instance(&mut rng, 3, 9);
+                let model = CostModel::new(
+                    rng.gen_range(1u32..=30) as f64 / 10.0,
+                    rng.gen_range(1u32..=30) as f64 / 10.0,
+                    alpha,
+                )
+                .expect("valid");
+                let config = DpGreedyConfig::new(model);
+                ratio_check(&seq, ItemId(0), ItemId(1), &config).ratio
+            });
             let max_ratio = ratios.iter().copied().fold(0.0, f64::max);
             let mean_ratio = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
             RatioRow {
@@ -110,6 +104,15 @@ impl RatioExp {
         t
     }
 }
+
+mcs_model::impl_to_json!(RatioRow {
+    alpha,
+    bound,
+    max_ratio,
+    mean_ratio,
+    samples
+});
+mcs_model::impl_to_json!(RatioExp { rows });
 
 #[cfg(test)]
 mod tests {

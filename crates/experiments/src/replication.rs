@@ -1,14 +1,13 @@
 //! Replication-value experiment: multi-copy optimal vs the single-copy
-//! regime of the earlier literature ([7], [8]).
+//! regime of the earlier literature (\[7\], \[8\]).
 //!
 //! The paper's model allows free replication ("a transfer operation often
 //! implies a replication"); its predecessors studied a single migrating
 //! copy. This experiment quantifies, per item of the city workload, what
 //! replication is worth — and how far the always-migrate heuristic (the
-//! upper end of [8]'s `1 + C/S` analysis) falls behind.
+//! upper end of \[8\]'s `1 + C/S` analysis) falls behind.
 
-use rayon::prelude::*;
-use serde::Serialize;
+use crate::par::par_map_range;
 
 use mcs_model::{CostModel, ItemId};
 use mcs_offline::optimal;
@@ -18,7 +17,7 @@ use mcs_trace::workload::{generate, WorkloadConfig};
 use crate::table::{fmt_f, Table};
 
 /// Per-item measurement.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ReplicationRow {
     /// The item.
     pub item: u32,
@@ -33,7 +32,7 @@ pub struct ReplicationRow {
 }
 
 /// Experiment output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ReplicationExp {
     /// One row per item.
     pub rows: Vec<ReplicationRow>,
@@ -43,19 +42,17 @@ pub struct ReplicationExp {
 pub fn run(config: &WorkloadConfig) -> ReplicationExp {
     let seq = generate(config);
     let model = CostModel::new(2.0, 4.0, 0.8).expect("valid");
-    let rows: Vec<ReplicationRow> = (0..seq.items())
-        .into_par_iter()
-        .map(|i| {
-            let trace = seq.item_trace(ItemId(i));
-            ReplicationRow {
-                item: i,
-                requests: trace.len(),
-                multi_copy: optimal(&trace, &model).cost,
-                single_copy: single_copy_optimal(&trace, &model).cost,
-                always_migrate: single_copy_always_migrate(&trace, &model),
-            }
-        })
-        .collect();
+    let rows: Vec<ReplicationRow> = par_map_range(seq.items() as usize, |i| {
+        let i = i as u32;
+        let trace = seq.item_trace(ItemId(i));
+        ReplicationRow {
+            item: i,
+            requests: trace.len(),
+            multi_copy: optimal(&trace, &model).cost,
+            single_copy: single_copy_optimal(&trace, &model).cost,
+            always_migrate: single_copy_always_migrate(&trace, &model),
+        }
+    });
     ReplicationExp { rows }
 }
 
@@ -102,6 +99,15 @@ impl ReplicationExp {
         t
     }
 }
+
+mcs_model::impl_to_json!(ReplicationRow {
+    item,
+    requests,
+    multi_copy,
+    single_copy,
+    always_migrate
+});
+mcs_model::impl_to_json!(ReplicationExp { rows });
 
 #[cfg(test)]
 mod tests {

@@ -8,8 +8,6 @@
 //! Replication, deletion and (un)packing are free (Section III-C): they are
 //! constants that the paper folds into `λ`/`μ` without loss of accuracy.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 
 /// The package size studied by the paper ("as a proof of concept, the
@@ -17,7 +15,7 @@ use crate::error::ModelError;
 pub const PACKAGE_PAIR: u32 = 2;
 
 /// Homogeneous cost model `(μ, λ, α)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Caching cost per item copy per unit time (`μ`).
     mu: f64,
@@ -25,6 +23,20 @@ pub struct CostModel {
     lambda: f64,
     /// Package discount factor (`α`), in `(0, 1]`.
     alpha: f64,
+}
+
+crate::impl_to_json!(CostModel { mu, lambda, alpha });
+
+impl crate::json::FromJson for CostModel {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        // Route through the validating constructor so corrupt files
+        // cannot smuggle in a non-positive rate or out-of-range alpha.
+        let mu = f64::from_json(v.field("mu")?)?;
+        let lambda = f64::from_json(v.field("lambda")?)?;
+        let alpha = f64::from_json(v.field("alpha")?)?;
+        CostModel::new(mu, lambda, alpha)
+            .map_err(|e| crate::json::JsonError::conv(format!("invalid cost model: {e}")))
+    }
 }
 
 impl CostModel {
@@ -134,9 +146,9 @@ impl CostModel {
     /// Derives the effective single-"item" cost model under which a two-item
     /// package is scheduled: `μ' = 2αμ`, `λ' = 2αλ`.
     ///
-    /// Running the single-item optimal off-line algorithm of [6] with this
+    /// Running the single-item optimal off-line algorithm of \[6\] with this
     /// scaled model on the co-request subsequence is exactly Phase 2's
-    /// `cost[item.d2] += 2α·(call alg. in [6])` (Algorithm 1, line 40).
+    /// `cost[item.d2] += 2α·(call alg. in \[6\])` (Algorithm 1, line 40).
     pub fn scaled_for_package(&self) -> CostModel {
         CostModel {
             mu: self.cache_rate_package(PACKAGE_PAIR),
@@ -306,10 +318,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use crate::json::{parse, FromJson, ToJson};
         let m = CostModel::new(2.0, 4.0, 0.6).unwrap();
-        let j = serde_json::to_string(&m).unwrap();
-        let back: CostModel = serde_json::from_str(&j).unwrap();
+        let j = m.to_json().to_string();
+        let back = CostModel::from_json(&parse(&j).unwrap()).unwrap();
         assert_eq!(m, back);
+        // Validation still runs on load.
+        let bad = parse(r#"{"mu": -1.0, "lambda": 4.0, "alpha": 0.6}"#).unwrap();
+        assert!(CostModel::from_json(&bad).is_err());
     }
 }

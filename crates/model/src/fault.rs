@@ -1,0 +1,326 @@
+//! Fault vocabulary: crash windows and seeded fault plans.
+//!
+//! The paper's model is an idealized fleet — servers never crash and
+//! transfers never fail. A [`FaultPlan`] describes the ways a real fleet
+//! deviates from that ideal:
+//!
+//! * **Crash windows** — half-open time spans during which a server is
+//!   down. A copy cached on a server is *lost* the instant a crash window
+//!   opens; recovery restores the server's ability to hold copies and to
+//!   serve transfers, but not the lost copies themselves.
+//! * **Transfer failures** — each transfer attempt independently fails
+//!   with probability `transfer_failure_prob`; a failed attempt still
+//!   costs the transfer rate `λ` (the bytes moved before the connection
+//!   died are paid for).
+//! * **Transfer latency** — a fixed extra delay per attempt, used by the
+//!   degraded replay to measure time-to-repair.
+//!
+//! The origin server `s1` is special: it fronts the cloud backing store,
+//! so a fetch *from the origin* always succeeds (at ordinary transfer
+//! cost) even while `s1`'s cache is crashed. This mirrors production
+//! systems where the origin is a durable service, not a cache replica.
+//!
+//! Every random decision is derived *statelessly* from the plan's seed
+//! and the event's coordinates (see [`FaultPlan::transfer_fails`]), so
+//! the same plan gives the same faults regardless of the order in which
+//! the simulator asks.
+
+use crate::ids::ServerId;
+use crate::rng::{mix64, u64_to_f64, Rng};
+use crate::time::{TimePoint, TimeSpan};
+
+/// A span during which one server is down.
+///
+/// Use [`TimePoint`] infinity for `span.end` to model a permanent crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashWindow {
+    /// The crashed server.
+    pub server: ServerId,
+    /// When it is down (half-open `[start, end)`).
+    pub span: TimeSpan,
+}
+
+impl CrashWindow {
+    /// A crash that never recovers.
+    #[must_use]
+    pub fn permanent(server: ServerId, from: TimePoint) -> Self {
+        CrashWindow {
+            server,
+            span: TimeSpan::new(from, f64::INFINITY),
+        }
+    }
+}
+
+/// A deterministic, seedable description of injected faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the stateless per-event fault draws.
+    pub seed: u64,
+    /// When which servers are down.
+    pub crashes: Vec<CrashWindow>,
+    /// Probability each transfer attempt fails (clamped to `[0, 1]`).
+    pub transfer_failure_prob: f64,
+    /// Extra latency charged to each transfer attempt (time units).
+    pub transfer_latency: f64,
+    /// Retry budget per transfer before falling back to the origin.
+    pub max_retries: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no crashes, no failures — degraded replay under
+    /// this plan must match plain replay bit-for-bit.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            crashes: Vec::new(),
+            transfer_failure_prob: 0.0,
+            transfer_latency: 0.0,
+            max_retries: 3,
+        }
+    }
+
+    /// True when the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.transfer_failure_prob <= 0.0
+    }
+
+    /// Crashes every non-origin server permanently from time zero.
+    ///
+    /// Under this plan every cached copy outside `s1` dies instantly, so
+    /// any schedule degrades to fetching each request from the origin —
+    /// the `n·λ` upper bound used by the acceptance tests.
+    #[must_use]
+    pub fn total_blackout(servers: u32) -> Self {
+        let mut plan = FaultPlan::none();
+        plan.crashes = (1..servers)
+            .map(|s| CrashWindow::permanent(ServerId(s), 0.0))
+            .collect();
+        plan
+    }
+
+    /// Samples a random plan: each non-origin server suffers crash
+    /// windows at the given rate (expected crashes per unit time per
+    /// server) over `[0, horizon)`, each lasting `mean_outage` on
+    /// average, and transfers fail with `failure_prob`.
+    #[must_use]
+    pub fn random(
+        seed: u64,
+        servers: u32,
+        horizon: TimePoint,
+        crash_rate: f64,
+        mean_outage: f64,
+        failure_prob: f64,
+    ) -> Self {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xFA17_FA17_FA17_FA17);
+        let mut crashes = Vec::new();
+        for s in 1..servers {
+            // Poisson process via exponential inter-arrival times.
+            let mut t = 0.0;
+            loop {
+                t += exponential(&mut rng, crash_rate);
+                if t >= horizon || t.is_nan() {
+                    break;
+                }
+                let outage = exponential(&mut rng, 1.0 / mean_outage.max(1e-12));
+                crashes.push(CrashWindow {
+                    server: ServerId(s),
+                    span: TimeSpan::new(t, t + outage),
+                });
+                t += outage;
+            }
+        }
+        FaultPlan {
+            seed,
+            crashes,
+            transfer_failure_prob: failure_prob,
+            transfer_latency: 0.0,
+            max_retries: 3,
+        }
+    }
+
+    /// Is `server`'s cache down at time `t`?
+    ///
+    /// Note the origin's *backing store* never goes down even when its
+    /// cache does; callers fetch via [`FaultPlan::transfer_fails`] with
+    /// the origin as source, which always succeeds.
+    #[must_use]
+    pub fn is_down(&self, server: ServerId, t: TimePoint) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.server == server && c.span.start <= t && t < c.span.end)
+    }
+
+    /// The first crash-window start in `(t, end]` that kills a copy
+    /// living on `server` through `[t, end)`, if any.
+    #[must_use]
+    pub fn first_crash_in(
+        &self,
+        server: ServerId,
+        t: TimePoint,
+        end: TimePoint,
+    ) -> Option<TimePoint> {
+        self.crashes
+            .iter()
+            .filter(|c| c.server == server && c.span.start >= t && c.span.start < end)
+            .map(|c| c.span.start)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Does transfer attempt `attempt` of the transfer identified by
+    /// `(from, to, time)` fail?
+    ///
+    /// The draw is a pure function of the plan seed and the event
+    /// coordinates, so replaying events in any order gives identical
+    /// faults. Fetches *from the origin* never fail (durable store).
+    #[must_use]
+    pub fn transfer_fails(
+        &self,
+        from: ServerId,
+        to: ServerId,
+        time: TimePoint,
+        attempt: u32,
+    ) -> bool {
+        if self.transfer_failure_prob <= 0.0 || from == ServerId::ORIGIN {
+            return false;
+        }
+        let mut h = mix64(self.seed ^ 0x7255_4E5F_4641_554C);
+        h = mix64(h ^ u64::from(from.0));
+        h = mix64(h ^ (u64::from(to.0) << 32));
+        h = mix64(h ^ time.to_bits());
+        h = mix64(h ^ u64::from(attempt));
+        u64_to_f64(h) < self.transfer_failure_prob.min(1.0)
+    }
+}
+
+/// Exponential draw with the given rate (mean `1/rate`).
+fn exponential(rng: &mut Rng, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u = 1.0 - rng.gen_f64(); // in (0, 1]
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_faultless() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.is_down(ServerId(2), 5.0));
+        assert!(!p.transfer_fails(ServerId(1), ServerId(2), 3.0, 0));
+    }
+
+    #[test]
+    fn crash_windows_are_half_open() {
+        let mut p = FaultPlan::none();
+        p.crashes.push(CrashWindow {
+            server: ServerId(1),
+            span: TimeSpan::new(2.0, 5.0),
+        });
+        assert!(!p.is_down(ServerId(1), 1.9));
+        assert!(p.is_down(ServerId(1), 2.0));
+        assert!(p.is_down(ServerId(1), 4.99));
+        assert!(!p.is_down(ServerId(1), 5.0));
+        assert!(!p.is_down(ServerId(2), 3.0));
+    }
+
+    #[test]
+    fn total_blackout_spares_only_the_origin() {
+        let p = FaultPlan::total_blackout(4);
+        assert!(!p.is_down(ServerId::ORIGIN, 10.0));
+        for s in 1..4 {
+            assert!(p.is_down(ServerId(s), 0.0));
+            assert!(p.is_down(ServerId(s), 1e9));
+        }
+    }
+
+    #[test]
+    fn transfer_draws_are_order_independent_and_seeded() {
+        let mut p = FaultPlan::none();
+        p.transfer_failure_prob = 0.5;
+        p.seed = 99;
+        let a = p.transfer_fails(ServerId(1), ServerId(2), 3.25, 0);
+        let b = p.transfer_fails(ServerId(2), ServerId(3), 7.5, 1);
+        // Re-asking in reverse order gives the same answers.
+        assert_eq!(p.transfer_fails(ServerId(2), ServerId(3), 7.5, 1), b);
+        assert_eq!(p.transfer_fails(ServerId(1), ServerId(2), 3.25, 0), a);
+        // A different seed flips at least one draw across many events.
+        let mut q = p.clone();
+        q.seed = 100;
+        let flips = (0..64)
+            .filter(|&i| {
+                let t = f64::from(i) * 0.5;
+                p.transfer_fails(ServerId(1), ServerId(2), t, 0)
+                    != q.transfer_fails(ServerId(1), ServerId(2), t, 0)
+            })
+            .count();
+        assert!(flips > 0);
+    }
+
+    #[test]
+    fn origin_fetches_never_fail() {
+        let mut p = FaultPlan::none();
+        p.transfer_failure_prob = 1.0;
+        for i in 0..32 {
+            assert!(!p.transfer_fails(ServerId::ORIGIN, ServerId(2), f64::from(i), 0));
+            assert!(p.transfer_fails(ServerId(1), ServerId(2), f64::from(i), 0));
+        }
+    }
+
+    #[test]
+    fn transfer_failure_frequency_tracks_probability() {
+        let mut p = FaultPlan::none();
+        p.transfer_failure_prob = 0.3;
+        p.seed = 7;
+        let fails = (0..10_000)
+            .filter(|&i| p.transfer_fails(ServerId(1), ServerId(2), f64::from(i) * 0.1, 0))
+            .count();
+        assert!((2500..3500).contains(&fails), "p=0.3 gave {fails}/10000");
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_and_respects_horizon() {
+        let a = FaultPlan::random(5, 4, 100.0, 0.05, 2.0, 0.1);
+        let b = FaultPlan::random(5, 4, 100.0, 0.05, 2.0, 0.1);
+        assert_eq!(a, b);
+        assert!(
+            !a.crashes.is_empty(),
+            "expected some crashes at rate 0.05 over 100 time units"
+        );
+        for c in &a.crashes {
+            assert!(c.span.start < 100.0);
+            assert_ne!(c.server, ServerId::ORIGIN);
+            assert!(c.span.end > c.span.start);
+        }
+        let c = FaultPlan::random(6, 4, 100.0, 0.05, 2.0, 0.1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn first_crash_in_finds_the_earliest_overlap() {
+        let mut p = FaultPlan::none();
+        p.crashes.push(CrashWindow {
+            server: ServerId(2),
+            span: TimeSpan::new(4.0, 6.0),
+        });
+        p.crashes.push(CrashWindow {
+            server: ServerId(2),
+            span: TimeSpan::new(1.5, 2.0),
+        });
+        assert_eq!(p.first_crash_in(ServerId(2), 1.0, 10.0), Some(1.5));
+        assert_eq!(p.first_crash_in(ServerId(2), 3.0, 10.0), Some(4.0));
+        assert_eq!(p.first_crash_in(ServerId(2), 7.0, 10.0), None);
+        assert_eq!(p.first_crash_in(ServerId(3), 0.0, 10.0), None);
+    }
+}

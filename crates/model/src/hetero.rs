@@ -2,20 +2,18 @@
 //! relates to the rectilinear Steiner arborescence problem.
 //!
 //! The DP_Greedy paper works under homogeneous costs, but defines its
-//! hardness by reference to the heterogeneous problem of [7]: per-server
+//! hardness by reference to the heterogeneous problem of \[7\]: per-server
 //! caching rates `μ_s` and per-pair transfer costs `λ_{st}`. This module
 //! supplies that model as a first-class citizen so the workspace can (a)
 //! check that every homogeneous algorithm is the uniform special case of
 //! a heterogeneous one, and (b) host the exact/heuristic heterogeneous
 //! solvers of `mcs-offline::hetero`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 use crate::ids::ServerId;
 
 /// Per-server, per-link cost model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeteroCostModel {
     /// `μ_s` — caching rate per copy per unit time at each server.
     mu: Vec<f64>,
@@ -27,6 +25,13 @@ pub struct HeteroCostModel {
     alpha: f64,
     servers: u32,
 }
+
+crate::impl_json!(HeteroCostModel {
+    mu,
+    lambda,
+    alpha,
+    servers
+});
 
 impl HeteroCostModel {
     /// Validates and builds a heterogeneous model.
@@ -196,10 +201,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use crate::json::{parse, FromJson, ToJson};
         let h = HeteroCostModel::uniform(2, 1.5, 2.5, 0.7).unwrap();
-        let j = serde_json::to_string(&h).unwrap();
-        let back: HeteroCostModel = serde_json::from_str(&j).unwrap();
+        let j = h.to_json().to_string();
+        let back = HeteroCostModel::from_json(&parse(&j).unwrap()).unwrap();
         assert_eq!(h, back);
     }
 }

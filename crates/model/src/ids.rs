@@ -4,23 +4,17 @@
 //! index from zero internally and render one-based in [`std::fmt::Display`]
 //! so that diagrams and experiment output match the paper's notation.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 
 /// Identifier of a data item (`d_p` in the paper), zero-based.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ItemId(pub u32);
 
 /// Identifier of a cache server (`s_j` in the paper), zero-based.
 ///
 /// By convention — matching Section III-A of the paper — every data item
 /// initially resides on server `s_1`, i.e. `ServerId::ORIGIN`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ServerId(pub u32);
 
 impl ItemId {
@@ -39,6 +33,32 @@ impl ServerId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+// Ids serialize transparently as their raw number, matching the on-disk
+// format the previous `#[serde(transparent)]` derives produced.
+impl ToJson for ItemId {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(self.0))
+    }
+}
+
+impl FromJson for ItemId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u32::from_json(v).map(ItemId)
+    }
+}
+
+impl ToJson for ServerId {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(self.0))
+    }
+}
+
+impl FromJson for ServerId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u32::from_json(v).map(ServerId)
     }
 }
 
@@ -96,10 +116,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_is_transparent() {
-        let j = serde_json::to_string(&ItemId(4)).unwrap();
+    fn json_is_transparent() {
+        use crate::json::{parse, FromJson, ToJson};
+        let j = ItemId(4).to_json().to_string();
         assert_eq!(j, "4");
-        let back: ItemId = serde_json::from_str(&j).unwrap();
+        let back = ItemId::from_json(&parse(&j).unwrap()).unwrap();
         assert_eq!(back, ItemId(4));
+        assert_eq!(ServerId(7).to_json().to_string(), "7");
     }
 }

@@ -1,0 +1,650 @@
+//! Minimal in-tree JSON: a value tree, a strict parser, compact and pretty
+//! writers, and [`ToJson`]/[`FromJson`] conversion traits.
+//!
+//! The build environment resolves no external crates, so `serde_json`
+//! cannot sit in the dependency graph; this module carries the small
+//! subset the workspace needs — trace persistence (`mcs-trace::io`) and
+//! experiment-result export (`mcs-experiments`). The on-disk shape matches
+//! what the previous serde derives produced (objects keyed by field name,
+//! transparent newtype ids), so existing trace/result files keep loading.
+//!
+//! Object keys preserve insertion order, numbers are `f64` (adequate for
+//! costs, times, counts ≤ 2⁵³ and the `u64` seeds we store, which are
+//! user-chosen small values — the writer round-trips integers exactly when
+//! they fit the `f64` mantissa).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse or conversion failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset in the input (0 for conversion errors).
+    pub at: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    /// A conversion (not parse-position) error.
+    pub fn conv(msg: impl Into<String>) -> Self {
+        JsonError {
+            msg: msg.into(),
+            at: 0,
+        }
+    }
+}
+
+impl Json {
+    /// Field lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required-field lookup with a descriptive error.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::conv(format!("missing field `{key}`")))
+    }
+
+    /// The number inside, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array inside, if any.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Pretty serialization (two-space indent).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Obj(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i, d| {
+                    write_string(out, &fields[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    fields[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    /// Compact serialization.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; serialize as null like serde_json's lossy modes.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // `{:?}` is Rust's shortest round-trip float formatting.
+        let _ = write!(out, "{n:?}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a complete JSON document (rejects trailing garbage).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError {
+            msg: "trailing characters after document".into(),
+            at: pos,
+        });
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn err(msg: &str, at: usize) -> JsonError {
+    JsonError {
+        msg: msg.into(),
+        at,
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(err(&format!("expected `{lit}`"), *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err("unexpected end of input", *pos)),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(err("expected `,` or `]`", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields: Vec<(String, Json)> = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(err("expected `:`", *pos));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(err("expected `,` or `}`", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(err("expected string", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(err("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = b.get(*pos).ok_or_else(|| err("bad escape", *pos))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| err("truncated \\u escape", *pos))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| err("non-utf8 \\u escape", *pos))?,
+                            16,
+                        )
+                        .map_err(|_| err("bad \\u escape", *pos))?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(err("unknown escape", *pos - 1)),
+                }
+            }
+            Some(&c) if c < 0x20 => return Err(err("control character in string", *pos)),
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let start = *pos;
+                let s =
+                    std::str::from_utf8(&b[start..]).map_err(|_| err("invalid utf-8", start))?;
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(
+        b.get(*pos),
+        Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| err("bad number", start))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| err("bad number", start))
+}
+
+/// Conversion into [`Json`]. The replacement for `serde::Serialize` in this
+/// workspace; implement by hand or through [`crate::impl_to_json!`].
+pub trait ToJson {
+    /// Converts `self` to a JSON value tree.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion out of [`Json`]. The replacement for `serde::Deserialize`.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self`, validating shape and ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first mismatch.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+macro_rules! impl_num_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| JsonError::conv(concat!("expected number for ", stringify!($t))))?;
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_num_json!(f64, u32, u64, usize, i64, i32);
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(JsonError::conv("expected bool")),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| JsonError::conv("expected string"))
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_owned())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_arr()
+            .ok_or_else(|| JsonError::conv("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<K: ToString, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+/// Derives [`ToJson`] for a struct with named public-to-the-macro fields:
+///
+/// ```ignore
+/// impl_to_json!(Row { theta, cost, label });
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::json::ToJson::to_json(&self.$field)),)*
+                ])
+            }
+        }
+    };
+}
+
+/// Derives both [`ToJson`] and [`FromJson`] for a struct whose fields all
+/// implement the respective trait and are all required.
+#[macro_export]
+macro_rules! impl_json {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        $crate::impl_to_json!($ty { $($field),* });
+        impl $crate::json::FromJson for $ty {
+            fn from_json(v: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                Ok(Self {
+                    $($field: $crate::json::FromJson::from_json(v.field(stringify!($field))?)
+                        .map_err(|e| $crate::json::JsonError::conv(
+                            format!("field `{}`: {}", stringify!($field), e.msg)))?,)*
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse(" -12.5e1 ").unwrap(), Json::Num(-125.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v.field("c").unwrap().as_str(), Some("x"));
+        let arr = v.field("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{not json").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"open").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = parse(r#"{"name":"dpg","xs":[1,2.5,-3],"flag":false,"none":null}"#).unwrap();
+        for text in [v.to_string(), v.to_string_pretty()] {
+            assert_eq!(parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn integers_write_without_decimal_point() {
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(3.5).to_string(), "3.5");
+        assert_eq!(Json::Num(-0.1).to_string(), "-0.1");
+        // Shortest-round-trip keeps full precision.
+        let x = 0.1 + 0.2;
+        assert_eq!(parse(&Json::Num(x).to_string()).unwrap(), Json::Num(x));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "quote\" slash\\ tab\t nl\n unicode é";
+        let j = Json::Str(s.into());
+        assert_eq!(parse(&j.to_string()).unwrap(), j);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        x: f64,
+        n: u32,
+        tag: String,
+        seq: Vec<u32>,
+        opt: Option<f64>,
+    }
+    impl_json!(Demo {
+        x,
+        n,
+        tag,
+        seq,
+        opt
+    });
+
+    #[test]
+    fn macro_derived_round_trip() {
+        let d = Demo {
+            x: 1.5,
+            n: 7,
+            tag: "hello".into(),
+            seq: vec![1, 2, 3],
+            opt: None,
+        };
+        let text = d.to_json().to_string_pretty();
+        let back = Demo::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn missing_field_is_reported_by_name() {
+        let v = parse(r#"{"x": 1}"#).unwrap();
+        let e = Demo::from_json(&v).unwrap_err();
+        assert!(e.msg.contains('n'), "{e}");
+    }
+}

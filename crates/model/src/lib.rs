@@ -30,16 +30,20 @@
 pub mod cost;
 pub mod diagram;
 pub mod error;
+pub mod fault;
 pub mod hetero;
 pub mod ids;
+pub mod json;
 mod proptests;
 pub mod request;
+pub mod rng;
 pub mod schedule;
 pub mod svg;
 pub mod time;
 
 pub use cost::{CostModel, CostModelBuilder, PACKAGE_PAIR};
 pub use error::ModelError;
+pub use fault::{CrashWindow, FaultPlan};
 pub use hetero::HeteroCostModel;
 pub use ids::{ItemId, ServerId};
 pub use request::{Request, RequestSeq, RequestSeqBuilder};

@@ -1,7 +1,7 @@
-//! Property tests over the model layer: builder/serde round trips,
+//! Property tests over the model layer: builder/json round trips,
 //! schedule normalisation invariants, diagram totality.
 
-#![cfg(test)]
+#![cfg(all(test, feature = "proptest"))]
 
 use proptest::prelude::*;
 
@@ -62,9 +62,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn sequence_serde_round_trips(seq in seq_strategy()) {
-        let json = serde_json::to_string(&seq).unwrap();
-        let back: RequestSeq = serde_json::from_str(&json).unwrap();
+    fn sequence_json_round_trips(seq in seq_strategy()) {
+        use crate::json::{parse, FromJson, ToJson};
+        let json = seq.to_json().to_string();
+        let back = RequestSeq::from_json(&parse(&json).unwrap()).unwrap();
         prop_assert_eq!(seq, back);
     }
 

@@ -8,14 +8,12 @@
 //! reserved for the origin placement on `s_1`), non-empty duplicate-free
 //! item sets, and in-range identifiers.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 use crate::ids::{ItemId, ServerId};
 use crate::time::TimePoint;
 
 /// One data request `r_i = <s_i, t_i, D_i>`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Server the request is made at (`s_i`).
     pub server: ServerId,
@@ -24,6 +22,19 @@ pub struct Request {
     /// The accessed item subset (`D_i`), sorted and duplicate-free.
     pub items: Vec<ItemId>,
 }
+
+crate::impl_json!(Request {
+    server,
+    time,
+    items
+});
+crate::impl_json!(RequestSeq {
+    servers,
+    items,
+    requests
+});
+crate::impl_json!(TracePoint { time, server });
+crate::impl_json!(SingleItemTrace { servers, points });
 
 impl Request {
     /// True if the request accesses `item`.
@@ -42,7 +53,7 @@ impl Request {
 
 /// A validated, time-ordered sequence of requests over `m` servers and
 /// `k` items.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestSeq {
     servers: u32,
     items: u32,
@@ -115,7 +126,7 @@ impl RequestSeq {
     /// `(time, server)` trace of every request containing `item`.
     ///
     /// This is the input shape consumed by the single-item off-line
-    /// algorithms (the substrate of [6]).
+    /// algorithms (the substrate of \[6\]).
     pub fn item_trace(&self, item: ItemId) -> SingleItemTrace {
         let points = self
             .requests
@@ -157,7 +168,7 @@ impl RequestSeq {
     }
 
     /// The `(time, server)` trace of the co-requests of a pair, at package
-    /// granularity — the subsequence Phase 2 hands to the algorithm of [6]
+    /// granularity — the subsequence Phase 2 hands to the algorithm of \[6\]
     /// under package rates.
     pub fn package_trace(&self, a: ItemId, b: ItemId) -> SingleItemTrace {
         let points = self
@@ -196,7 +207,7 @@ impl RequestSeq {
 }
 
 /// A `(time, server)` point of a single-item (or single-package) trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePoint {
     /// Request time.
     pub time: TimePoint,
@@ -208,7 +219,7 @@ pub struct TracePoint {
 /// single-item caching algorithms operate on.
 ///
 /// The item is implicitly located at [`ServerId::ORIGIN`] at time `0`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SingleItemTrace {
     /// Number of servers `m` in the network.
     pub servers: u32,
@@ -254,7 +265,7 @@ impl SingleItemTrace {
     /// [`ServerId::ORIGIN`]) or nothing at all.
     ///
     /// The origin placement at `(s_1, 0)` is encoded as `Some(usize::MAX)`
-    /// sentinel-free: instead we return a [`Predecessors`] structure that
+    /// sentinel-free: instead we return a [`Predecessor`] structure that
     /// distinguishes the three cases explicitly.
     pub fn predecessors(&self) -> Vec<Predecessor> {
         let mut last_at: std::collections::HashMap<ServerId, usize> =
@@ -568,10 +579,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use crate::json::{parse, FromJson, ToJson};
         let seq = paper_sequence();
-        let j = serde_json::to_string(&seq).unwrap();
-        let back: RequestSeq = serde_json::from_str(&j).unwrap();
+        let j = seq.to_json().to_string_pretty();
+        let back = RequestSeq::from_json(&parse(&j).unwrap()).unwrap();
         assert_eq!(seq, back);
     }
 

@@ -1,0 +1,257 @@
+//! In-tree deterministic pseudo-random number generation.
+//!
+//! The build environment has no network access, so the workspace cannot
+//! depend on the `rand` ecosystem. This module provides the small slice of
+//! it we actually use: a seedable, portable, fast PRNG
+//! (xoshiro256\*\* seeded through SplitMix64 — the reference construction
+//! of Blackman & Vigna) with `f64`/range/Bernoulli helpers, plus a
+//! stateless [`mix64`] finalizer for order-independent per-event draws
+//! (used by the fault-injection layer).
+//!
+//! Determinism contract: the same seed always produces the same stream on
+//! every platform (only shifts, xors, multiplies on `u64`), and the stream
+//! is independent of `HashMap` iteration order or thread scheduling.
+
+/// SplitMix64 finalizer: a high-quality stateless mixing of a `u64`.
+///
+/// Used both to seed the generator state and, on its own, to derive
+/// order-independent decision values from event coordinates (e.g. "does
+/// transfer attempt #a at time-bits t fail?") without threading a
+/// sequential stream through them.
+#[inline]
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a `u64` to a `f64` uniform in `[0, 1)` using the top 53 bits.
+#[inline]
+#[must_use]
+pub fn u64_to_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A seedable xoshiro256\*\* generator.
+///
+/// Drop-in replacement for the `ChaCha12Rng` usage this workspace had:
+/// construct with [`Rng::seed_from_u64`], then draw with [`Rng::gen_f64`],
+/// [`Rng::gen_range`] or [`Rng::gen_bool`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds the generator deterministically from a single `u64` by
+    /// running SplitMix64 four times (the construction recommended by the
+    /// xoshiro authors).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = mix64(sm);
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        }
+        // All-zero state is the one forbidden state; mix64(0)≠0 for at
+        // least one of four SplitMix64 outputs, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            return Rng { s: [1, 2, 3, 4] };
+        }
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output (xoshiro256\*\*).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        u64_to_f64(self.next_u64())
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform integer in the given range (half-open `lo..hi` or inclusive
+    /// `lo..=hi`), for any primitive unsigned integer kind used in the
+    /// workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T: RangeInt, R: std::ops::RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&v) => v.as_u64(),
+            std::ops::Bound::Excluded(&v) => v.as_u64() + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&v) => v.as_u64() + 1,
+            std::ops::Bound::Excluded(&v) => v.as_u64(),
+            std::ops::Bound::Unbounded => u64::MAX,
+        };
+        assert!(hi > lo, "gen_range called with an empty range");
+        let span = hi - lo;
+        // Modulo draw: bias is < 2^-40 for every span used here and
+        // determinism, not statistical perfection, is the requirement.
+        T::from_u64(lo + self.next_u64() % span)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=(i as u64)) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, or `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(0..slice.len() as u64) as usize])
+        }
+    }
+}
+
+/// Integer kinds [`Rng::gen_range`] can sample.
+pub trait RangeInt: Copy {
+    /// Widens to `u64`.
+    fn as_u64(self) -> u64;
+    /// Narrows from `u64` (caller guarantees the value fits).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            #[inline]
+            fn as_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_range_int!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_covers_it() {
+        let mut r = Rng::seed_from_u64(7);
+        let mut lo = 1.0_f64;
+        let mut hi = 0.0_f64;
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01, "min {lo} suspiciously high");
+        assert!(hi > 0.99, "max {hi} suspiciously low");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_hits_endpoints() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v: u32 = r.gen_range(2..7);
+            assert!((2..7).contains(&v));
+            seen[(v - 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values hit: {seen:?}");
+        for _ in 0..100 {
+            let v: usize = r.gen_range(1..=3);
+            assert!((1..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Rng::seed_from_u64(0);
+        let _: u32 = r.gen_range(5..5);
+    }
+
+    #[test]
+    fn bernoulli_frequency_tracks_p() {
+        let mut r = Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50-element shuffle left input untouched");
+    }
+
+    #[test]
+    fn mix64_is_stable() {
+        // Pin known values so cross-platform drift would be caught.
+        assert_eq!(mix64(0), 16294208416658607535);
+        assert_eq!(mix64(1), 10451216379200822465);
+        assert_eq!(mix64(0xDEAD_BEEF), 5395234354446855067);
+    }
+
+    #[test]
+    fn choose_picks_members() {
+        let mut r = Rng::seed_from_u64(9);
+        let v = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(v.contains(r.choose(&v).unwrap()));
+        }
+        let empty: [u32; 0] = [];
+        assert!(r.choose(&empty).is_none());
+    }
+}

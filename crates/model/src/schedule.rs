@@ -20,15 +20,13 @@
 //! Every algorithm crate emits schedules and cross-checks its internal cost
 //! bookkeeping against this accountant in tests.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 use crate::ids::ServerId;
 use crate::request::SingleItemTrace;
 use crate::time::{approx_eq, approx_le, TimePoint, TimeSpan};
 
 /// A copy of the commodity held at `server` for the span `[start, end]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheInterval {
     /// Hosting server.
     pub server: ServerId,
@@ -37,8 +35,8 @@ pub struct CacheInterval {
 }
 
 /// A transfer of the commodity from `from` to `to` at instant `time`
-/// (standard form: transfers occur at request times, per [7]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// (standard form: transfers occur at request times, per \[7\]).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transfer {
     /// Source server; must hold a copy at `time`.
     pub from: ServerId,
@@ -50,7 +48,7 @@ pub struct Transfer {
 
 /// Cost breakdown of a schedule under a given `(cache rate, transfer cost)`
 /// pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduleCost {
     /// Total copy-holding time `Σ (end − start)` across intervals.
     pub cache_time: f64,
@@ -61,13 +59,25 @@ pub struct ScheduleCost {
 }
 
 /// An explicit space-time schedule for one commodity.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Schedule {
     /// Cache intervals, in no particular order.
     pub intervals: Vec<CacheInterval>,
     /// Transfers, in no particular order.
     pub transfers: Vec<Transfer>,
 }
+
+crate::impl_json!(CacheInterval { server, span });
+crate::impl_json!(Transfer { from, to, time });
+crate::impl_json!(ScheduleCost {
+    cache_time,
+    transfers,
+    total
+});
+crate::impl_json!(Schedule {
+    intervals,
+    transfers
+});
 
 impl Schedule {
     /// An empty schedule (commodity never moves off the origin and is never
@@ -397,12 +407,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use crate::json::{parse, FromJson, ToJson};
         let mut s = Schedule::new();
         s.cache(ServerId(0), 0.0, 1.4)
             .transfer(ServerId(0), ServerId(1), 1.4);
-        let j = serde_json::to_string(&s).unwrap();
-        let back: Schedule = serde_json::from_str(&j).unwrap();
+        let j = s.to_json().to_string();
+        let back = Schedule::from_json(&parse(&j).unwrap()).unwrap();
         assert_eq!(s, back);
     }
 }

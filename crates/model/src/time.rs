@@ -6,8 +6,6 @@
 //! helpers in this module so that algebraically identical schedules compare
 //! equal regardless of summation order.
 
-use serde::{Deserialize, Serialize};
-
 /// A point on the global time line. Finite and non-negative by construction
 /// wherever a [`crate::RequestSeqBuilder`] is used.
 pub type TimePoint = f64;
@@ -49,13 +47,15 @@ pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
 ///
 /// Used for cache intervals; zero-length spans are permitted (a transient
 /// copy delivered by a transfer and immediately destroyed).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeSpan {
     /// Beginning of the span.
     pub start: TimePoint,
     /// End of the span; `end >= start`.
     pub end: TimePoint,
 }
+
+crate::impl_json!(TimeSpan { start, end });
 
 impl TimeSpan {
     /// Creates a span, panicking if `end < start` beyond tolerance.

@@ -4,7 +4,7 @@
 //! crate docs) but none of its algorithmics: it simply tries every subset
 //! `X` of cache-served requests and evaluates
 //! `cost(X) = Σ_{i∈X} μ·len_i + λ·|X̄| + μ·|holes(X)|` directly. It exists
-//! to test the shortest-path implementation in [`crate::optimal`];
+//! to test the shortest-path implementation in [`crate::optimal::optimal`];
 //! the structurally independent ground truth is [`crate::statespace`].
 //!
 //! Exponential in the number of requests that *have* a same-server

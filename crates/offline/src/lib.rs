@@ -2,16 +2,16 @@
 //!
 //! The DP_Greedy paper builds on the optimal off-line algorithm for caching
 //! a *single* shared data item across `m` fully-connected homogeneous cache
-//! servers (Wang et al., ICPP 2017 — reference [6] of the paper). This crate
+//! servers (Wang et al., ICPP 2017 — reference \[6\] of the paper). This crate
 //! re-derives and implements that substrate from first principles, plus the
 //! baselines and exact solvers the reproduction needs:
 //!
-//! * [`optimal`] — the production solver: a minimum-cost line-covering
+//! * [`mod@optimal`] — the production solver: a minimum-cost line-covering
 //!   dynamic program over the request time line, `O(n²)` worst case, which
 //!   computes the optimal off-line cost *and* an explicit, validated
 //!   [`mcs_model::Schedule`]. Under package rates (`2αμ`, `2αλ`) it is
-//!   exactly the "alg. in [6]" invoked by Algorithm 1 of the paper.
-//! * [`greedy`] — the simple greedy baseline of Section IV-B (Fig. 4): each
+//!   exactly the "alg. in \[6\]" invoked by Algorithm 1 of the paper.
+//! * [`mod@greedy`] — the simple greedy baseline of Section IV-B (Fig. 4): each
 //!   request is served by the cheaper of a local cache from `r_{p(i)}` or a
 //!   transfer from `r_{i−1}`; provably within `2×` of optimal after the
 //!   paper's cut argument.
@@ -60,5 +60,5 @@ pub use optimal::{optimal, OptimalOutcome, ServeDecision};
 pub use optimal_fast::optimal_fast_cost;
 pub use single_copy::{single_copy_optimal, SingleCopyOutcome};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod cross_validation;

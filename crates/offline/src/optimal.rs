@@ -1,5 +1,5 @@
 //! The optimal off-line single-commodity caching algorithm (the substrate
-//! of reference [6] of the paper), re-derived as a minimum-cost
+//! of reference \[6\] of the paper), re-derived as a minimum-cost
 //! line-covering dynamic program.
 //!
 //! See the crate docs and `DESIGN.md` §2 for the derivation. In short:
@@ -61,7 +61,7 @@ enum Edge {
 ///
 /// For a plain data item pass the base [`CostModel`]; for a two-item
 /// package pass [`CostModel::scaled_for_package`] — this reproduces the
-/// `2α·(call alg. in [6])` of Algorithm 1, line 40.
+/// `2α·(call alg. in \[6\])` of Algorithm 1, line 40.
 ///
 /// Runs in `O(n²)` time and `O(n)` space for `n` trace points (the
 /// per-server predecessor scan is `O(n)` with hashing).

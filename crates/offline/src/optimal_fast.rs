@@ -1,6 +1,6 @@
 //! An `O(n log n)` variant of the optimal covering DP.
 //!
-//! [`crate::optimal`] relaxes every long-interval edge from every node it
+//! [`crate::optimal::optimal`] relaxes every long-interval edge from every node it
 //! spans — `O(n²)` worst case, comfortably inside the paper's `O(mn²)`
 //! budget but wasteful: the edge cost `μ·len_i − λ` does not depend on the
 //! entry node `j`, only on `dist[j]` for `j ∈ [a_i, i]`. So
@@ -69,7 +69,7 @@ impl MinTree {
 
 /// Computes the optimal off-line cost in `O(n log n)`.
 ///
-/// Produces the same value as [`crate::optimal`] (property-tested); does
+/// Produces the same value as [`crate::optimal::optimal`] (property-tested); does
 /// not reconstruct a schedule — use the quadratic solver when the explicit
 /// schedule is needed.
 pub fn optimal_fast_cost(trace: &SingleItemTrace, model: &CostModel) -> f64 {
@@ -148,9 +148,7 @@ pub fn optimal_fast_cost(trace: &SingleItemTrace, model: &CostModel) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimal;
-    use mcs_model::{approx_eq, CostModelBuilder};
-    use proptest::prelude::*;
+    use mcs_model::approx_eq;
 
     #[test]
     fn min_tree_basics() {
@@ -186,39 +184,47 @@ mod tests {
         ));
     }
 
-    fn trace_strategy() -> impl Strategy<Value = SingleItemTrace> {
-        (1u32..=6, 0usize..=40).prop_flat_map(|(m, n)| {
-            (
-                Just(m),
-                proptest::collection::vec(1u32..=400, n),
-                proptest::collection::vec(0u32..m, n),
-            )
-                .prop_map(|(m, mut ticks, servers)| {
-                    ticks.sort_unstable();
-                    ticks.dedup();
-                    let pairs: Vec<(f64, u32)> = ticks
-                        .iter()
-                        .zip(servers.iter())
-                        .map(|(&t, &s)| (t as f64 / 10.0, s))
-                        .collect();
-                    SingleItemTrace::from_pairs(m, &pairs)
-                })
-        })
-    }
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use crate::optimal;
+        use mcs_model::CostModelBuilder;
+        use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(512))]
+        fn trace_strategy() -> impl Strategy<Value = SingleItemTrace> {
+            (1u32..=6, 0usize..=40).prop_flat_map(|(m, n)| {
+                (
+                    Just(m),
+                    proptest::collection::vec(1u32..=400, n),
+                    proptest::collection::vec(0u32..m, n),
+                )
+                    .prop_map(|(m, mut ticks, servers)| {
+                        ticks.sort_unstable();
+                        ticks.dedup();
+                        let pairs: Vec<(f64, u32)> = ticks
+                            .iter()
+                            .zip(servers.iter())
+                            .map(|(&t, &s)| (t as f64 / 10.0, s))
+                            .collect();
+                        SingleItemTrace::from_pairs(m, &pairs)
+                    })
+            })
+        }
 
-        #[test]
-        fn agrees_with_quadratic_solver(trace in trace_strategy(), mu in 1u32..=40, la in 1u32..=40) {
-            let model = CostModelBuilder::new()
-                .mu(mu as f64 / 10.0)
-                .lambda(la as f64 / 10.0)
-                .build()
-                .unwrap();
-            let fast = optimal_fast_cost(&trace, &model);
-            let slow = optimal(&trace, &model).cost;
-            prop_assert!(approx_eq(fast, slow), "fast={fast} slow={slow}");
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            #[test]
+            fn agrees_with_quadratic_solver(trace in trace_strategy(), mu in 1u32..=40, la in 1u32..=40) {
+                let model = CostModelBuilder::new()
+                    .mu(mu as f64 / 10.0)
+                    .lambda(la as f64 / 10.0)
+                    .build()
+                    .unwrap();
+                let fast = optimal_fast_cost(&trace, &model);
+                let slow = optimal(&trace, &model).cost;
+                prop_assert!(approx_eq(fast, slow), "fast={fast} slow={slow}");
+            }
         }
     }
 }

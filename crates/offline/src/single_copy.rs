@@ -2,8 +2,8 @@
 //! forbidden.
 //!
 //! The related work the paper builds on studied this regime first:
-//! Veeravalli's network caching [7] and the single-copy scenario of Wang
-//! et al.'s data staging [8] (their `1 + C/S` approximation). Exactly one
+//! Veeravalli's network caching \[7\] and the single-copy scenario of Wang
+//! et al.'s data staging \[8\] (their `1 + C/S` approximation). Exactly one
 //! copy of the item exists at all times; serving a request either finds
 //! the copy locally (free), reads it remotely (a transfer that leaves the
 //! copy in place), or *migrates* it to the requester (a transfer that
@@ -13,7 +13,7 @@
 //! state = copy location, solved here in `O(nm)`.
 //!
 //! The gap between this optimum and the multi-copy optimum of
-//! [`crate::optimal`] quantifies the value of replication (exposed in the
+//! [`crate::optimal::optimal`] quantifies the value of replication (exposed in the
 //! `replication` experiment and asserted ≥ 0 by property tests).
 
 use mcs_model::request::SingleItemTrace;
@@ -153,7 +153,7 @@ pub fn single_copy_optimal(trace: &SingleItemTrace, model: &CostModel) -> Single
 }
 
 /// The always-migrate heuristic: the copy chases every request. Cost is
-/// `μ·t_n + λ·#(location changes)` — the upper end of [8]'s `1 + C/S`
+/// `μ·t_n + λ·#(location changes)` — the upper end of \[8\]'s `1 + C/S`
 /// analysis shape. Used as the ablation partner of the DP.
 pub fn single_copy_always_migrate(trace: &SingleItemTrace, model: &CostModel) -> f64 {
     let mu = model.mu();
@@ -175,9 +175,7 @@ pub fn single_copy_always_migrate(trace: &SingleItemTrace, model: &CostModel) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimal;
     use mcs_model::{approx_eq, CostModelBuilder};
-    use proptest::prelude::*;
 
     #[test]
     fn empty_trace() {
@@ -234,51 +232,58 @@ mod tests {
         ));
     }
 
-    fn trace_strategy() -> impl Strategy<Value = SingleItemTrace> {
-        (1u32..=4, 0usize..=12).prop_flat_map(|(m, n)| {
-            (
-                Just(m),
-                proptest::collection::vec(1u32..=80, n),
-                proptest::collection::vec(0u32..m, n),
-            )
-                .prop_map(|(m, mut ticks, servers)| {
-                    ticks.sort_unstable();
-                    ticks.dedup();
-                    let pairs: Vec<(f64, u32)> = ticks
-                        .iter()
-                        .zip(servers.iter())
-                        .map(|(&t, &s)| (t as f64 / 10.0, s))
-                        .collect();
-                    SingleItemTrace::from_pairs(m, &pairs)
-                })
-        })
-    }
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use crate::optimal;
+        use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
-        #[test]
-        fn replication_never_hurts(trace in trace_strategy(), mu in 1u32..=30, la in 1u32..=30) {
-            // Multi-copy optimal ≤ single-copy optimal ≤ always-migrate.
-            let model = CostModelBuilder::new()
-                .mu(mu as f64 / 10.0)
-                .lambda(la as f64 / 10.0)
-                .build()
-                .unwrap();
-            let multi = optimal(&trace, &model).cost;
-            let single = single_copy_optimal(&trace, &model).cost;
-            let migrate = single_copy_always_migrate(&trace, &model);
-            prop_assert!(multi <= single + 1e-9, "multi {multi} > single {single}");
-            prop_assert!(single <= migrate + 1e-9, "single {single} > migrate {migrate}");
+        fn trace_strategy() -> impl Strategy<Value = SingleItemTrace> {
+            (1u32..=4, 0usize..=12).prop_flat_map(|(m, n)| {
+                (
+                    Just(m),
+                    proptest::collection::vec(1u32..=80, n),
+                    proptest::collection::vec(0u32..m, n),
+                )
+                    .prop_map(|(m, mut ticks, servers)| {
+                        ticks.sort_unstable();
+                        ticks.dedup();
+                        let pairs: Vec<(f64, u32)> = ticks
+                            .iter()
+                            .zip(servers.iter())
+                            .map(|(&t, &s)| (t as f64 / 10.0, s))
+                            .collect();
+                        SingleItemTrace::from_pairs(m, &pairs)
+                    })
+            })
         }
 
-        #[test]
-        fn single_copy_schedule_is_feasible_and_accounts(trace in trace_strategy()) {
-            let model = CostModel::paper_example();
-            let out = single_copy_optimal(&trace, &model);
-            prop_assert!(out.schedule.validate(&trace).is_ok());
-            let replayed = out.schedule.cost(model.mu(), model.lambda()).total;
-            prop_assert!(approx_eq(replayed, out.cost), "replayed {replayed} reported {}", out.cost);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn replication_never_hurts(trace in trace_strategy(), mu in 1u32..=30, la in 1u32..=30) {
+                // Multi-copy optimal ≤ single-copy optimal ≤ always-migrate.
+                let model = CostModelBuilder::new()
+                    .mu(mu as f64 / 10.0)
+                    .lambda(la as f64 / 10.0)
+                    .build()
+                    .unwrap();
+                let multi = optimal(&trace, &model).cost;
+                let single = single_copy_optimal(&trace, &model).cost;
+                let migrate = single_copy_always_migrate(&trace, &model);
+                prop_assert!(multi <= single + 1e-9, "multi {multi} > single {single}");
+                prop_assert!(single <= migrate + 1e-9, "single {single} > migrate {migrate}");
+            }
+
+            #[test]
+            fn single_copy_schedule_is_feasible_and_accounts(trace in trace_strategy()) {
+                let model = CostModel::paper_example();
+                let out = single_copy_optimal(&trace, &model);
+                prop_assert!(out.schedule.validate(&trace).is_ok());
+                let replayed = out.schedule.cost(model.mu(), model.lambda()).total;
+                prop_assert!(approx_eq(replayed, out.cost), "replayed {replayed} reported {}", out.cost);
+            }
         }
     }
 }

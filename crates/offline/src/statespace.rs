@@ -6,10 +6,10 @@
 //! be kept (each paying `μ·Δt`), at least one copy must survive, and a
 //! request at a server without a copy triggers a `λ` transfer. It therefore
 //! serves as the ground truth that validates both the covering reduction
-//! (`DESIGN.md` §2) and its implementation in [`crate::optimal`].
+//! (`DESIGN.md` §2) and its implementation in [`crate::optimal::optimal`].
 //!
 //! The only normalisations applied are ones proven in the literature or in
-//! `DESIGN.md`: transfers happen at request times (standard form, [7]) and
+//! `DESIGN.md`: transfers happen at request times (standard form, \[7\]) and
 //! copies are never *pre-positioned* at servers that are not currently
 //! requesting (a pre-positioned copy costs `λ + μ·(hold time)` and is
 //! dominated by a just-in-time transfer at `λ`, since the backbone copy it

@@ -4,7 +4,7 @@
 //! The paper's introduction contrasts its *cost-oriented* model ("storage
 //! capacity ... can be viewed as virtually infinite as long as user can
 //! afford it") with the classical *capacity-oriented* caching literature
-//! it cites (web caching / cooperative caching [2], [11]–[16], including
+//! it cites (web caching / cooperative caching \[2\], \[11\]–\[16\], including
 //! Cao & Irani's cost-aware GreedyDual). This module makes that contrast
 //! measurable: each server owns `capacity` item slots, a miss transfers
 //! the item from the most recent holder (`λ`) and evicts by policy, and

@@ -1,10 +1,13 @@
 //! Competitive-ratio measurement: on-line policies versus the off-line
-//! optimum.
+//! optimum — and, for fault-aware policies, the *degradation ratio*
+//! (cost under a [`FaultPlan`] over fault-free cost of the same policy).
 
+use mcs_model::fault::FaultPlan;
 use mcs_model::request::SingleItemTrace;
 use mcs_model::CostModel;
 use mcs_offline::optimal;
 
+use crate::resilient::ResilientOutcome;
 use crate::ski_rental::OnlineOutcome;
 
 /// One measured sample.
@@ -37,7 +40,139 @@ where
     }
 }
 
+/// One degradation measurement of a fault-aware policy.
+///
+/// The competitive ratio benchmarks the policy against the off-line
+/// optimum on an ideal fleet; the degradation ratio benchmarks the same
+/// policy against *itself* on an ideal fleet. Both are reported so a run
+/// can answer "how far from optimal" and "how much did the faults cost"
+/// in one sample.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradationSample {
+    /// Policy cost with `plan` applied.
+    pub degraded: f64,
+    /// Policy cost under [`FaultPlan::none`].
+    pub fault_free: f64,
+    /// `degraded / fault_free` (`1` when the fault-free cost is zero).
+    pub degradation_ratio: f64,
+    /// Competitive ratio of the *fault-free* run versus the off-line
+    /// optimum, for calibration.
+    pub competitive: RatioSample,
+}
+
+/// Measures a fault-aware policy's degradation ratio on one trace.
+///
+/// `policy` is run twice: once under `plan` and once under
+/// [`FaultPlan::none`]. Because resilient policies are deterministic for
+/// a fixed plan, the quotient isolates exactly the cost of the injected
+/// faults.
+pub fn degradation_ratio<F>(
+    trace: &SingleItemTrace,
+    model: &CostModel,
+    plan: &FaultPlan,
+    policy: F,
+) -> DegradationSample
+where
+    F: Fn(&SingleItemTrace, &CostModel, &FaultPlan) -> ResilientOutcome,
+{
+    let degraded = policy(trace, model, plan).cost;
+    let fault_free = policy(trace, model, &FaultPlan::none()).cost;
+    let degradation_ratio = if fault_free == 0.0 {
+        1.0
+    } else {
+        degraded / fault_free
+    };
+    let offline = optimal(trace, model).cost;
+    let competitive = RatioSample {
+        online: fault_free,
+        offline,
+        ratio: if offline == 0.0 {
+            1.0
+        } else {
+            fault_free / offline
+        },
+    };
+    DegradationSample {
+        degraded,
+        fault_free,
+        degradation_ratio,
+        competitive,
+    }
+}
+
 #[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::resilient::resilient_ski_rental;
+    use mcs_model::rng::Rng;
+
+    fn random_trace(rng: &mut Rng) -> SingleItemTrace {
+        let m = rng.gen_range(2u32..=5);
+        let n = rng.gen_range(1usize..=14);
+        let mut ticks: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..=80)).collect();
+        ticks.sort_unstable();
+        ticks.dedup();
+        let pairs: Vec<(f64, u32)> = ticks
+            .iter()
+            .map(|&t| (f64::from(t) / 10.0, rng.gen_range(0..m)))
+            .collect();
+        SingleItemTrace::from_pairs(m, &pairs)
+    }
+
+    #[test]
+    fn empty_plan_has_degradation_ratio_exactly_one() {
+        for case in 0..32 {
+            let mut rng = Rng::seed_from_u64(0x11A2 + case);
+            let trace = random_trace(&mut rng);
+            let model = CostModel::paper_example();
+            let s = degradation_ratio(&trace, &model, &FaultPlan::none(), resilient_ski_rental);
+            assert_eq!(s.degraded.to_bits(), s.fault_free.to_bits(), "case {case}");
+            assert_eq!(s.degradation_ratio, 1.0, "case {case}");
+            assert!(s.competitive.ratio >= 1.0 - 1e-9, "case {case}");
+        }
+    }
+
+    #[test]
+    fn faults_never_make_the_policy_cheaper_than_its_transfer_floor() {
+        // Degradation can in principle dip below 1 (a crash can free the
+        // policy from rent it would have paid), but the degraded run must
+        // still pay for every request somehow: at least one λ per miss or
+        // origin read. We assert the ratio is finite, positive, and that
+        // sweeping the fault rate up never loses requests.
+        let mut rng = Rng::seed_from_u64(0xFA57);
+        let trace = random_trace(&mut rng);
+        let model = CostModel::paper_example();
+        for (i, rate) in [0.05, 0.2, 0.5].iter().enumerate() {
+            let plan = FaultPlan::random(7 + i as u64, trace.servers, 9.0, *rate, 1.5, 0.2);
+            let s = degradation_ratio(&trace, &model, &plan, resilient_ski_rental);
+            assert!(s.degradation_ratio.is_finite() && s.degradation_ratio > 0.0);
+            let out = resilient_ski_rental(&trace, &model, &plan);
+            assert_eq!(
+                out.hits + out.transfers,
+                trace.points.len(),
+                "every request is served at rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn blackout_degradation_is_reported_above_one_on_a_busy_trace() {
+        // Repeated requests at one server: fault-free ski-rental caches
+        // once and hits thereafter; under a blackout every request pays λ.
+        let pairs: Vec<(f64, u32)> = (1..=8).map(|k| (k as f64, 1u32)).collect();
+        let trace = SingleItemTrace::from_pairs(2, &pairs);
+        let model = CostModel::paper_example();
+        let plan = FaultPlan::total_blackout(trace.servers);
+        let s = degradation_ratio(&trace, &model, &plan, resilient_ski_rental);
+        assert!(
+            s.degradation_ratio > 1.0,
+            "blackout should inflate cost, got {}",
+            s.degradation_ratio
+        );
+    }
+}
+
+#[cfg(all(test, feature = "proptest"))]
 mod tests {
     use super::*;
     use crate::extremes::{always_transfer, cache_everywhere};

@@ -1,7 +1,7 @@
 //! On-line DP_Greedy: correlation-aware on-line caching.
 //!
 //! The paper's algorithm is off-line (the request trajectory is known).
-//! Its companion literature ([6]: "online vs. off-line") asks for the
+//! Its companion literature (\[6\]: "online vs. off-line") asks for the
 //! on-line counterpart; this module provides one by combining the two
 //! phases on-line:
 //!
@@ -10,7 +10,7 @@
 //!   `refresh_every` requests the greedy threshold matching is re-run, so
 //!   the packing tracks the *observed* correlation (no oracle).
 //! * **Phase 2, on-line**: every item is served by the ski-rental rule of
-//!   [`crate::ski_rental`] (per-item rented copies plus a moving
+//!   [`crate::ski_rental::ski_rental`] (per-item rented copies plus a moving
 //!   backbone); when a request misses several items at once and the
 //!   current packing pairs them, the delivery is batched as a package at
 //!   `2αλ` instead of two `λ` transfers — and a missing *single* item of
@@ -23,8 +23,6 @@
 //! tests assert exact equality.
 
 use std::collections::HashMap;
-
-use serde::Serialize;
 
 use mcs_correlation::matching::greedy_matching_from_pairs;
 use mcs_correlation::StreamingCooccurrence;
@@ -63,7 +61,7 @@ impl OnlineDpgConfig {
 }
 
 /// Outcome of an on-line DP_Greedy run.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct OnlineDpgOutcome {
     /// Total cost paid.
     pub cost: f64,
@@ -276,6 +274,14 @@ fn deliver(st: &mut ItemState, server: ServerId, t: TimePoint, keep: f64) {
         deadline: t + keep,
     });
 }
+
+mcs_model::impl_to_json!(OnlineDpgOutcome {
+    cost,
+    transfers,
+    package_transfers,
+    hits,
+    repackings
+});
 
 #[cfg(test)]
 mod tests {

@@ -5,7 +5,7 @@
 //! duration `k = λ/μ`, hold it for a random duration `T ∈ [0, k]` with
 //! density `f(x) = e^{x/k} / (k(e−1))`. This module adapts that strategy
 //! to the caching problem (same backbone structure as
-//! [`crate::ski_rental`]) with a seeded RNG so runs are reproducible.
+//! [`crate::ski_rental::ski_rental`]) with a seeded RNG so runs are reproducible.
 //!
 //! Against an *oblivious* adversary the randomization hedges the
 //! drop-too-early/drop-too-late dilemma; the harness measures the
@@ -14,8 +14,7 @@
 
 use std::collections::HashMap;
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+use mcs_model::rng::Rng;
 
 use mcs_model::request::SingleItemTrace;
 use mcs_model::{CostModel, Schedule, ServerId, TimePoint};
@@ -24,8 +23,8 @@ use crate::ski_rental::OnlineOutcome;
 
 /// Draws a rent duration from the optimal randomized ski-rental density
 /// on `[0, k]`: inverse-CDF of `F(x) = (e^{x/k} − 1)/(e − 1)`.
-fn draw_rent<R: Rng>(k: f64, rng: &mut R) -> f64 {
-    let u: f64 = rng.gen();
+fn draw_rent(k: f64, rng: &mut Rng) -> f64 {
+    let u = rng.gen_f64();
     k * (1.0 + u * (std::f64::consts::E - 1.0)).ln()
 }
 
@@ -44,7 +43,7 @@ pub fn randomized_ski_rental(
     let mu = model.mu();
     let lambda = model.lambda();
     let k = lambda / mu;
-    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     let mut schedule = Schedule::new();
     let mut copies: HashMap<ServerId, Copy> = HashMap::new();
@@ -119,11 +118,10 @@ mod tests {
     use super::*;
     use mcs_model::approx_eq;
     use mcs_offline::optimal;
-    use rand::SeedableRng;
 
     #[test]
     fn rent_draws_stay_in_range_with_the_right_mean() {
-        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let k = 2.5;
         let n = 20_000;
         let mut sum = 0.0;

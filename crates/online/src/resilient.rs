@@ -1,0 +1,324 @@
+//! Crash-aware ski-rental: the on-line policy run against a faulty fleet.
+//!
+//! [`crate::ski_rental::ski_rental`] assumes the idealized physics of the paper —
+//! copies persist until dropped and transfers always succeed. This module
+//! wraps the same rent-or-buy decision rule with *fault awareness*: the
+//! policy observes crashes as they happen (never the future of the
+//! [`FaultPlan`]) and re-plans:
+//!
+//! * a copy dies the instant its server's crash window opens; its rent is
+//!   settled at the crash, not at the planned drop deadline;
+//! * when the **backbone** copy (the guaranteed transfer source) is lost,
+//!   the policy re-anchors on the origin's durable store — the re-plan
+//!   the issue calls out — until the next request rebuilds a backbone;
+//! * transfer attempts fail per the plan and are retried up to
+//!   [`FaultPlan::max_retries`] times (`λ` per attempt), then fall back
+//!   to the origin, which never fails;
+//! * a request at a *down* server cannot place a copy; it is served by an
+//!   origin read-through (`λ`) and counted as degraded.
+//!
+//! Under [`FaultPlan::none`] every fault branch is dead and the policy
+//! makes exactly the decisions of plain ski-rental.
+
+use std::collections::BTreeMap;
+
+use mcs_model::fault::FaultPlan;
+use mcs_model::request::SingleItemTrace;
+use mcs_model::{CostModel, Schedule, ServerId, TimePoint, EPSILON};
+
+/// Result of a resilient on-line run.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// Total cost actually paid (`μ`·cache time + `λ`·attempts).
+    pub cost: f64,
+    /// Successful transfer deliveries.
+    pub transfers: usize,
+    /// Transfer attempts including failures — each paid `λ`.
+    pub attempts: usize,
+    /// Locally served requests.
+    pub hits: usize,
+    /// Requests served by origin read-through while their server was down.
+    pub degraded: usize,
+    /// Times the backbone copy was lost to a crash and the policy
+    /// re-anchored on the origin.
+    pub replans: usize,
+    /// Failed attempts that triggered a retry.
+    pub retries: usize,
+    /// The realised cache/transfer history. Replay-feasible when the
+    /// plan is empty; under faults it is a diagnostic record (transfers
+    /// sourced at the durable store have no backing cache interval).
+    pub schedule: Schedule,
+}
+
+/// One live copy epoch.
+#[derive(Debug, Clone, Copy)]
+struct Copy {
+    since: TimePoint,
+    /// Drop deadline; `f64::INFINITY` while backbone.
+    deadline: TimePoint,
+}
+
+/// Runs the crash-aware ski-rental policy over a trace under `plan`.
+pub fn resilient_ski_rental(
+    trace: &SingleItemTrace,
+    model: &CostModel,
+    plan: &FaultPlan,
+) -> ResilientOutcome {
+    let mu = model.mu();
+    let lambda = model.lambda();
+    let keep = lambda / mu;
+
+    let mut schedule = Schedule::new();
+    let mut copies: BTreeMap<ServerId, Copy> = BTreeMap::new();
+    copies.insert(
+        ServerId::ORIGIN,
+        Copy {
+            since: 0.0,
+            deadline: f64::INFINITY,
+        },
+    );
+    // `None` = anchored on the origin's durable store (no cached copy
+    // needed): the re-plan state after a backbone loss.
+    let mut backbone: Option<ServerId> = Some(ServerId::ORIGIN);
+    let mut cost = 0.0;
+    let mut transfers = 0usize;
+    let mut attempts = 0usize;
+    let mut hits = 0usize;
+    let mut degraded = 0usize;
+    let mut replans = 0usize;
+    let mut retries = 0usize;
+
+    let horizon = trace.points.last().map_or(0.0, |p| p.time);
+
+    for p in &trace.points {
+        let t = p.time;
+
+        // Settle copies that died to a crash since they were placed, and
+        // rents that ran out strictly before now. A crash beats a later
+        // deadline; the rent is paid only up to whichever came first.
+        let ended: Vec<(ServerId, TimePoint)> = copies
+            .iter()
+            .filter_map(|(&s, c)| {
+                let crash = plan.first_crash_in(s, c.since, t + EPSILON);
+                match crash {
+                    Some(k) if k <= c.deadline => Some((s, k)),
+                    _ if c.deadline < t => Some((s, c.deadline)),
+                    _ => None,
+                }
+            })
+            .collect();
+        for (s, end) in ended {
+            let c = copies.remove(&s).expect("present");
+            let end = end.min(horizon).max(c.since);
+            cost += mu * (end - c.since);
+            schedule.cache(s, c.since, end);
+            if backbone == Some(s) {
+                // Anchor lost: re-plan onto the durable store.
+                backbone = None;
+                replans += 1;
+            }
+        }
+
+        // Serve.
+        if plan.is_down(p.server, t) {
+            // Cannot hold a copy there; read through to the origin.
+            attempts += 1;
+            transfers += 1;
+            cost += lambda;
+            degraded += 1;
+            schedule.transfer(ServerId::ORIGIN, p.server, t);
+            // The backbone (if any) is unchanged: the next reachable
+            // request will still find a source.
+            continue;
+        }
+
+        if let std::collections::btree_map::Entry::Vacant(slot) = copies.entry(p.server) {
+            // Miss: fetch from the backbone, retrying on failure, falling
+            // back to the origin's durable store.
+            let src = match backbone {
+                Some(b) if !plan.is_down(b, t) => b,
+                _ => ServerId::ORIGIN,
+            };
+            let mut delivered = ServerId::ORIGIN;
+            let mut done = false;
+            for k in 0..=plan.max_retries {
+                attempts += 1;
+                cost += lambda;
+                if !plan.transfer_fails(src, p.server, t, k) {
+                    delivered = src;
+                    done = true;
+                    break;
+                }
+                retries += 1;
+            }
+            if !done {
+                // Budget exhausted: origin read never fails.
+                attempts += 1;
+                cost += lambda;
+            }
+            transfers += 1;
+            schedule.transfer(delivered, p.server, t);
+            slot.insert(Copy {
+                since: t,
+                deadline: f64::INFINITY,
+            });
+        } else {
+            hits += 1;
+        }
+
+        // Move the backbone here; demote the old one to an ordinary rent.
+        if backbone != Some(p.server) {
+            if let Some(b) = backbone {
+                if let Some(old) = copies.get_mut(&b) {
+                    if old.deadline.is_infinite() {
+                        old.deadline = t + keep;
+                    }
+                }
+            }
+            backbone = Some(p.server);
+        }
+        let c = copies.get_mut(&p.server).expect("just ensured");
+        c.deadline = f64::INFINITY;
+    }
+
+    // Finite-horizon clamp, crash-aware: an epoch still open at the end
+    // pays rent up to its crash (if one struck) or the horizon.
+    for (s, c) in copies {
+        let crash_end = plan
+            .first_crash_in(s, c.since, horizon + EPSILON)
+            .unwrap_or(f64::INFINITY);
+        let end = c.deadline.min(crash_end).min(horizon).max(c.since);
+        cost += mu * (end - c.since);
+        if end > c.since {
+            schedule.cache(s, c.since, end);
+        }
+    }
+
+    ResilientOutcome {
+        cost,
+        transfers,
+        attempts,
+        hits,
+        degraded,
+        replans,
+        retries,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ski_rental::ski_rental;
+    use mcs_model::approx_eq;
+    use mcs_model::fault::CrashWindow;
+    use mcs_model::rng::Rng;
+    use mcs_model::time::TimeSpan;
+
+    fn unit_model() -> CostModel {
+        CostModel::paper_example()
+    }
+
+    fn random_trace(rng: &mut Rng) -> SingleItemTrace {
+        let m = rng.gen_range(2u32..=5);
+        let n = rng.gen_range(1usize..=14);
+        let mut ticks: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..=80)).collect();
+        ticks.sort_unstable();
+        ticks.dedup();
+        let pairs: Vec<(f64, u32)> = ticks
+            .iter()
+            .map(|&t| (f64::from(t) / 10.0, rng.gen_range(0..m)))
+            .collect();
+        SingleItemTrace::from_pairs(m, &pairs)
+    }
+
+    #[test]
+    fn empty_plan_reduces_to_plain_ski_rental() {
+        for case in 0..64 {
+            let mut rng = Rng::seed_from_u64(0x5EAF + case);
+            let trace = random_trace(&mut rng);
+            let model = unit_model();
+            let plain = ski_rental(&trace, &model);
+            let res = resilient_ski_rental(&trace, &model, &FaultPlan::none());
+            assert!(
+                approx_eq(res.cost, plain.cost),
+                "case {case}: {} vs {}",
+                res.cost,
+                plain.cost
+            );
+            assert_eq!(res.transfers, plain.transfers, "case {case}");
+            assert_eq!(res.attempts, plain.transfers, "case {case}");
+            assert_eq!(res.hits, plain.hits, "case {case}");
+            assert_eq!(res.degraded, 0, "case {case}");
+            assert_eq!(res.replans, 0, "case {case}");
+        }
+    }
+
+    #[test]
+    fn backbone_loss_triggers_a_replan_not_a_wreck() {
+        // Requests at s2 (becomes backbone), then s3. Crash s2 between
+        // them: the backbone is lost, the s3 fetch re-anchors via origin.
+        let trace = SingleItemTrace::from_pairs(3, &[(1.0, 1), (3.0, 2)]);
+        let mut plan = FaultPlan::none();
+        plan.crashes.push(CrashWindow {
+            server: ServerId(1),
+            span: TimeSpan::new(1.5, 2.0),
+        });
+        let out = resilient_ski_rental(&trace, &unit_model(), &plan);
+        assert_eq!(out.replans, 1);
+        assert_eq!(out.transfers, 2);
+        assert_eq!(out.hits, 0);
+        assert_eq!(out.degraded, 0);
+        // s2's rent ran only [1.0, 1.5) — the crash settled it early.
+        let s2_epoch = out
+            .schedule
+            .intervals
+            .iter()
+            .find(|iv| iv.server == ServerId(1))
+            .expect("s2 cached");
+        assert!(approx_eq(s2_epoch.span.end, 1.5));
+    }
+
+    #[test]
+    fn requests_at_down_servers_degrade_to_origin_reads() {
+        let trace = SingleItemTrace::from_pairs(2, &[(1.0, 1), (2.0, 1)]);
+        let plan = FaultPlan::total_blackout(2);
+        let model = unit_model();
+        let out = resilient_ski_rental(&trace, &model, &plan);
+        assert_eq!(out.degraded, 2);
+        assert_eq!(out.hits, 0);
+        // Two origin reads plus the origin backbone's cache time.
+        assert!(out.cost >= 2.0 * model.lambda());
+    }
+
+    #[test]
+    fn transfer_failures_are_retried_and_paid_for() {
+        let trace = SingleItemTrace::from_pairs(3, &[(1.0, 1), (2.0, 2)]);
+        let model = unit_model();
+        let mut plan = FaultPlan::none();
+        plan.transfer_failure_prob = 1.0; // every non-origin attempt fails
+        plan.seed = 11;
+        let out = resilient_ski_rental(&trace, &model, &plan);
+        // First fetch sources at the origin (never fails). Second sources
+        // at the s2 backbone: max_retries+1 failures, then origin.
+        assert_eq!(out.transfers, 2);
+        assert_eq!(out.retries, plan.max_retries as usize + 1);
+        assert_eq!(out.attempts, 1 + (plan.max_retries as usize + 1) + 1);
+        let plain = ski_rental(&trace, &model);
+        assert!(out.cost > plain.cost);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_plan() {
+        for case in 0..16 {
+            let mut rng = Rng::seed_from_u64(0xD0_0D + case);
+            let trace = random_trace(&mut rng);
+            let plan = FaultPlan::random(case, trace.servers, 9.0, 0.3, 1.0, 0.4);
+            let a = resilient_ski_rental(&trace, &unit_model(), &plan);
+            let b = resilient_ski_rental(&trace, &unit_model(), &plan);
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "case {case}");
+            assert_eq!(a.attempts, b.attempts, "case {case}");
+            assert_eq!(a.schedule, b.schedule, "case {case}");
+        }
+    }
+}

@@ -1,0 +1,695 @@
+//! Degraded replay: executes a planned schedule on a *faulty* fleet.
+//!
+//! [`crate::replay::replay`] verifies a schedule against the idealized
+//! physics of the paper and rejects anything infeasible. This module
+//! answers the complementary robustness question: what does the planned
+//! schedule actually *cost* when servers crash and transfers fail
+//! underneath it? [`degraded_replay`] never rejects — it repairs on the
+//! fly, accruing the real cost of every repair, and reports recovery
+//! metrics in a [`FaultReport`].
+//!
+//! Repair policy, in order:
+//!
+//! 1. **Retry** — a failed transfer attempt is retried against the same
+//!    source up to [`FaultPlan::max_retries`] times; every attempt
+//!    (failed or not) pays the transfer rate `λ`, because the bytes moved
+//!    before the connection died are real traffic.
+//! 2. **Origin fallback** — once the budget is exhausted, or when the
+//!    planned source has no live copy, the fetch is rerouted to the
+//!    origin `s1`, which fronts the durable backing store and never
+//!    fails (one more `λ`).
+//! 3. **Re-cache** — when a repair serves a request whose planned cache
+//!    interval lost its copy to a crash, the fetched copy is parked back
+//!    on that interval for its remaining span, so later requests hit
+//!    again; the extra cache time is billed at `μ` like any other copy.
+//!
+//! Copies die the instant a crash window opens and do not resurrect on
+//! recovery; repair is lazy, at the next request that needs the copy.
+//! Under [`FaultPlan::none`] every branch above is dead code and the
+//! sweep is the same float-by-float accumulation as `replay`, so the
+//! degraded cost equals the plain replayed cost *exactly* — the property
+//! the acceptance tests pin down.
+
+use mcs_model::fault::FaultPlan;
+use mcs_model::request::SingleItemTrace;
+use mcs_model::time::total_cmp;
+use mcs_model::{approx_eq, CostModel, Schedule, ServerId, TimePoint, EPSILON};
+
+use crate::engine::timeline;
+use crate::metrics::{FaultReport, ReplayMetrics};
+
+/// Per-interval execution state during the degraded sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum IvState {
+    /// Not reached yet.
+    Pending,
+    /// Open with a live copy.
+    Open,
+    /// Copy destroyed by a crash at the given instant.
+    Killed { lost_at: TimePoint },
+    /// Never opened: the server was down at the planned open instant.
+    Skipped { planned_open: TimePoint },
+    /// Past its end.
+    Closed,
+}
+
+/// The outcome of a degraded replay. Never an error: broken physics is
+/// repaired (and billed), not rejected.
+#[derive(Debug, Clone)]
+pub struct DegradedReport {
+    /// Copy-time actually accrued (planned minus lost plus re-cached).
+    pub cache_time: f64,
+    /// Successful transfer deliveries (planned reroutes and repairs
+    /// included).
+    pub transfers: usize,
+    /// Total transfer attempts, *including* failed ones — each pays `λ`.
+    pub attempts: usize,
+    /// Requests served (always the whole trace; service degrades, it
+    /// never drops).
+    pub served: usize,
+    /// Recovery metrics.
+    pub fault: FaultReport,
+    /// Occupancy and traffic metrics of the degraded run.
+    pub metrics: ReplayMetrics,
+}
+
+impl DegradedReport {
+    /// Total cost under `(rate_cache, cost_transfer)`: cache time at `μ`
+    /// plus *every attempt* at `λ`.
+    pub fn cost(&self, rate_cache: f64, cost_transfer: f64) -> f64 {
+        rate_cache * self.cache_time + cost_transfer * self.attempts as f64
+    }
+}
+
+/// A degraded run paired with its fault-free baseline.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Cost of the same schedule replayed with no faults.
+    pub fault_free_cost: f64,
+    /// Cost actually accrued under the plan.
+    pub degraded_cost: f64,
+    /// `degraded_cost / fault_free_cost` (1.0 for an empty plan or a
+    /// zero-cost baseline).
+    pub degradation_ratio: f64,
+    /// The degraded run, with `fault.cost_inflation` filled in.
+    pub report: DegradedReport,
+}
+
+/// Runs [`degraded_replay`] twice — once under `plan`, once fault-free —
+/// and reports the degradation ratio (cost inflation) under `model`.
+pub fn chaos_replay(
+    schedule: &Schedule,
+    trace: &SingleItemTrace,
+    plan: &FaultPlan,
+    model: &CostModel,
+) -> ChaosOutcome {
+    let baseline = degraded_replay(schedule, trace, &FaultPlan::none());
+    let mut report = degraded_replay(schedule, trace, plan);
+    let fault_free_cost = baseline.cost(model.mu(), model.lambda());
+    let degraded_cost = report.cost(model.mu(), model.lambda());
+    let degradation_ratio = if fault_free_cost > 0.0 {
+        degraded_cost / fault_free_cost
+    } else {
+        1.0
+    };
+    report.fault.cost_inflation = degradation_ratio;
+    ChaosOutcome {
+        fault_free_cost,
+        degraded_cost,
+        degradation_ratio,
+        report,
+    }
+}
+
+/// Executes `schedule` against `trace` under `plan`, repairing every
+/// fault-induced (or schedule-induced) infeasibility at real cost.
+pub fn degraded_replay(
+    schedule: &Schedule,
+    trace: &SingleItemTrace,
+    plan: &FaultPlan,
+) -> DegradedReport {
+    let tl = timeline(schedule, trace);
+    let servers = trace.servers as usize;
+    let mut count = vec![0u32; servers];
+    let mut iv_state = vec![IvState::Pending; schedule.intervals.len()];
+    let mut metrics = ReplayMetrics::new(trace.servers);
+    let mut fault = FaultReport::new(trace.len());
+
+    // Crash-window openings, time-sorted: each is an integration
+    // breakpoint at which the crashed server's copies die.
+    let mut kills: Vec<(TimePoint, ServerId)> = plan
+        .crashes
+        .iter()
+        .map(|c| (c.span.start, c.server))
+        .collect();
+    kills.sort_by(|a, b| total_cmp(a.0, b.0));
+    let mut next_kill = 0usize;
+
+    let mut cache_time = 0.0_f64;
+    let mut transfers_done = 0usize;
+    let mut attempts = 0usize;
+    let mut served = 0usize;
+    let mut repair_time_total = 0.0_f64;
+    let mut prev_time = tl.first().map_or(0.0, |i| i.time.min(0.0));
+
+    let apply_kill = |at: TimePoint,
+                      server: ServerId,
+                      count: &mut Vec<u32>,
+                      iv_state: &mut Vec<IvState>,
+                      fault: &mut FaultReport| {
+        for (i, st) in iv_state.iter_mut().enumerate() {
+            if *st == IvState::Open && schedule.intervals[i].server == server {
+                *st = IvState::Killed { lost_at: at };
+                fault.copies_lost += 1;
+            }
+        }
+        count[server.index()] = 0;
+    };
+
+    for instant in &tl {
+        let t = instant.time;
+
+        // Integrate occupancy up to each crash that opens strictly before
+        // this instant, killing copies at the breakpoint.
+        while next_kill < kills.len() && kills[next_kill].0 < t - EPSILON {
+            let (kt, ks) = kills[next_kill];
+            next_kill += 1;
+            if kt > prev_time {
+                cache_time += total(&count) as f64 * (kt - prev_time);
+                metrics.observe_gap(total(&count), kt - prev_time);
+                prev_time = kt;
+            }
+            apply_kill(kt, ks, &mut count, &mut iv_state, &mut fault);
+        }
+
+        // Integrate the remaining gap up to this instant. (The empty plan
+        // reaches here directly with the exact accumulation `replay` does.)
+        cache_time += total(&count) as f64 * (t - prev_time);
+        metrics.observe_gap(total(&count), t - prev_time);
+        prev_time = t;
+
+        // Crashes coinciding with this instant strike before its events:
+        // the down-window is half-open `[start, end)`, so at `t` the
+        // server is already down.
+        while next_kill < kills.len() && kills[next_kill].0 <= t + EPSILON {
+            let (kt, ks) = kills[next_kill];
+            next_kill += 1;
+            apply_kill(kt, ks, &mut count, &mut iv_state, &mut fault);
+        }
+
+        let alive_now = |count: &Vec<u32>, s: ServerId| {
+            count[s.index()] > 0 || (s == ServerId::ORIGIN && approx_eq(t, 0.0))
+        };
+
+        // Resolve planned transfers, allowing same-instant chains. Where
+        // `replay` rejects a stalled chain, we reroute from the origin.
+        let mut arrived: Vec<ServerId> = Vec::new();
+        let mut pending: Vec<usize> = instant.transfers.clone();
+        let mut stalled = false;
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|&ti| {
+                let tr = &schedule.transfers[ti];
+                if plan.is_down(tr.to, t) {
+                    // Target unreachable; the copy would die on arrival
+                    // anyway. Drop the transfer, repair lazily later.
+                    fault.transfers_skipped += 1;
+                    return false;
+                }
+                let source_live = alive_now(&count, tr.from) || arrived.contains(&tr.from);
+                if !source_live && !stalled {
+                    return true; // wait for a same-instant chain to feed it
+                }
+                let src = if source_live {
+                    tr.from
+                } else {
+                    fault.origin_fallbacks += 1;
+                    ServerId::ORIGIN
+                };
+                let delivered_from = deliver(plan, src, tr.to, t, &mut attempts, &mut fault);
+                transfers_done += 1;
+                metrics.observe_transfer(delivered_from, tr.to);
+                arrived.push(tr.to);
+                false
+            });
+            if pending.len() == before {
+                stalled = true; // no progress: reroute the rest via origin
+            }
+        }
+
+        // Open intervals.
+        for &ii in &instant.starts {
+            let iv = &schedule.intervals[ii];
+            if plan.is_down(iv.server, t) {
+                iv_state[ii] = IvState::Skipped { planned_open: t };
+                fault.intervals_skipped += 1;
+                continue;
+            }
+            let anchored = alive_now(&count, iv.server) || arrived.contains(&iv.server);
+            if !anchored {
+                // The planned anchor is gone (fault upstream or broken
+                // schedule): fetch a fresh copy before opening.
+                let src = best_source(plan, &count, iv.server, t);
+                if src == ServerId::ORIGIN {
+                    fault.origin_fallbacks += 1;
+                }
+                let attempts_before = attempts;
+                let from = deliver(plan, src, iv.server, t, &mut attempts, &mut fault);
+                transfers_done += 1;
+                metrics.observe_transfer(from, iv.server);
+                // If the missing anchor is a fault casualty (a lost copy
+                // whose interval ran into this instant), this fetch is its
+                // repair: credit the time-to-repair from the loss.
+                if let Some(lost_at) = latest_loss_at(schedule, &iv_state, iv.server, t) {
+                    fault.repairs += 1;
+                    let tries = (attempts - attempts_before) as f64;
+                    repair_time_total += (t - lost_at) + tries * plan.transfer_latency;
+                }
+            }
+            iv_state[ii] = IvState::Open;
+            count[iv.server.index()] += 1;
+        }
+
+        // Serve requests.
+        for &ri in &instant.requests {
+            let p = &trace.points[ri];
+            let hit = count[p.server.index()] > 0
+                || arrived.contains(&p.server)
+                || (p.server == ServerId::ORIGIN && approx_eq(t, 0.0));
+            if hit {
+                served += 1;
+                continue;
+            }
+            fault.requests_degraded += 1;
+            if plan.is_down(p.server, t) {
+                // The cache there is down; the user reads through to the
+                // origin's durable store. One transfer, never fails.
+                attempts += 1;
+                transfers_done += 1;
+                metrics.observe_transfer(ServerId::ORIGIN, p.server);
+                fault.origin_fallbacks += 1;
+                served += 1;
+                continue;
+            }
+            // Server is up but its copy is gone: fetch, and if a planned
+            // interval still covers this instant, re-cache on it.
+            let src = best_source(plan, &count, p.server, t);
+            if src == ServerId::ORIGIN {
+                fault.origin_fallbacks += 1;
+            }
+            let attempts_before = attempts;
+            let from = deliver(plan, src, p.server, t, &mut attempts, &mut fault);
+            transfers_done += 1;
+            metrics.observe_transfer(from, p.server);
+            served += 1;
+            if let Some(ii) = covering_interval(schedule, &iv_state, p.server, t) {
+                let lost_at = match iv_state[ii] {
+                    IvState::Killed { lost_at } => lost_at,
+                    IvState::Skipped { planned_open } => planned_open,
+                    _ => unreachable!("covering_interval returns only lost states"),
+                };
+                iv_state[ii] = IvState::Open;
+                count[p.server.index()] += 1;
+                fault.recaches += 1;
+                fault.repairs += 1;
+                let tries = (attempts - attempts_before) as f64;
+                repair_time_total += (t - lost_at) + tries * plan.transfer_latency;
+            }
+        }
+
+        // Close intervals.
+        for &ii in &instant.ends {
+            match iv_state[ii] {
+                IvState::Open => {
+                    let s = schedule.intervals[ii].server;
+                    count[s.index()] -= 1;
+                }
+                IvState::Pending | IvState::Killed { .. } | IvState::Skipped { .. } => {}
+                IvState::Closed => {}
+            }
+            iv_state[ii] = IvState::Closed;
+        }
+    }
+
+    fault.mean_time_to_repair = if fault.repairs > 0 {
+        repair_time_total / fault.repairs as f64
+    } else {
+        0.0
+    };
+
+    DegradedReport {
+        cache_time,
+        transfers: transfers_done,
+        attempts,
+        served,
+        fault,
+        metrics,
+    }
+}
+
+fn total(count: &[u32]) -> u32 {
+    count.iter().sum()
+}
+
+/// The deterministic repair source: the lowest-index up server holding a
+/// live copy, else the origin.
+fn best_source(plan: &FaultPlan, count: &[u32], to: ServerId, t: TimePoint) -> ServerId {
+    count
+        .iter()
+        .enumerate()
+        .filter(|&(s, &c)| {
+            c > 0 && ServerId(s as u32) != to && !plan.is_down(ServerId(s as u32), t)
+        })
+        .map(|(s, _)| ServerId(s as u32))
+        .next()
+        .unwrap_or(ServerId::ORIGIN)
+}
+
+/// Attempts the transfer `src -> to` at `t` under the retry policy.
+/// Returns the server that finally delivered (the origin on fallback).
+/// Every attempt, failed or successful, increments `attempts` (pays `λ`).
+fn deliver(
+    plan: &FaultPlan,
+    src: ServerId,
+    to: ServerId,
+    t: TimePoint,
+    attempts: &mut usize,
+    fault: &mut FaultReport,
+) -> ServerId {
+    for k in 0..=plan.max_retries {
+        *attempts += 1;
+        if !plan.transfer_fails(src, to, t, k) {
+            return src;
+        }
+        fault.retries += 1;
+    }
+    // Budget exhausted: the origin's durable store never fails.
+    *attempts += 1;
+    fault.origin_fallbacks += 1;
+    ServerId::ORIGIN
+}
+
+/// The loss instant of the most recent fault casualty at `server` whose
+/// planned span ran into `t` — the copy an unanchored open would have
+/// chained from. `None` when the anchor loss is not fault-induced.
+fn latest_loss_at(
+    schedule: &Schedule,
+    iv_state: &[IvState],
+    server: ServerId,
+    t: TimePoint,
+) -> Option<TimePoint> {
+    schedule
+        .intervals
+        .iter()
+        .enumerate()
+        .filter(|(_, iv)| iv.server == server && iv.span.end >= t - EPSILON)
+        .filter_map(|(i, _)| match iv_state[i] {
+            IvState::Killed { lost_at } => Some(lost_at),
+            IvState::Skipped { planned_open } => Some(planned_open),
+            _ => None,
+        })
+        .max_by(|a, b| total_cmp(*a, *b))
+}
+
+/// The planned interval at `server` that covers `t` and lost its copy
+/// (killed or skipped), preferring the one with the most remaining span.
+fn covering_interval(
+    schedule: &Schedule,
+    iv_state: &[IvState],
+    server: ServerId,
+    t: TimePoint,
+) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, iv) in schedule.intervals.iter().enumerate() {
+        if iv.server != server || iv.span.start > t + EPSILON || iv.span.end < t - EPSILON {
+            continue;
+        }
+        if !matches!(
+            iv_state[i],
+            IvState::Killed { .. } | IvState::Skipped { .. }
+        ) {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) if schedule.intervals[b].span.end < iv.span.end => best = Some(i),
+            Some(_) => {}
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::replay;
+    use dp_greedy::paper_example;
+    use mcs_model::fault::CrashWindow;
+    use mcs_model::rng::Rng;
+    use mcs_model::time::TimeSpan;
+    use mcs_model::ItemId;
+    use mcs_offline::optimal;
+
+    fn paper_trace() -> SingleItemTrace {
+        paper_example::paper_sequence().item_trace(ItemId(0))
+    }
+
+    fn optimal_schedule(trace: &SingleItemTrace) -> Schedule {
+        optimal(trace, &CostModel::paper_example()).schedule
+    }
+
+    fn random_trace(rng: &mut Rng) -> SingleItemTrace {
+        let m = rng.gen_range(2u32..=5);
+        let n = rng.gen_range(2usize..=12);
+        let mut ticks: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..=90)).collect();
+        ticks.sort_unstable();
+        ticks.dedup();
+        let pairs: Vec<(f64, u32)> = ticks
+            .iter()
+            .map(|&t| (f64::from(t) / 10.0, rng.gen_range(0..m)))
+            .collect();
+        SingleItemTrace::from_pairs(m, &pairs)
+    }
+
+    #[test]
+    fn empty_plan_matches_replay_exactly_on_the_paper_example() {
+        let trace = paper_trace();
+        let s = optimal_schedule(&trace);
+        let plain = replay(&s, &trace).expect("feasible");
+        let deg = degraded_replay(&s, &trace, &FaultPlan::none());
+        // Bit-for-bit: same sweep, same accumulation order.
+        assert_eq!(deg.cache_time, plain.integrated_cache_time);
+        assert_eq!(deg.attempts, plain.transfers);
+        assert_eq!(deg.transfers, plain.transfers);
+        assert_eq!(deg.served, plain.served);
+        let model = paper_example::paper_model();
+        assert_eq!(
+            deg.cost(model.mu(), model.lambda()),
+            plain.cost(model.mu(), model.lambda())
+        );
+        assert_eq!(deg.fault, FaultReport::new(trace.len()));
+    }
+
+    #[test]
+    fn empty_plan_matches_replay_exactly_on_random_optimal_schedules() {
+        for case in 0..64 {
+            let mut rng = Rng::seed_from_u64(0xBEEF + case);
+            let trace = random_trace(&mut rng);
+            let s = optimal_schedule(&trace);
+            let plain = replay(&s, &trace).expect("feasible");
+            let deg = degraded_replay(&s, &trace, &FaultPlan::none());
+            assert_eq!(deg.cache_time, plain.integrated_cache_time, "case {case}");
+            assert_eq!(deg.attempts, plain.transfers, "case {case}");
+            assert_eq!(deg.cost(1.0, 1.7), plain.cost(1.0, 1.7), "case {case}");
+            assert_eq!(deg.fault.requests_degraded, 0, "case {case}");
+        }
+    }
+
+    #[test]
+    fn total_blackout_degrades_to_origin_service() {
+        // Every non-origin copy dies at t=0: the only cache time left is
+        // the schedule's own origin intervals, and every non-origin
+        // request costs exactly one origin transfer.
+        for case in 0..32 {
+            let mut rng = Rng::seed_from_u64(0xB1AC + case);
+            let trace = random_trace(&mut rng);
+            let s = optimal_schedule(&trace);
+            let plan = FaultPlan::total_blackout(trace.servers);
+            let deg = degraded_replay(&s, &trace, &plan);
+            let origin_cache_time: f64 = s
+                .intervals
+                .iter()
+                .filter(|iv| iv.server == ServerId::ORIGIN)
+                .map(|iv| iv.span.len())
+                .sum();
+            let non_origin_requests = trace
+                .points
+                .iter()
+                .filter(|p| p.server != ServerId::ORIGIN)
+                .count();
+            // Planned transfers *to* the origin still fire (rerouted from
+            // the backing store) — they re-stock the origin's own cache.
+            let to_origin = s
+                .transfers
+                .iter()
+                .filter(|tr| tr.to == ServerId::ORIGIN)
+                .count();
+            assert!(
+                approx_eq(deg.cache_time, origin_cache_time),
+                "case {case}: cache {} vs origin-only {origin_cache_time}",
+                deg.cache_time
+            );
+            assert_eq!(deg.attempts, non_origin_requests + to_origin, "case {case}");
+            assert_eq!(deg.served, trace.len(), "case {case}");
+            // The n·λ bound: at most one transfer per request, no extras.
+            assert!(deg.attempts <= trace.len() + to_origin, "case {case}");
+        }
+    }
+
+    #[test]
+    fn blackout_on_the_paper_example_hits_the_all_origin_bound() {
+        let trace = paper_trace();
+        let s = optimal_schedule(&trace);
+        let plan = FaultPlan::total_blackout(trace.servers);
+        let model = paper_example::paper_model();
+        let deg = degraded_replay(&s, &trace, &plan);
+        let non_origin = trace
+            .points
+            .iter()
+            .filter(|p| p.server != ServerId::ORIGIN)
+            .count();
+        let origin_cache: f64 = s
+            .intervals
+            .iter()
+            .filter(|iv| iv.server == ServerId::ORIGIN)
+            .map(|iv| iv.span.len())
+            .sum();
+        let to_origin = s
+            .transfers
+            .iter()
+            .filter(|tr| tr.to == ServerId::ORIGIN)
+            .count();
+        let bound = model.mu() * origin_cache + model.lambda() * (non_origin + to_origin) as f64;
+        assert!(approx_eq(deg.cost(model.mu(), model.lambda()), bound));
+        assert_eq!(deg.fault.requests_degraded, non_origin);
+    }
+
+    #[test]
+    fn mid_schedule_crash_loses_then_recaches_at_the_next_request() {
+        // One long planned interval [1, 3] at s2 covering requests at
+        // 1, 2, 3. Crash s2 during [1.5, 1.8): the copy dies, the t=2
+        // request repairs it by re-caching on the same interval, and the
+        // t=3 request hits again.
+        let trace = SingleItemTrace::from_pairs(2, &[(1.0, 1), (2.0, 1), (3.0, 1)]);
+        let mut s = Schedule::new();
+        s.cache(ServerId(0), 0.0, 1.0)
+            .transfer(ServerId(0), ServerId(1), 1.0)
+            .cache(ServerId(1), 1.0, 3.0);
+        let plain = replay(&s, &trace).expect("feasible");
+        let mut plan = FaultPlan::none();
+        plan.crashes.push(CrashWindow {
+            server: ServerId(1),
+            span: TimeSpan::new(1.5, 1.8),
+        });
+        let deg = degraded_replay(&s, &trace, &plan);
+        assert_eq!(deg.served, 3);
+        assert_eq!(deg.fault.copies_lost, 1);
+        assert_eq!(deg.fault.requests_degraded, 1);
+        assert_eq!(deg.fault.recaches, 1);
+        assert_eq!(deg.fault.repairs, 1);
+        // Copy lost at 1.5, repaired at 2.0.
+        assert!(approx_eq(deg.fault.mean_time_to_repair, 0.5));
+        // Cache time shrinks by the outage (1.5..2.0), grows by nothing.
+        assert!(approx_eq(deg.cache_time, plain.integrated_cache_time - 0.5));
+        // One extra transfer: the repair fetch.
+        assert_eq!(deg.attempts, plain.transfers + 1);
+    }
+
+    #[test]
+    fn crash_between_split_intervals_repairs_at_the_next_open() {
+        // The offline optimum splits intervals at request times, so the
+        // lost copy is restored by the anchor repair of the next planned
+        // open rather than at a request. Served count, cost and TTR must
+        // come out the same as the long-interval case.
+        let trace = SingleItemTrace::from_pairs(2, &[(1.0, 1), (2.0, 1), (3.0, 1)]);
+        let s = optimal_schedule(&trace);
+        let plain = replay(&s, &trace).expect("feasible");
+        let mut plan = FaultPlan::none();
+        plan.crashes.push(CrashWindow {
+            server: ServerId(1),
+            span: TimeSpan::new(1.5, 1.8),
+        });
+        let deg = degraded_replay(&s, &trace, &plan);
+        assert_eq!(deg.served, 3);
+        assert_eq!(deg.fault.copies_lost, 1);
+        // No request ever misses: the t=2 open repairs first.
+        assert_eq!(deg.fault.requests_degraded, 0);
+        assert_eq!(deg.fault.repairs, 1);
+        assert!(approx_eq(deg.fault.mean_time_to_repair, 0.5));
+        assert!(approx_eq(deg.cache_time, plain.integrated_cache_time - 0.5));
+        assert_eq!(deg.attempts, plain.transfers + 1);
+    }
+
+    #[test]
+    fn transfer_failures_pay_per_attempt_and_fall_back_to_origin() {
+        // Force every non-origin transfer to fail: each planned remote
+        // fetch burns its retry budget, then the origin delivers.
+        let trace = SingleItemTrace::from_pairs(3, &[(1.0, 1), (1.2, 2)]);
+        let s = optimal_schedule(&trace);
+        let plain = replay(&s, &trace).expect("feasible");
+        let mut plan = FaultPlan::none();
+        plan.transfer_failure_prob = 1.0;
+        plan.seed = 3;
+        let deg = degraded_replay(&s, &trace, &plan);
+        assert_eq!(deg.served, 2);
+        // Transfers sourced at the origin are immune; any transfer planned
+        // from a non-origin source pays (max_retries + 1) failures + 1
+        // origin fetch.
+        assert!(deg.attempts >= plain.transfers);
+        let deg_cost = deg.cost(1.0, 1.7);
+        let plain_cost = plain.cost(1.0, 1.7);
+        assert!(deg_cost >= plain_cost);
+        if deg.fault.retries > 0 {
+            assert!(deg.fault.origin_fallbacks > 0);
+        }
+    }
+
+    #[test]
+    fn chaos_replay_reports_inflation_and_is_deterministic() {
+        let trace = paper_trace();
+        let s = optimal_schedule(&trace);
+        let model = paper_example::paper_model();
+        let plan = FaultPlan::random(7, trace.servers, 5.0, 0.2, 1.0, 0.3);
+        let a = chaos_replay(&s, &trace, &plan, &model);
+        let b = chaos_replay(&s, &trace, &plan, &model);
+        assert_eq!(a.degraded_cost, b.degraded_cost);
+        assert_eq!(a.report.fault, b.report.fault);
+        assert!(a.degradation_ratio >= 1.0 - 1e-9 || a.degraded_cost < a.fault_free_cost);
+        assert!(approx_eq(
+            a.report.fault.cost_inflation,
+            a.degradation_ratio
+        ));
+        // Empty plan: ratio is exactly 1.
+        let clean = chaos_replay(&s, &trace, &FaultPlan::none(), &model);
+        assert_eq!(clean.degradation_ratio, 1.0);
+    }
+
+    #[test]
+    fn service_never_drops_under_arbitrary_fault_plans() {
+        for case in 0..48 {
+            let mut rng = Rng::seed_from_u64(0xC4A5 + case);
+            let trace = random_trace(&mut rng);
+            let s = optimal_schedule(&trace);
+            let plan = FaultPlan::random(case, trace.servers, 10.0, 0.3, 1.5, 0.4);
+            let deg = degraded_replay(&s, &trace, &plan);
+            assert_eq!(deg.served, trace.len(), "case {case}");
+            // Degradation is bounded: worst case one full retry burst per
+            // request plus the planned work.
+            let worst = s.transfers.len() + trace.len() * (plan.max_retries as usize + 2);
+            assert!(
+                deg.attempts <= worst + s.intervals.len() * (plan.max_retries as usize + 2),
+                "case {case}"
+            );
+        }
+    }
+}

@@ -9,8 +9,11 @@
 //! through unchanged but reported separately.
 
 use dp_greedy::two_phase::DpGreedyReport;
+use mcs_model::fault::FaultPlan;
 use mcs_model::{CostModel, RequestSeq};
 
+use crate::faults::chaos_replay;
+use crate::metrics::FaultReport;
 use crate::replay::{replay, ReplayError};
 
 /// One replayed commodity.
@@ -109,6 +112,99 @@ pub fn replay_dp_greedy(
     })
 }
 
+/// One commodity replayed under faults.
+#[derive(Debug, Clone)]
+pub struct CommodityChaos {
+    /// Human-readable label (`"package(d1,d2)"`, `"item d3"`).
+    pub label: String,
+    /// Fault-free replayed cost.
+    pub fault_free: f64,
+    /// Cost accrued under the fault plan.
+    pub degraded: f64,
+    /// `degraded / fault_free` for this commodity.
+    pub degradation_ratio: f64,
+}
+
+/// Aggregate outcome of a fleet-wide chaos run.
+#[derive(Debug, Clone)]
+pub struct FleetChaosReport {
+    /// Per-commodity breakdown.
+    pub commodities: Vec<CommodityChaos>,
+    /// Total fault-free cost over explicit schedules.
+    pub fault_free_cost: f64,
+    /// Total cost accrued under the plan.
+    pub degraded_cost: f64,
+    /// `degraded_cost / fault_free_cost` (1.0 on a zero-cost baseline).
+    pub degradation_ratio: f64,
+    /// Merged recovery metrics across all commodities, with
+    /// `cost_inflation` set to the fleet-level degradation ratio.
+    pub fault: FaultReport,
+}
+
+/// Replays every explicit schedule of a DP_Greedy report through the
+/// degraded engine under `plan` and aggregates recovery metrics.
+///
+/// Unlike [`replay_dp_greedy`] this never fails: the degraded engine
+/// serves every request by repair or origin fallback, so an infeasible
+/// situation shows up as cost inflation, not as an error. Package
+/// schedules are costed under the `α`-scaled package rates, singletons
+/// under the base rates; the Phase-2 greedy bookkeeping arms carry no
+/// explicit schedule and are excluded from both sides of the ratio.
+pub fn chaos_dp_greedy(
+    seq: &RequestSeq,
+    report: &DpGreedyReport,
+    model: &CostModel,
+    plan: &FaultPlan,
+) -> FleetChaosReport {
+    let mut commodities = Vec::new();
+    let mut fault_free_cost = 0.0;
+    let mut degraded_cost = 0.0;
+    let mut fault = FaultReport::new(0);
+
+    let pkg_model = model.scaled_for_package();
+    for pair in &report.pairs {
+        let co = seq.package_trace(pair.a, pair.b);
+        let out = chaos_replay(&pair.package_schedule, &co, plan, &pkg_model);
+        commodities.push(CommodityChaos {
+            label: format!("package({}, {})", pair.a, pair.b),
+            fault_free: out.fault_free_cost,
+            degraded: out.degraded_cost,
+            degradation_ratio: out.degradation_ratio,
+        });
+        fault_free_cost += out.fault_free_cost;
+        degraded_cost += out.degraded_cost;
+        fault.absorb(&out.report.fault);
+    }
+
+    for s in &report.singletons {
+        let trace = seq.item_trace(s.item);
+        let out = chaos_replay(&s.schedule, &trace, plan, model);
+        commodities.push(CommodityChaos {
+            label: format!("item {}", s.item),
+            fault_free: out.fault_free_cost,
+            degraded: out.degraded_cost,
+            degradation_ratio: out.degradation_ratio,
+        });
+        fault_free_cost += out.fault_free_cost;
+        degraded_cost += out.degraded_cost;
+        fault.absorb(&out.report.fault);
+    }
+
+    let degradation_ratio = if fault_free_cost > 0.0 {
+        degraded_cost / fault_free_cost
+    } else {
+        1.0
+    };
+    fault.cost_inflation = degradation_ratio;
+    FleetChaosReport {
+        commodities,
+        fault_free_cost,
+        degraded_cost,
+        degradation_ratio,
+        fault,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +249,69 @@ mod tests {
         for c in &fleet.commodities {
             assert!((c.reported - c.replayed).abs() < 1e-9, "{}", c.label);
         }
+    }
+
+    #[test]
+    fn fleet_chaos_with_no_faults_matches_plain_replay() {
+        let seq = paper_sequence();
+        let model = CostModel::paper_example();
+        let report = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.4));
+        let plain = replay_dp_greedy(&seq, &report, &model).unwrap();
+        let chaos = chaos_dp_greedy(&seq, &report, &model, &FaultPlan::none());
+        assert_eq!(chaos.degradation_ratio, 1.0);
+        assert_eq!(
+            chaos.degraded_cost.to_bits(),
+            chaos.fault_free_cost.to_bits()
+        );
+        assert!((chaos.fault_free_cost - plain.replayed_cost).abs() < 1e-9);
+        assert_eq!(chaos.fault.requests_degraded, 0);
+        assert_eq!(chaos.fault.copies_lost, 0);
+        assert_eq!(chaos.fault.cost_inflation, 1.0);
+    }
+
+    #[test]
+    fn fleet_chaos_under_blackout_counts_degradation() {
+        let seq = paper_sequence();
+        let model = CostModel::paper_example();
+        let report = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.4));
+        let plan = FaultPlan::total_blackout(seq.servers());
+        let chaos = chaos_dp_greedy(&seq, &report, &model, &plan);
+        // A blackout is not necessarily *more expensive* — skipped rent can
+        // outweigh cheap origin reads — but it must register as degradation.
+        assert!(chaos.degradation_ratio > 0.0);
+        assert!(chaos.fault.requests_degraded > 0);
+        assert!(chaos.fault.intervals_skipped > 0);
+        assert_eq!(chaos.fault.cost_inflation, chaos.degradation_ratio);
+        assert!(chaos.fault.requests_total >= chaos.fault.requests_degraded);
+    }
+
+    #[test]
+    fn fleet_chaos_with_a_brief_crash_before_a_request_inflates_cost() {
+        use mcs_model::fault::CrashWindow;
+        use mcs_model::time::TimeSpan;
+        use mcs_model::ServerId;
+
+        let seq = paper_sequence();
+        let model = CostModel::paper_example();
+        let report = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.4));
+        // The package schedule caches on s2 over [0.8, 4.0] with a
+        // co-request at t = 4.0. A brief outage at [3.9, 3.95) loses the
+        // copy 0.1 time units early (rent saved: 0.1·μ_pkg) but forces a
+        // repair transfer (λ_pkg) at the request — a strict net loss.
+        let mut plan = FaultPlan::none();
+        plan.crashes.push(CrashWindow {
+            server: ServerId(2),
+            span: TimeSpan::new(3.9, 3.95),
+        });
+        let chaos = chaos_dp_greedy(&seq, &report, &model, &plan);
+        assert!(
+            chaos.degradation_ratio > 1.0,
+            "repair should inflate cost, got {}",
+            chaos.degradation_ratio
+        );
+        assert_eq!(chaos.fault.copies_lost, 1);
+        assert_eq!(chaos.fault.recaches, 1);
+        assert_eq!(chaos.fault.repairs, 1);
+        assert!(chaos.fault.mean_time_to_repair > 0.0);
     }
 }

@@ -5,84 +5,89 @@
 //! random traces), each mutation below breaks exactly one physical rule;
 //! the replay must reject it — silence would mean the validator has a
 //! blind spot that could mask algorithm bugs.
+//!
+//! Formerly proptest-based; now plain `#[test]`s driven by the in-tree
+//! seeded PRNG so the whole suite runs without any registry access. Each
+//! test sweeps a fixed number of seeded random instances, which keeps
+//! failures exactly reproducible.
 
 #![cfg(test)]
 
-use proptest::prelude::*;
-
 use mcs_model::request::SingleItemTrace;
+use mcs_model::rng::Rng;
 use mcs_model::{CostModel, Schedule, ServerId};
 use mcs_offline::optimal;
 
 use crate::replay::replay;
 
-fn trace_strategy() -> impl Strategy<Value = SingleItemTrace> {
-    (2u32..=4, 2usize..=10).prop_flat_map(|(m, n)| {
-        (
-            Just(m),
-            proptest::collection::vec(1u32..=80, n),
-            proptest::collection::vec(0u32..m, n),
-        )
-            .prop_map(|(m, mut ticks, servers)| {
-                ticks.sort_unstable();
-                ticks.dedup();
-                let pairs: Vec<(f64, u32)> = ticks
-                    .iter()
-                    .zip(servers.iter())
-                    .map(|(&t, &s)| (t as f64 / 10.0, s))
-                    .collect();
-                SingleItemTrace::from_pairs(m, &pairs)
-            })
-    })
+const CASES: u64 = 128;
+
+/// Random trace: 2–4 servers, 2–10 requests at strictly increasing times.
+fn random_trace(rng: &mut Rng) -> SingleItemTrace {
+    let m = rng.gen_range(2u32..=4);
+    let n = rng.gen_range(2usize..=10);
+    let mut ticks: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..=80)).collect();
+    ticks.sort_unstable();
+    ticks.dedup();
+    let pairs: Vec<(f64, u32)> = ticks
+        .iter()
+        .map(|&t| (f64::from(t) / 10.0, rng.gen_range(0..m)))
+        .collect();
+    SingleItemTrace::from_pairs(m, &pairs)
 }
 
 fn feasible_schedule(trace: &SingleItemTrace) -> Schedule {
     optimal(trace, &CostModel::paper_example()).schedule
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn baseline_schedules_replay_cleanly(trace in trace_strategy()) {
+#[test]
+fn baseline_schedules_replay_cleanly() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1000 + case);
+        let trace = random_trace(&mut rng);
         let s = feasible_schedule(&trace);
-        prop_assert!(replay(&s, &trace).is_ok());
+        assert!(replay(&s, &trace).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn dropping_a_transfer_is_detected(trace in trace_strategy(), pick in 0usize..8) {
+#[test]
+fn dropping_a_transfer_is_detected() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x2000 + case);
+        let trace = random_trace(&mut rng);
         let mut s = feasible_schedule(&trace);
         if s.transfers.is_empty() {
-            return Ok(()); // all-local schedule; nothing to drop
+            continue; // all-local schedule; nothing to drop
         }
-        let idx = pick % s.transfers.len();
+        let idx = rng.gen_range(0..s.transfers.len());
         s.transfers.remove(idx);
         // Either some request loses its serving copy, or a downstream
         // interval loses its anchor; both must be caught.
-        prop_assert!(
+        assert!(
             replay(&s, &trace).is_err(),
-            "dropping transfer {idx} went unnoticed"
+            "case {case}: dropping transfer {idx} went unnoticed"
         );
     }
+}
 
-    #[test]
-    fn shrinking_an_interval_from_the_left_is_detected_or_harmless(
-        trace in trace_strategy(),
-        pick in 0usize..8,
-    ) {
-        // Moving an interval's start later can orphan its anchor; the
-        // engine must never PANIC and must reject any now-infeasible
-        // schedule. (A shrink can also stay feasible when the interval
-        // start coincided with a transfer that still covers it; then the
-        // replayed cost must simply drop.)
+#[test]
+fn shrinking_an_interval_from_the_left_is_detected_or_harmless() {
+    // Moving an interval's start later can orphan its anchor; the
+    // engine must never PANIC and must reject any now-infeasible
+    // schedule. (A shrink can also stay feasible when the interval
+    // start coincided with a transfer that still covers it; then the
+    // replayed cost must simply drop.)
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x3000 + case);
+        let trace = random_trace(&mut rng);
         let mut s = feasible_schedule(&trace);
         if s.intervals.is_empty() {
-            return Ok(());
+            continue;
         }
-        let idx = pick % s.intervals.len();
+        let idx = rng.gen_range(0..s.intervals.len());
         let iv = s.intervals[idx];
         if iv.span.len() < 0.2 {
-            return Ok(());
+            continue;
         }
         let new_start = iv.span.start + iv.span.len() / 2.0;
         s.intervals[idx].span = mcs_model::time::TimeSpan::new(new_start, iv.span.end);
@@ -91,37 +96,41 @@ proptest! {
         if let Ok(rep) = replay(&s, &trace) {
             let orig = feasible_schedule(&trace);
             let orig_cost = replay(&orig, &trace).unwrap().cost(1.0, 1.0);
-            prop_assert!(rep.cost(1.0, 1.0) < orig_cost);
+            assert!(rep.cost(1.0, 1.0) < orig_cost, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn rerouting_a_transfer_from_an_empty_server_is_detected(
-        trace in trace_strategy(),
-        pick in 0usize..8,
-    ) {
+#[test]
+fn rerouting_a_transfer_from_an_empty_server_is_detected() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x4000 + case);
+        let trace = random_trace(&mut rng);
         let mut s = feasible_schedule(&trace);
         if s.transfers.is_empty() {
-            return Ok(());
+            continue;
         }
-        let idx = pick % s.transfers.len();
+        let idx = rng.gen_range(0..s.transfers.len());
         // Find a server with no copy at the transfer instant.
         let t = s.transfers[idx].time;
-        let empty = (0..trace.servers).map(ServerId).find(|&srv| {
-            srv != s.transfers[idx].to
-                && !s.copy_present(srv, t)
-        });
+        let empty = (0..trace.servers)
+            .map(ServerId)
+            .find(|&srv| srv != s.transfers[idx].to && !s.copy_present(srv, t));
         if let Some(empty) = empty {
             s.transfers[idx].from = empty;
-            prop_assert!(replay(&s, &trace).is_err());
+            assert!(replay(&s, &trace).is_err(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn erasing_all_intervals_fails_unless_trivial(trace in trace_strategy()) {
+#[test]
+fn erasing_all_intervals_fails_unless_trivial() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5000 + case);
+        let trace = random_trace(&mut rng);
         let mut s = feasible_schedule(&trace);
         if s.intervals.is_empty() {
-            return Ok(());
+            continue;
         }
         s.intervals.clear();
         // With every cache interval gone, transfers lose their sources (or
@@ -131,21 +140,28 @@ proptest! {
             .iter()
             .all(|p| p.server == ServerId::ORIGIN && p.time == 0.0);
         if !only_origin_t0 {
-            prop_assert!(replay(&s, &trace).is_err());
+            assert!(replay(&s, &trace).is_err(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn replayed_cost_is_stable_under_event_reordering(trace in trace_strategy()) {
-        // Shuffling the declaration order of intervals/transfers must not
-        // change the replay outcome (the engine orders by time itself).
+#[test]
+fn replayed_cost_is_stable_under_event_reordering() {
+    // Shuffling the declaration order of intervals/transfers must not
+    // change the replay outcome (the engine orders by time itself).
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x6000 + case);
+        let trace = random_trace(&mut rng);
         let s = feasible_schedule(&trace);
         let mut reversed = s.clone();
         reversed.intervals.reverse();
         reversed.transfers.reverse();
         let a = replay(&s, &trace).unwrap();
         let b = replay(&reversed, &trace).unwrap();
-        prop_assert!((a.cost(1.0, 1.0) - b.cost(1.0, 1.0)).abs() < 1e-9);
-        prop_assert_eq!(a.transfers, b.transfers);
+        assert!(
+            (a.cost(1.0, 1.0) - b.cost(1.0, 1.0)).abs() < 1e-9,
+            "case {case}"
+        );
+        assert_eq!(a.transfers, b.transfers, "case {case}");
     }
 }

@@ -7,7 +7,7 @@
 //! * [`engine`] — a small discrete-event sweep over the schedule's event
 //!   times (interval starts/ends, transfers, requests) maintaining the
 //!   live-copy set per server.
-//! * [`replay`] — full replay with feasibility verification (copies only
+//! * [`mod@replay`] — full replay with feasibility verification (copies only
 //!   appear via origin/transfer/continuation; every request is served) and
 //!   cost re-derivation by time integration of the live-copy count —
 //!   `cost = rate_cache · ∫ copies(t) dt + cost_transfer · #transfers` —
@@ -22,11 +22,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod faults;
 pub mod fleet;
 mod fuzz;
 pub mod metrics;
 pub mod replay;
 
-pub use fleet::{replay_dp_greedy, FleetReport};
-pub use metrics::ReplayMetrics;
+pub use faults::{chaos_replay, degraded_replay, ChaosOutcome, DegradedReport};
+pub use fleet::{chaos_dp_greedy, replay_dp_greedy, CommodityChaos, FleetChaosReport, FleetReport};
+pub use metrics::{FaultReport, ReplayMetrics};
 pub use replay::{replay, ReplayError, ReplayReport};

@@ -1,11 +1,9 @@
 //! Occupancy and traffic metrics accumulated during replay.
 
-use serde::{Deserialize, Serialize};
-
 use mcs_model::ServerId;
 
 /// Metrics of one replay run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayMetrics {
     /// Maximum concurrent live copies observed.
     pub peak_copies: u32,
@@ -58,6 +56,113 @@ impl ReplayMetrics {
         self.transfers_in.iter().sum()
     }
 }
+
+mcs_model::impl_to_json!(ReplayMetrics {
+    peak_copies,
+    mean_copies,
+    transfers_in,
+    transfers_out,
+    total_copy_time,
+    total_time
+});
+
+/// Recovery metrics of one degraded replay (see [`crate::faults`]).
+///
+/// All counters are zero — and `cost_inflation` is exactly `1.0` — when
+/// the fault plan is empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Requests in the trace.
+    pub requests_total: usize,
+    /// Requests that missed their planned copy and were served by a
+    /// repair or fallback path instead.
+    pub requests_degraded: usize,
+    /// Failed transfer attempts that triggered another try.
+    pub retries: usize,
+    /// Transfers rerouted to the origin after their planned source was
+    /// unavailable or the retry budget ran out.
+    pub origin_fallbacks: usize,
+    /// Live copies destroyed by crash-window openings.
+    pub copies_lost: usize,
+    /// Planned cache intervals that never opened (server down).
+    pub intervals_skipped: usize,
+    /// Planned transfers dropped because their target was down.
+    pub transfers_skipped: usize,
+    /// Lost copies re-established on their planned interval by a repair.
+    pub recaches: usize,
+    /// Repairs with a known loss time (the re-cache events).
+    pub repairs: usize,
+    /// Mean time from copy loss to successful re-cache, including
+    /// per-attempt transfer latency. Zero when nothing was repaired.
+    pub mean_time_to_repair: f64,
+    /// Degraded cost over fault-free cost. [`crate::faults::degraded_replay`]
+    /// leaves this at `1.0`; [`crate::faults::chaos_replay`] fills it in.
+    pub cost_inflation: f64,
+}
+
+impl FaultReport {
+    /// A clean report for a trace of `requests_total` requests.
+    pub fn new(requests_total: usize) -> Self {
+        FaultReport {
+            requests_total,
+            requests_degraded: 0,
+            retries: 0,
+            origin_fallbacks: 0,
+            copies_lost: 0,
+            intervals_skipped: 0,
+            transfers_skipped: 0,
+            recaches: 0,
+            repairs: 0,
+            mean_time_to_repair: 0.0,
+            cost_inflation: 1.0,
+        }
+    }
+
+    /// Fraction of requests that were degraded.
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.requests_total == 0 {
+            0.0
+        } else {
+            self.requests_degraded as f64 / self.requests_total as f64
+        }
+    }
+
+    /// Folds another report into this one (fleet-level aggregation):
+    /// counters add, `mean_time_to_repair` is repair-weighted, and
+    /// `cost_inflation` is left untouched for the caller to recompute
+    /// from the aggregate costs.
+    pub fn absorb(&mut self, other: &FaultReport) {
+        let repairs = self.repairs + other.repairs;
+        if repairs > 0 {
+            self.mean_time_to_repair = (self.mean_time_to_repair * self.repairs as f64
+                + other.mean_time_to_repair * other.repairs as f64)
+                / repairs as f64;
+        }
+        self.repairs = repairs;
+        self.requests_total += other.requests_total;
+        self.requests_degraded += other.requests_degraded;
+        self.retries += other.retries;
+        self.origin_fallbacks += other.origin_fallbacks;
+        self.copies_lost += other.copies_lost;
+        self.intervals_skipped += other.intervals_skipped;
+        self.transfers_skipped += other.transfers_skipped;
+        self.recaches += other.recaches;
+    }
+}
+
+mcs_model::impl_to_json!(FaultReport {
+    requests_total,
+    requests_degraded,
+    retries,
+    origin_fallbacks,
+    copies_lost,
+    intervals_skipped,
+    transfers_skipped,
+    recaches,
+    repairs,
+    mean_time_to_repair,
+    cost_inflation
+});
 
 #[cfg(test)]
 mod tests {

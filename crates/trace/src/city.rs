@@ -3,18 +3,16 @@
 //!
 //! The paper partitions Shenzhen into ~50 parts, "each maintaining a data
 //! server to serve the user requests made in the taxis". Movement in a
-//! metropolis is not uniform: commercial centres attract traffic [21]. We
+//! metropolis is not uniform: commercial centres attract traffic \[21\]. We
 //! model that with a handful of weighted hotspot zones; the popularity of
 //! any zone decays with its grid distance to the hotspots, and taxis chase
 //! sampled hotspot targets (see [`crate::mobility`]).
-
-use serde::{Deserialize, Serialize};
 
 use mcs_model::ServerId;
 
 /// A rectangular grid of zones; zone `(row, col)` maps to server
 /// `row * cols + col`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CityGrid {
     /// Number of grid rows.
     pub rows: u32,
@@ -23,7 +21,7 @@ pub struct CityGrid {
 }
 
 /// A hotspot: an attractive zone with a sampling weight.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hotspot {
     /// Zone index of the hotspot.
     pub zone: u32,
@@ -84,7 +82,7 @@ impl CityGrid {
 
     /// Default hotspot layout: `count` hotspots spread along the grid
     /// diagonal with geometrically decaying weights — a primary CBD plus
-    /// secondary centres, echoing the commercial-centre analysis of [21].
+    /// secondary centres, echoing the commercial-centre analysis of \[21\].
     pub fn default_hotspots(&self, count: u32) -> Vec<Hotspot> {
         let count = count.max(1).min(self.zones());
         (0..count)
@@ -99,6 +97,9 @@ impl CityGrid {
             .collect()
     }
 }
+
+mcs_model::impl_json!(CityGrid { rows, cols });
+mcs_model::impl_json!(Hotspot { zone, weight });
 
 #[cfg(test)]
 mod tests {

@@ -5,12 +5,15 @@
 //! [`WorkloadConfig`] that generated it (when synthetic), so experiment
 //! outputs can always be traced back to their seed. Real traces imported
 //! from elsewhere simply omit the config.
+//!
+//! Serialisation runs on the in-tree [`mcs_model::json`] layer (the
+//! no-network build carries no serde); the on-disk shape is unchanged
+//! from the serde era, so previously written trace files keep loading.
 
 use std::io::{Read, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-
+use mcs_model::json::{self, FromJson, JsonError, ToJson};
 use mcs_model::RequestSeq;
 
 use crate::workload::WorkloadConfig;
@@ -19,7 +22,7 @@ use crate::workload::WorkloadConfig;
 pub const FORMAT_VERSION: u32 = 1;
 
 /// A persisted trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceFile {
     /// Format version (for forward compatibility checks).
     pub version: u32,
@@ -29,13 +32,19 @@ pub struct TraceFile {
     pub sequence: RequestSeq,
 }
 
+mcs_model::impl_json!(TraceFile {
+    version,
+    config,
+    sequence
+});
+
 /// IO/format errors.
 #[derive(Debug)]
 pub enum TraceIoError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// JSON (de)serialisation failure.
-    Json(serde_json::Error),
+    Json(JsonError),
     /// Version mismatch.
     Version {
         /// Version found in the file.
@@ -64,8 +73,8 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
-impl From<serde_json::Error> for TraceIoError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for TraceIoError {
+    fn from(e: JsonError) -> Self {
         TraceIoError::Json(e)
     }
 }
@@ -90,20 +99,23 @@ impl TraceFile {
     }
 
     /// Serialises to a writer as pretty JSON.
-    pub fn write_to<W: Write>(&self, w: W) -> Result<(), TraceIoError> {
-        serde_json::to_writer_pretty(w, self)?;
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), TraceIoError> {
+        w.write_all(self.to_json().to_string_pretty().as_bytes())?;
         Ok(())
     }
 
     /// Deserialises from a reader, checking the version.
-    pub fn read_from<R: Read>(r: R) -> Result<Self, TraceIoError> {
-        let file: TraceFile = serde_json::from_reader(r)?;
-        if file.version != FORMAT_VERSION {
-            return Err(TraceIoError::Version {
-                found: file.version,
-            });
+    pub fn read_from<R: Read>(mut r: R) -> Result<Self, TraceIoError> {
+        let mut text = String::new();
+        r.read_to_string(&mut text)?;
+        let value = json::parse(&text)?;
+        // Check the version *before* decoding the body, so a future
+        // format revision can change the shape freely.
+        let found = u32::from_json(value.field("version")?)?;
+        if found != FORMAT_VERSION {
+            return Err(TraceIoError::Version { found });
         }
-        Ok(file)
+        Ok(TraceFile::from_json(&value)?)
     }
 
     /// Saves to a path.
@@ -150,13 +162,24 @@ mod tests {
     }
 
     #[test]
+    fn external_trace_omits_config() {
+        let seq = generate(&WorkloadConfig::small(4));
+        let file = TraceFile::external(seq);
+        let mut buf = Vec::new();
+        file.write_to(&mut buf).unwrap();
+        let back = TraceFile::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back.config, None);
+        assert_eq!(file, back);
+    }
+
+    #[test]
     fn version_mismatch_is_rejected() {
         let cfg = WorkloadConfig::small(1);
         let seq = generate(&cfg);
         let mut file = TraceFile::external(seq);
         file.version = 99;
         let mut buf = Vec::new();
-        serde_json::to_writer(&mut buf, &file).unwrap();
+        file.write_to(&mut buf).unwrap();
         let err = TraceFile::read_from(buf.as_slice()).unwrap_err();
         assert!(matches!(err, TraceIoError::Version { found: 99 }));
     }

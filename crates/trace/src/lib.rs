@@ -1,6 +1,6 @@
 //! # mcs-trace — synthetic metropolitan taxi workload
 //!
-//! The paper evaluates on GPS taxi traces from Shenzhen [20]: the city is
+//! The paper evaluates on GPS taxi traces from Shenzhen \[20\]: the city is
 //! partitioned into ~50 zones, each hosting a cache server; 10 taxis are
 //! selected, each associated with one distinct data item; and the request
 //! trajectory of an item is the movement trajectory of its taxi. We do not
@@ -8,7 +8,7 @@
 //! synthetic equivalent (see DESIGN.md §3):
 //!
 //! * [`city`] — a rectangular zone grid with weighted *hotspots*
-//!   (commercial centres [21]); zone popularity decays with hotspot
+//!   (commercial centres \[21\]); zone popularity decays with hotspot
 //!   distance, producing the skewed spatial request distribution of the
 //!   paper's Fig. 9.
 //! * [`mobility`] — taxis move between zones drawn toward sampled hotspot
@@ -22,7 +22,7 @@
 //! * [`stats`] — zone histograms, pair frequency/Jaccard spectra and
 //!   summary statistics used by the figure runners.
 //!
-//! Everything is seeded (`rand_chacha`) and fully deterministic for a
+//! Everything is seeded (`mcs_model::rng`) and fully deterministic for a
 //! given [`workload::WorkloadConfig`].
 
 #![warn(missing_docs)]

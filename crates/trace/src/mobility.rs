@@ -12,7 +12,7 @@
 //! similarity of the corresponding item pair — giving the spectrum of
 //! similarities that the paper's Fig. 10 extracts from the Shenzhen data.
 
-use rand::Rng;
+use mcs_model::rng::Rng;
 
 use crate::city::{CityGrid, Hotspot};
 
@@ -29,19 +29,19 @@ struct TaxiState {
 /// Simulates all taxi positions over `steps` time steps.
 ///
 /// Returns `positions[step][taxi] = zone`. Deterministic for a given RNG.
-pub fn simulate_positions<R: Rng>(
+pub fn simulate_positions(
     grid: &CityGrid,
     hotspots: &[Hotspot],
     pair_affinity: &[f64],
     taxis: usize,
     steps: usize,
     detour_prob: f64,
-    rng: &mut R,
+    rng: &mut Rng,
 ) -> Vec<Vec<u32>> {
     assert!(!hotspots.is_empty(), "need at least one hotspot");
     let total_weight: f64 = hotspots.iter().map(|h| h.weight).sum();
-    let sample_hotspot = |rng: &mut R| -> u32 {
-        let mut x = rng.gen::<f64>() * total_weight;
+    let sample_hotspot = |rng: &mut Rng| -> u32 {
+        let mut x = rng.gen_f64() * total_weight;
         for h in hotspots {
             x -= h.weight;
             if x <= 0.0 {
@@ -82,14 +82,14 @@ pub fn simulate_positions<R: Rng>(
                 // Episode boundary: decide pair travel for the *follower*
                 // (odd index) of this leader if `i` is even.
                 if i % 2 == 0 && i + 1 < taxis {
-                    let together = rng.gen::<f64>() < affinity_of(i);
+                    let together = rng.gen_f64() < affinity_of(i);
                     states[i + 1].following = together;
                     if !together {
                         // Release the follower with a fresh target of its own.
                         states[i + 1].target = sample_hotspot(rng);
                     }
                 }
-            } else if rng.gen::<f64>() < detour_prob {
+            } else if rng.gen_f64() < detour_prob {
                 // Random detour: one step toward a uniformly random zone.
                 let z = rng.gen_range(0..grid.zones());
                 states[i].zone = grid.step_toward(states[i].zone, z);
@@ -112,9 +112,6 @@ pub fn simulate_positions<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha12Rng;
-
     fn setup() -> (CityGrid, Vec<Hotspot>) {
         let grid = CityGrid::shenzhen_like();
         let hotspots = grid.default_hotspots(5);
@@ -124,8 +121,8 @@ mod tests {
     #[test]
     fn positions_are_in_range_and_deterministic() {
         let (grid, hs) = setup();
-        let mut r1 = ChaCha12Rng::seed_from_u64(7);
-        let mut r2 = ChaCha12Rng::seed_from_u64(7);
+        let mut r1 = Rng::seed_from_u64(7);
+        let mut r2 = Rng::seed_from_u64(7);
         let a = simulate_positions(&grid, &hs, &[0.5], 2, 200, 0.1, &mut r1);
         let b = simulate_positions(&grid, &hs, &[0.5], 2, 200, 0.1, &mut r2);
         assert_eq!(a, b);
@@ -141,7 +138,7 @@ mod tests {
     #[test]
     fn movement_is_one_zone_per_step() {
         let (grid, hs) = setup();
-        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let pos = simulate_positions(&grid, &hs, &[0.0], 1, 300, 0.05, &mut rng);
         for w in pos.windows(2) {
             assert!(grid.distance(w[0][0], w[1][0]) <= 1);
@@ -152,7 +149,7 @@ mod tests {
     fn high_affinity_pairs_colocate_more_than_low() {
         let (grid, hs) = setup();
         let colocation = |aff: f64, seed: u64| -> f64 {
-            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let pos = simulate_positions(&grid, &hs, &[aff], 2, 2000, 0.05, &mut rng);
             let hits = pos.iter().filter(|p| p[0] == p[1]).count();
             hits as f64 / pos.len() as f64
@@ -168,7 +165,7 @@ mod tests {
     #[test]
     fn hotspot_weighting_skews_visits() {
         let (grid, hs) = setup();
-        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let pos = simulate_positions(&grid, &hs, &[0.0], 4, 3000, 0.05, &mut rng);
         let mut visits = vec![0usize; grid.zones() as usize];
         for step in &pos {

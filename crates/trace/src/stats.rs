@@ -2,12 +2,10 @@
 //! request distribution over zones and the frequency/Jaccard spectrum of
 //! item pairs.
 
-use serde::{Deserialize, Serialize};
-
 use mcs_model::{ItemId, RequestSeq, ServerId};
 
 /// Summary statistics of a request sequence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Requests per server (zone) — the Fig. 9 histogram.
     pub zone_histogram: Vec<usize>,
@@ -68,7 +66,7 @@ impl TraceStats {
 
 /// One row of the Fig. 10 table: an item pair with its co-occurrence
 /// frequency and Jaccard similarity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PairSpectrumRow {
     /// First item.
     pub a: ItemId,
@@ -105,6 +103,20 @@ pub fn pair_spectrum(seq: &RequestSeq) -> Vec<PairSpectrumRow> {
     });
     rows
 }
+
+mcs_model::impl_to_json!(TraceStats {
+    zone_histogram,
+    requests,
+    item_accesses,
+    mean_items_per_request,
+    horizon
+});
+mcs_model::impl_to_json!(PairSpectrumRow {
+    a,
+    b,
+    frequency,
+    jaccard
+});
 
 #[cfg(test)]
 mod tests {

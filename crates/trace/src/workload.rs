@@ -10,9 +10,7 @@
 //! de-conflicted per zone so the model-level rule "at most one request per
 //! time instance" holds.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
+use mcs_model::rng::Rng;
 
 use mcs_model::{RequestSeq, RequestSeqBuilder};
 
@@ -21,7 +19,7 @@ use crate::mobility::simulate_positions;
 
 /// Full configuration of a synthetic workload; serialisable for
 /// provenance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
     /// City layout (zones = cache servers).
     pub grid: CityGrid,
@@ -47,18 +45,16 @@ pub struct WorkloadConfig {
     pub joint_request_prob: f64,
     /// Optional diurnal cycle: metropolitan request volume is not flat
     /// over the day.
-    #[serde(default)]
     pub diurnal: Option<DiurnalCycle>,
     /// Per-taxi activity multipliers on `request_prob` (missing entries
     /// default to 1) — some taxis are simply busier than others.
-    #[serde(default)]
     pub taxi_activity: Vec<f64>,
-    /// RNG seed (ChaCha12) — identical configs generate identical traces.
+    /// RNG seed — identical configs generate identical traces.
     pub seed: u64,
 }
 
 /// A square-wave day/night request-volume cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiurnalCycle {
     /// Steps per full day (first half is day, second half night).
     pub period_steps: usize,
@@ -71,6 +67,65 @@ impl DiurnalCycle {
     /// True if `step` falls in the night half of its period.
     pub fn is_night(&self, step: usize) -> bool {
         self.period_steps > 0 && (step % self.period_steps) * 2 >= self.period_steps
+    }
+}
+
+mcs_model::impl_to_json!(WorkloadConfig {
+    grid,
+    hotspots,
+    taxis,
+    steps,
+    step_duration,
+    request_prob,
+    detour_prob,
+    pair_affinity,
+    joint_request_prob,
+    diurnal,
+    taxi_activity,
+    seed
+});
+mcs_model::impl_json!(DiurnalCycle {
+    period_steps,
+    night_factor
+});
+
+// Hand-written so the two late-added fields stay optional on load (they
+// carried `#[serde(default)]` before the JSON layer moved in-tree),
+// keeping older trace files readable.
+impl mcs_model::json::FromJson for WorkloadConfig {
+    fn from_json(v: &mcs_model::json::Json) -> Result<Self, mcs_model::json::JsonError> {
+        Ok(WorkloadConfig {
+            grid: FromJsonField::req(v, "grid")?,
+            hotspots: FromJsonField::req(v, "hotspots")?,
+            taxis: FromJsonField::req(v, "taxis")?,
+            steps: FromJsonField::req(v, "steps")?,
+            step_duration: FromJsonField::req(v, "step_duration")?,
+            request_prob: FromJsonField::req(v, "request_prob")?,
+            detour_prob: FromJsonField::req(v, "detour_prob")?,
+            pair_affinity: FromJsonField::req(v, "pair_affinity")?,
+            joint_request_prob: FromJsonField::req(v, "joint_request_prob")?,
+            diurnal: match v.get("diurnal") {
+                None => None,
+                Some(d) => Option::<DiurnalCycle>::from_json(d)?,
+            },
+            taxi_activity: match v.get("taxi_activity") {
+                None => Vec::new(),
+                Some(a) => Vec::<f64>::from_json(a)?,
+            },
+            seed: FromJsonField::req(v, "seed")?,
+        })
+    }
+}
+
+/// Small helper: required-field extraction with the field name in errors.
+trait FromJsonField: Sized {
+    fn req(v: &mcs_model::json::Json, key: &str) -> Result<Self, mcs_model::json::JsonError>;
+}
+
+impl<T: mcs_model::json::FromJson> FromJsonField for T {
+    fn req(v: &mcs_model::json::Json, key: &str) -> Result<Self, mcs_model::json::JsonError> {
+        T::from_json(v.field(key)?)
+            .map_err(|e| mcs_model::json::JsonError::conv(format!("field `{key}`: {}", e.msg)))
     }
 }
 
@@ -141,7 +196,7 @@ pub fn generate(config: &WorkloadConfig) -> RequestSeq {
     } else {
         config.hotspots.clone()
     };
-    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let positions = simulate_positions(
         &config.grid,
         &hotspots,
@@ -167,7 +222,7 @@ pub fn generate(config: &WorkloadConfig) -> RequestSeq {
         let mut requesting: Vec<bool> = (0..config.taxis)
             .map(|taxi| {
                 let activity = config.taxi_activity.get(taxi).copied().unwrap_or(1.0);
-                rng.gen::<f64>() < config.request_prob * cycle_factor * activity
+                rng.gen_f64() < config.request_prob * cycle_factor * activity
             })
             .collect();
         // Joint-interest rule: a co-located pair partner joins the request
@@ -175,7 +230,7 @@ pub fn generate(config: &WorkloadConfig) -> RequestSeq {
         for p in 0..config.taxis / 2 {
             let (i, j) = (2 * p, 2 * p + 1);
             if taxi_zones[i] == taxi_zones[j] && requesting[i] != requesting[j] {
-                let joins = rng.gen::<f64>() < config.joint_request_prob;
+                let joins = rng.gen_f64() < config.joint_request_prob;
                 if joins {
                     requesting[i] = true;
                     requesting[j] = true;
@@ -341,11 +396,38 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_of_config() {
-        let cfg = WorkloadConfig::paper_like(9);
-        let j = serde_json::to_string(&cfg).unwrap();
-        let back: WorkloadConfig = serde_json::from_str(&j).unwrap();
+    fn json_round_trip_of_config() {
+        use mcs_model::json::{parse, FromJson, ToJson};
+        let mut cfg = WorkloadConfig::paper_like(9);
+        cfg.diurnal = Some(DiurnalCycle {
+            period_steps: 40,
+            night_factor: 0.5,
+        });
+        cfg.taxi_activity = vec![1.0, 0.5];
+        let j = cfg.to_json().to_string_pretty();
+        let back = WorkloadConfig::from_json(&parse(&j).unwrap()).unwrap();
         assert_eq!(cfg, back);
         assert_eq!(generate(&cfg), generate(&back));
+    }
+
+    #[test]
+    fn config_missing_optional_fields_defaults() {
+        use mcs_model::json::{parse, FromJson, Json, ToJson};
+        let cfg = WorkloadConfig::small(2);
+        // Simulate an older file lacking the late-added optional fields.
+        let j = cfg.to_json();
+        let Json::Obj(fields) = j else {
+            panic!("config serializes as object")
+        };
+        let pruned = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "diurnal" && k != "taxi_activity")
+                .collect(),
+        );
+        let back = WorkloadConfig::from_json(&parse(&pruned.to_string()).unwrap()).unwrap();
+        assert_eq!(back.diurnal, None);
+        assert!(back.taxi_activity.is_empty());
+        assert_eq!(back.grid, cfg.grid);
     }
 }

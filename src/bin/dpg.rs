@@ -5,11 +5,16 @@
 //! dpg stats trace.json
 //! dpg solve trace.json [--algo dpg|optimal|greedy|package|multi]
 //!                      [--mu X] [--lambda X] [--alpha X] [--theta X]
+//! dpg chaos [--seed N] [--fault-rate X] [--sweep]
 //! dpg example
 //! ```
 //!
 //! Traces are the JSON format of `mcs_trace::io` (generated here or
 //! imported from elsewhere).
+//!
+//! Exit codes follow the usual convention: `0` on success, `1` on a
+//! runtime failure (unreadable trace, I/O error), `2` on a usage error
+//! (unknown command, unknown or malformed flag, missing argument).
 
 use std::process::ExitCode;
 
@@ -18,7 +23,27 @@ use dp_greedy_suite::prelude::*;
 use dp_greedy_suite::trace::io::TraceFile;
 use dp_greedy_suite::trace::stats::{pair_spectrum, TraceStats};
 
-fn usage() -> ExitCode {
+/// A CLI failure, split by whose fault it is: [`CliError::Usage`] means
+/// the invocation itself was malformed (exit 2), [`CliError::Runtime`]
+/// means a well-formed invocation failed while running (exit 1).
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+fn print_usage() {
     eprintln!(
         "usage:\n  dpg generate --out FILE [--seed N] [--steps N] [--taxis N]\n  \
          dpg stats FILE\n  \
@@ -26,21 +51,65 @@ fn usage() -> ExitCode {
          [--mu X] [--lambda X] [--alpha X] [--theta X]\n  \
          dpg svg FILE --out FILE.svg [--item N] [--mu X] [--lambda X]\n  \
          dpg explain FILE [--a N --b N] [--mu X] [--lambda X] [--alpha X]\n  \
+         dpg chaos [--seed N] [--fault-rate X] [--mean-outage X] [--steps N] \
+         [--mu X] [--lambda X] [--alpha X] [--theta X] [--sweep]\n  \
          dpg example"
     );
-    ExitCode::from(2)
 }
 
-fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<Result<T, String>> {
+/// Rejects flags the subcommand does not know. `value_flags` consume the
+/// following token; `bool_flags` stand alone. Positional arguments are
+/// ignored.
+fn check_flags(
+    cmd: &str,
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(), CliError> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if value_flags.contains(&a) {
+                i += 2;
+                continue;
+            }
+            if bool_flags.contains(&a) {
+                i += 1;
+                continue;
+            }
+            return Err(CliError::Usage(format!("unknown flag {a} for `dpg {cmd}`")));
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// First positional argument (the trace file). Usage error if absent or
+/// if a flag landed where the file was expected.
+fn trace_arg<'a>(cmd: &str, args: &'a [String]) -> Result<&'a String, CliError> {
+    match args.first() {
+        Some(a) if !a.starts_with("--") => Ok(a),
+        _ => Err(CliError::Usage(format!("{cmd} needs a trace file"))),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<Result<T, CliError>> {
     args.iter().position(|a| a == flag).map(|i| {
         args.get(i + 1)
-            .ok_or_else(|| format!("{flag} needs a value"))?
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?
             .parse::<T>()
-            .map_err(|_| format!("bad value for {flag}"))
+            .map_err(|_| CliError::Usage(format!("bad value for {flag}")))
     })
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
+    check_flags(
+        "generate",
+        args,
+        &["--out", "--seed", "--steps", "--taxis"],
+        &[],
+    )?;
     let out: String = parse_flag(args, "--out").ok_or("--out FILE is required")??;
     let seed: u64 = parse_flag(args, "--seed").transpose()?.unwrap_or(20190923);
     let mut cfg = WorkloadConfig::paper_like(seed);
@@ -64,14 +133,15 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     );
     TraceFile::synthetic(cfg, seq)
         .save(&out)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     println!("wrote {out}");
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("stats needs a trace file")?;
-    let file = TraceFile::load(path).map_err(|e| e.to_string())?;
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    check_flags("stats", args, &[], &[])?;
+    let path = trace_arg("stats", args)?;
+    let file = TraceFile::load(path).map_err(|e| CliError::Runtime(e.to_string()))?;
     let seq = &file.sequence;
     let st = TraceStats::from_sequence(seq);
     println!(
@@ -98,9 +168,15 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_solve(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("solve needs a trace file")?;
-    let file = TraceFile::load(path).map_err(|e| e.to_string())?;
+fn cmd_solve(args: &[String]) -> Result<(), CliError> {
+    check_flags(
+        "solve",
+        args,
+        &["--algo", "--mu", "--lambda", "--alpha", "--theta"],
+        &[],
+    )?;
+    let path = trace_arg("solve", args)?;
+    let file = TraceFile::load(path).map_err(|e| CliError::Runtime(e.to_string()))?;
     let seq = &file.sequence;
 
     let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(2.0);
@@ -110,7 +186,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let algo: String = parse_flag(args, "--algo")
         .transpose()?
         .unwrap_or_else(|| "dpg".to_string());
-    let model = CostModel::new(mu, lambda, alpha).map_err(|e| e.to_string())?;
+    let model = CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
 
     println!(
         "μ={mu} λ={lambda} α={alpha} θ={theta}  ({} requests)",
@@ -180,21 +256,27 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
                 r.ave_cost()
             );
         }
-        other => return Err(format!("unknown algorithm {other}")),
+        other => return Err(CliError::Usage(format!("unknown algorithm {other}"))),
     }
     Ok(())
 }
 
-fn cmd_explain(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("explain needs a trace file")?;
+fn cmd_explain(args: &[String]) -> Result<(), CliError> {
+    check_flags(
+        "explain",
+        args,
+        &["--a", "--b", "--mu", "--lambda", "--alpha"],
+        &[],
+    )?;
+    let path = trace_arg("explain", args)?;
     let a: u32 = parse_flag(args, "--a").transpose()?.unwrap_or(0);
     let b: u32 = parse_flag(args, "--b").transpose()?.unwrap_or(1);
     let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(2.0);
     let lambda: f64 = parse_flag(args, "--lambda").transpose()?.unwrap_or(4.0);
     let alpha: f64 = parse_flag(args, "--alpha").transpose()?.unwrap_or(0.8);
 
-    let file = TraceFile::load(path).map_err(|e| e.to_string())?;
-    let model = CostModel::new(mu, lambda, alpha).map_err(|e| e.to_string())?;
+    let file = TraceFile::load(path).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let model = CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
     let config = DpGreedyConfig::new(model);
     print!(
         "{}",
@@ -208,18 +290,22 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_svg(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("svg needs a trace file")?;
+fn cmd_svg(args: &[String]) -> Result<(), CliError> {
+    check_flags("svg", args, &["--out", "--item", "--mu", "--lambda"], &[])?;
+    let path = trace_arg("svg", args)?;
     let out: String = parse_flag(args, "--out").ok_or("--out FILE is required")??;
     let item: u32 = parse_flag(args, "--item").transpose()?.unwrap_or(0);
     let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(2.0);
     let lambda: f64 = parse_flag(args, "--lambda").transpose()?.unwrap_or(4.0);
 
-    let file = TraceFile::load(path).map_err(|e| e.to_string())?;
-    let model = CostModel::new(mu, lambda, 0.8).map_err(|e| e.to_string())?;
+    let file = TraceFile::load(path).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let model = CostModel::new(mu, lambda, 0.8).map_err(|e| CliError::Usage(e.to_string()))?;
     let trace = file.sequence.item_trace(ItemId(item));
     if trace.is_empty() {
-        return Err(format!("item d{} has no requests in this trace", item + 1));
+        return Err(CliError::Runtime(format!(
+            "item d{} has no requests in this trace",
+            item + 1
+        )));
     }
     let solved = optimal(&trace, &model);
     let svg = dp_greedy_suite::model::svg::render_svg(
@@ -227,7 +313,7 @@ fn cmd_svg(args: &[String]) -> Result<(), String> {
         &trace,
         &dp_greedy_suite::model::svg::SvgOptions::default(),
     );
-    std::fs::write(&out, svg).map_err(|e| e.to_string())?;
+    std::fs::write(&out, svg).map_err(|e| CliError::Runtime(e.to_string()))?;
     println!(
         "wrote {out} (optimal schedule for d{}, cost {:.2}, {} requests)",
         item + 1,
@@ -237,7 +323,127 @@ fn cmd_svg(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_example() -> Result<(), String> {
+/// `dpg chaos` — fault-injection smoke run over the synthetic workload.
+///
+/// Plans a DP_Greedy fleet, injects a seeded `FaultPlan`
+/// (`mcs_model::fault`), replays every explicit schedule through the
+/// degraded engine and reports the degradation ratio plus recovery
+/// metrics. Deterministic for a fixed `--seed`. With `--sweep` the full
+/// fault-rate × θ × α grid of `mcs_experiments::chaos_exp` is printed
+/// instead.
+fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
+    use dp_greedy_suite::experiments::chaos_exp;
+    use dp_greedy_suite::model::fault::FaultPlan;
+    use dp_greedy_suite::online::{degradation_ratio, resilient_ski_rental};
+    use dp_greedy_suite::sim::chaos_dp_greedy;
+
+    check_flags(
+        "chaos",
+        args,
+        &[
+            "--seed",
+            "--fault-rate",
+            "--mean-outage",
+            "--steps",
+            "--mu",
+            "--lambda",
+            "--alpha",
+            "--theta",
+        ],
+        &["--sweep"],
+    )?;
+    let seed: u64 = parse_flag(args, "--seed").transpose()?.unwrap_or(20190923);
+    let fault_rate: f64 = parse_flag(args, "--fault-rate")
+        .transpose()?
+        .unwrap_or(0.05);
+    let mean_outage: f64 = parse_flag(args, "--mean-outage")
+        .transpose()?
+        .unwrap_or(2.0);
+    let steps: usize = parse_flag(args, "--steps").transpose()?.unwrap_or(600);
+    let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(2.0);
+    let lambda: f64 = parse_flag(args, "--lambda").transpose()?.unwrap_or(4.0);
+    let alpha: f64 = parse_flag(args, "--alpha").transpose()?.unwrap_or(0.8);
+    let theta: f64 = parse_flag(args, "--theta").transpose()?.unwrap_or(0.3);
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(CliError::Usage(format!(
+            "--fault-rate must be in [0, 1], got {fault_rate}"
+        )));
+    }
+
+    let mut cfg = WorkloadConfig::paper_like(seed);
+    cfg.steps = steps;
+
+    if args.iter().any(|a| a == "--sweep") {
+        let e = chaos_exp::run(&cfg, seed);
+        println!("{}", e.table());
+        println!("worst degradation ratio: {:.4}", e.worst_ratio());
+        return Ok(());
+    }
+
+    let seq = generate(&cfg);
+    let model = CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
+    let report = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(theta));
+    let plan = FaultPlan::random(
+        seed,
+        seq.servers(),
+        seq.horizon(),
+        fault_rate,
+        mean_outage,
+        fault_rate,
+    );
+    println!(
+        "chaos: seed={seed} fault-rate={fault_rate} mean-outage={mean_outage} \
+         μ={mu} λ={lambda} α={alpha} θ={theta}  ({} requests, {} crash windows)",
+        seq.len(),
+        plan.crashes.len()
+    );
+
+    let chaos = chaos_dp_greedy(&seq, &report, &model, &plan);
+    println!("fleet (DP_Greedy plan under degraded replay):");
+    println!("  fault-free cost     {:.4}", chaos.fault_free_cost);
+    println!("  degraded cost       {:.4}", chaos.degraded_cost);
+    println!("  degradation ratio   {:.4}", chaos.degradation_ratio);
+    println!(
+        "  degraded requests   {}/{} ({:.1}%)",
+        chaos.fault.requests_degraded,
+        chaos.fault.requests_total,
+        100.0 * chaos.fault.degraded_fraction()
+    );
+    println!(
+        "  copies lost {}  recaches {}  retries {}  origin fallbacks {}",
+        chaos.fault.copies_lost,
+        chaos.fault.recaches,
+        chaos.fault.retries,
+        chaos.fault.origin_fallbacks
+    );
+    println!(
+        "  mean time to repair {:.4} ({} repairs)",
+        chaos.fault.mean_time_to_repair, chaos.fault.repairs
+    );
+
+    // On-line view: crash-aware ski-rental per item, same plan.
+    let mut worst: f64 = 0.0;
+    let mut sum = 0.0;
+    let mut measured = 0usize;
+    for i in 0..seq.items() {
+        let trace = seq.item_trace(ItemId(i));
+        if trace.is_empty() {
+            continue;
+        }
+        let s = degradation_ratio(&trace, &model, &plan, resilient_ski_rental);
+        worst = worst.max(s.degradation_ratio);
+        sum += s.degradation_ratio;
+        measured += 1;
+    }
+    if measured > 0 {
+        println!("online (resilient ski-rental per item):");
+        println!("  mean degradation    {:.4}", sum / measured as f64);
+        println!("  worst degradation   {worst:.4}");
+    }
+    Ok(())
+}
+
+fn cmd_example() -> Result<(), CliError> {
     let report = dp_greedy_suite::dp_greedy::paper_example::paper_report();
     let pair = &report.pairs[0];
     println!("Section V-C running example (μ=λ=1, α=0.8, θ=0.4):");
@@ -253,7 +459,8 @@ fn cmd_example() -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        return usage();
+        print_usage();
+        return ExitCode::from(2);
     };
     let rest = &args[1..];
     let result = match cmd.as_str() {
@@ -262,13 +469,22 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(rest),
         "svg" => cmd_svg(rest),
         "explain" => cmd_explain(rest),
+        "chaos" => cmd_chaos(rest),
         "example" => cmd_example(),
-        "--help" | "-h" | "help" => return usage(),
-        other => Err(format!("unknown command {other}")),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            return ExitCode::SUCCESS;
+        }
+        other => Err(CliError::Usage(format!("unknown command {other}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}");
+            print_usage();
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }

@@ -15,11 +15,11 @@
 //!
 //! * [`model`] — requests, cost model, schedules, validation
 //! * [`correlation`] — Phase 1: Jaccard analysis and matching
-//! * [`offline`] — the optimal off-line substrate of [6] + baselines
+//! * [`offline`] — the optimal off-line substrate of \[6\] + baselines
 //! * [`dp_greedy`] — the paper's two-phase algorithm and baselines
 //! * [`online`] — on-line extension (ski-rental family)
 //! * [`trace`] — synthetic Shenzhen-like taxi workloads
-//! * [`sim`] — event-driven schedule replay
+//! * [`sim`] — event-driven schedule replay + fault injection
 //! * [`experiments`] — figure/table runners for the evaluation section
 
 #![warn(missing_docs)]

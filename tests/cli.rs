@@ -138,3 +138,82 @@ fn no_args_prints_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+#[test]
+fn usage_errors_exit_2_and_runtime_errors_exit_1() {
+    // No arguments / unknown command / unknown flag → usage (2).
+    let out = dpg().output().expect("run dpg");
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = dpg().arg("frobnicate").output().expect("run dpg");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error: unknown command"));
+
+    let out = dpg()
+        .args(["chaos", "--bogus", "1"])
+        .output()
+        .expect("run dpg");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("error: unknown flag --bogus for `dpg chaos`"),
+        "{err}"
+    );
+
+    let out = dpg()
+        .args(["solve", "--mu"]) // flag without value
+        .output()
+        .expect("run dpg");
+    assert_eq!(out.status.code(), Some(2));
+
+    // A well-formed invocation that fails while running → runtime (1).
+    let out = dpg()
+        .args(["stats", "/nonexistent/trace.json"])
+        .output()
+        .expect("run dpg");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).starts_with("error: "));
+
+    // Explicit help is not an error.
+    let out = dpg().arg("--help").output().expect("run dpg");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn chaos_subcommand_is_deterministic_for_a_fixed_seed() {
+    let run = || {
+        dpg()
+            .args([
+                "chaos",
+                "--seed",
+                "7",
+                "--fault-rate",
+                "0.1",
+                "--steps",
+                "300",
+            ])
+            .output()
+            .expect("run dpg chaos")
+    };
+    let a = run();
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let text = String::from_utf8_lossy(&a.stdout).to_string();
+    assert!(text.contains("degradation ratio"), "{text}");
+    assert!(text.contains("mean time to repair"), "{text}");
+    let b = run();
+    assert_eq!(
+        text,
+        String::from_utf8_lossy(&b.stdout),
+        "chaos output must be reproducible"
+    );
+}
+
+#[test]
+fn chaos_rejects_out_of_range_fault_rates() {
+    let out = dpg()
+        .args(["chaos", "--fault-rate", "1.5"])
+        .output()
+        .expect("run dpg chaos");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--fault-rate"));
+}
