@@ -51,10 +51,16 @@ pub enum Arm {
 pub struct ArmChoice {
     /// Index into the event list.
     pub event_index: usize,
+    /// Request time of the served event.
+    pub time: TimePoint,
     /// Winning arm.
     pub arm: Arm,
     /// Cost paid.
     pub cost: f64,
+    /// Cost of each arm at decision time, `[Cache, Transfer, Package]`;
+    /// `f64::INFINITY` marks an infeasible arm. Feeds the decision
+    /// ledger's `option_costs`.
+    pub option_costs: [f64; 3],
 }
 
 /// Outcome of the singleton greedy over one item of a packed pair.
@@ -121,8 +127,10 @@ pub fn singleton_greedy(
             }] += 1;
             choices.push(ArmChoice {
                 event_index: i,
+                time: ev.time,
                 arm,
                 cost: paid,
+                option_costs: [d_arm, tr_arm, p_arm],
             });
         }
         // Every request containing the item (single or co) leaves a copy at
@@ -153,8 +161,10 @@ impl mcs_model::json::ToJson for Arm {
 
 mcs_model::impl_to_json!(ArmChoice {
     event_index,
+    time,
     arm,
-    cost
+    cost,
+    option_costs
 });
 mcs_model::impl_to_json!(SingletonGreedyOutcome {
     cost,

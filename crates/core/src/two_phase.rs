@@ -233,29 +233,39 @@ pub fn dp_greedy_pair(
 /// ```
 pub fn dp_greedy(seq: &RequestSeq, config: &DpGreedyConfig) -> DpGreedyReport {
     // Phase 1.
-    let matrix = JaccardMatrix::from_sequence(seq);
-    let packing = greedy_matching(&matrix, config.theta);
+    let matrix = mcs_obs::time_phase("dpg.phase1.jaccard", || JaccardMatrix::from_sequence(seq));
+    let packing = mcs_obs::time_phase("dpg.phase1.match", || {
+        greedy_matching(&matrix, config.theta)
+    });
+    mcs_obs::counter_add("dpg.pairs_packed", packing.pairs.len() as u64);
+    mcs_obs::counter_add("dpg.items_unpacked", packing.singletons.len() as u64);
 
     // Phase 2.
     let mut pairs = Vec::with_capacity(packing.pairs.len());
     let mut total_cost = 0.0;
-    for &(a, b) in &packing.pairs {
-        let report = dp_greedy_pair(seq, a, b, config);
-        total_cost += report.total();
-        pairs.push(report);
+    {
+        let _span = mcs_obs::span("dpg.phase2.pairs");
+        for &(a, b) in &packing.pairs {
+            let report = dp_greedy_pair(seq, a, b, config);
+            total_cost += report.total();
+            pairs.push(report);
+        }
     }
 
     let mut singletons = Vec::with_capacity(packing.singletons.len());
-    for &item in &packing.singletons {
-        let trace = seq.item_trace(item);
-        let out = optimal(&trace, &config.model);
-        total_cost += out.cost;
-        singletons.push(SingletonReport {
-            item,
-            cost: out.cost,
-            accesses: trace.len(),
-            schedule: out.schedule,
-        });
+    {
+        let _span = mcs_obs::span("dpg.phase2.singletons");
+        for &item in &packing.singletons {
+            let trace = seq.item_trace(item);
+            let out = optimal(&trace, &config.model);
+            total_cost += out.cost;
+            singletons.push(SingletonReport {
+                item,
+                cost: out.cost,
+                accesses: trace.len(),
+                schedule: out.schedule,
+            });
+        }
     }
 
     DpGreedyReport {

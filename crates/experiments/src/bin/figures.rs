@@ -169,7 +169,15 @@ fn main() {
                     &args.dat,
                     "fig11",
                     "ave_cost vs Jaccard",
-                    &["jaccard", "dp_greedy", "optimal"],
+                    &[
+                        "jaccard",
+                        "dp_greedy",
+                        "optimal",
+                        "dpg_cache",
+                        "dpg_transfer",
+                        "dpg_package",
+                        "runtime_ms",
+                    ],
                     &f.to_rows(),
                 );
             }
@@ -182,7 +190,15 @@ fn main() {
                     &args.dat,
                     "fig12",
                     "ave_cost vs rho (lambda+mu=6)",
-                    &["rho", "dp_greedy", "optimal"],
+                    &[
+                        "rho",
+                        "dp_greedy",
+                        "optimal",
+                        "dpg_cache",
+                        "dpg_transfer",
+                        "dpg_package",
+                        "runtime_ms",
+                    ],
                     &f.to_rows(),
                 );
             }
@@ -194,7 +210,17 @@ fn main() {
                     &args.dat,
                     "fig13",
                     "ave_cost vs alpha",
-                    &["alpha", "jaccard", "package_served", "optimal", "dp_greedy"],
+                    &[
+                        "alpha",
+                        "jaccard",
+                        "package_served",
+                        "optimal",
+                        "dp_greedy",
+                        "dpg_cache",
+                        "dpg_transfer",
+                        "dpg_package",
+                        "runtime_ms",
+                    ],
                     &f.to_rows(),
                 );
             }

@@ -28,31 +28,66 @@ pub fn write_dat(
 }
 
 impl crate::fig11::Fig11 {
-    /// The Fig. 11 series: `jaccard dp_greedy optimal`.
+    /// The Fig. 11 series:
+    /// `jaccard dp_greedy optimal dpg_cache dpg_transfer dpg_package runtime_ms`.
     pub fn to_rows(&self) -> Vec<Vec<f64>> {
         self.rows
             .iter()
-            .map(|r| vec![r.jaccard, r.dp_greedy, r.optimal])
+            .map(|r| {
+                vec![
+                    r.jaccard,
+                    r.dp_greedy,
+                    r.optimal,
+                    r.dpg_cache,
+                    r.dpg_transfer,
+                    r.dpg_package,
+                    r.runtime_ms,
+                ]
+            })
             .collect()
     }
 }
 
 impl crate::fig12::Fig12 {
-    /// The Fig. 12 series: `rho dp_greedy optimal`.
+    /// The Fig. 12 series:
+    /// `rho dp_greedy optimal dpg_cache dpg_transfer dpg_package runtime_ms`.
     pub fn to_rows(&self) -> Vec<Vec<f64>> {
         self.rows
             .iter()
-            .map(|r| vec![r.rho, r.dp_greedy, r.optimal])
+            .map(|r| {
+                vec![
+                    r.rho,
+                    r.dp_greedy,
+                    r.optimal,
+                    r.dpg_cache,
+                    r.dpg_transfer,
+                    r.dpg_package,
+                    r.runtime_ms,
+                ]
+            })
             .collect()
     }
 }
 
 impl crate::fig13::Fig13 {
-    /// The Fig. 13 series: `alpha jaccard package_served optimal dp_greedy`.
+    /// The Fig. 13 series: `alpha jaccard package_served optimal dp_greedy
+    /// dpg_cache dpg_transfer dpg_package runtime_ms`.
     pub fn to_rows(&self) -> Vec<Vec<f64>> {
         self.rows
             .iter()
-            .map(|r| vec![r.alpha, r.jaccard, r.package_served, r.optimal, r.dp_greedy])
+            .map(|r| {
+                vec![
+                    r.alpha,
+                    r.jaccard,
+                    r.package_served,
+                    r.optimal,
+                    r.dp_greedy,
+                    r.dpg_cache,
+                    r.dpg_transfer,
+                    r.dpg_package,
+                    r.runtime_ms,
+                ]
+            })
             .collect()
     }
 }
@@ -94,6 +129,6 @@ mod tests {
         let f12 = crate::fig12::run(&cfg, &[0.5, 2.0]);
         let rows = f12.to_rows();
         assert_eq!(rows.len(), 2);
-        assert!(rows.iter().all(|r| r.len() == 3));
+        assert!(rows.iter().all(|r| r.len() == 7));
     }
 }

@@ -10,6 +10,7 @@
 use crate::par::par_map;
 
 use dp_greedy::baselines::optimal_pair;
+use dp_greedy::ledger::pair_ledger;
 use dp_greedy::two_phase::{dp_greedy_pair, DpGreedyConfig};
 use mcs_model::{CostModel, ItemId};
 use mcs_trace::workload::{generate, WorkloadConfig};
@@ -29,6 +30,14 @@ pub struct Fig11Row {
     pub dp_greedy: f64,
     /// Optimal (non-packing) `ave_cost` over the same accesses.
     pub optimal: f64,
+    /// Cache share of the DP_Greedy per-access cost (decision ledger).
+    pub dpg_cache: f64,
+    /// Transfer share of the DP_Greedy per-access cost.
+    pub dpg_transfer: f64,
+    /// Package-delivery share of the DP_Greedy per-access cost.
+    pub dpg_package: f64,
+    /// Wall-clock milliseconds of the DP_Greedy Phase-2 run on this pair.
+    pub runtime_ms: f64,
 }
 
 /// Output of the Fig. 11 experiment.
@@ -60,14 +69,22 @@ pub fn run(config: &WorkloadConfig) -> Fig11 {
         if accesses == 0 {
             return None;
         }
+        let t0 = std::time::Instant::now();
         let report = dp_greedy_pair(&seq, a, b, &dpg_config);
+        let runtime_ms = t0.elapsed().as_secs_f64() * 1e3;
         let opt = optimal_pair(&seq, a, b, &model);
+        let breakdown = pair_ledger(&report, &model).breakdown();
+        let per_access = 1.0 / accesses as f64;
         Some(Fig11Row {
             a: i,
             b: j,
             jaccard: pv.jaccard(),
-            dp_greedy: report.total() / accesses as f64,
-            optimal: opt / accesses as f64,
+            dp_greedy: report.total() * per_access,
+            optimal: opt * per_access,
+            dpg_cache: breakdown.cache * per_access,
+            dpg_transfer: breakdown.transfer * per_access,
+            dpg_package: breakdown.package_delivery * per_access,
+            runtime_ms,
         })
     })
     .into_iter()
@@ -93,7 +110,17 @@ impl Fig11 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Fig. 11 — ave_cost vs Jaccard similarity (θ = 0.3, α = 0.8, μ = 2, λ = 4)",
-            &["pair", "jaccard", "DP_Greedy", "Optimal", "winner"],
+            &[
+                "pair",
+                "jaccard",
+                "DP_Greedy",
+                "Optimal",
+                "winner",
+                "dpg_cache",
+                "dpg_transfer",
+                "dpg_pkg",
+                "ms",
+            ],
         );
         for r in &self.rows {
             t.push(vec![
@@ -106,16 +133,16 @@ impl Fig11 {
                 } else {
                     "Optimal".into()
                 },
+                fmt_f(r.dpg_cache),
+                fmt_f(r.dpg_transfer),
+                fmt_f(r.dpg_package),
+                fmt_f(r.runtime_ms),
             ]);
         }
         if let Some(be) = self.break_even {
-            t.push(vec![
-                "break-even".into(),
-                fmt_f(be),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ]);
+            let mut row = vec!["break-even".into(), fmt_f(be)];
+            row.extend(std::iter::repeat_n("-".to_string(), 7));
+            t.push(row);
         }
         t
     }
@@ -126,7 +153,11 @@ mcs_model::impl_to_json!(Fig11Row {
     b,
     jaccard,
     dp_greedy,
-    optimal
+    optimal,
+    dpg_cache,
+    dpg_transfer,
+    dpg_package,
+    runtime_ms
 });
 mcs_model::impl_to_json!(Fig11 { rows, break_even });
 

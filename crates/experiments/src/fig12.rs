@@ -10,6 +10,7 @@
 use crate::par::par_map;
 
 use dp_greedy::baselines::optimal_non_packing;
+use dp_greedy::ledger::dp_greedy_ledger;
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
 use mcs_model::CostModelBuilder;
 use mcs_trace::workload::{generate, WorkloadConfig};
@@ -29,6 +30,14 @@ pub struct Fig12Row {
     pub dp_greedy: f64,
     /// Optimal (non-packing) `ave_cost`.
     pub optimal: f64,
+    /// Cache share of the DP_Greedy per-access cost (decision ledger).
+    pub dpg_cache: f64,
+    /// Transfer share of the DP_Greedy per-access cost.
+    pub dpg_transfer: f64,
+    /// Package-delivery share of the DP_Greedy per-access cost.
+    pub dpg_package: f64,
+    /// Wall-clock milliseconds of the full DP_Greedy run at this ρ.
+    pub runtime_ms: f64,
 }
 
 /// Output of the Fig. 12 experiment.
@@ -55,14 +64,26 @@ pub fn run(config: &WorkloadConfig, rhos: &[f64]) -> Fig12 {
             .alpha(0.8)
             .build()
             .expect("valid model");
+        let t0 = std::time::Instant::now();
         let dpg = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.3));
+        let runtime_ms = t0.elapsed().as_secs_f64() * 1e3;
         let opt = optimal_non_packing(&seq, &model);
+        let breakdown = dp_greedy_ledger(&dpg, &model).breakdown();
+        let per_access = if dpg.total_accesses == 0 {
+            0.0
+        } else {
+            1.0 / dpg.total_accesses as f64
+        };
         Fig12Row {
             rho,
             mu: model.mu(),
             lambda: model.lambda(),
             dp_greedy: dpg.ave_cost(),
             optimal: opt.ave_cost(),
+            dpg_cache: breakdown.cache * per_access,
+            dpg_transfer: breakdown.transfer * per_access,
+            dpg_package: breakdown.package_delivery * per_access,
+            runtime_ms,
         }
     });
     Fig12 { rows }
@@ -82,7 +103,17 @@ impl Fig12 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Fig. 12 — ave_cost vs ρ = λ/μ (λ + μ = 6, θ = 0.3, α = 0.8)",
-            &["rho", "mu", "lambda", "DP_Greedy", "Optimal"],
+            &[
+                "rho",
+                "mu",
+                "lambda",
+                "DP_Greedy",
+                "Optimal",
+                "dpg_cache",
+                "dpg_transfer",
+                "dpg_pkg",
+                "ms",
+            ],
         );
         for r in &self.rows {
             t.push(vec![
@@ -91,6 +122,10 @@ impl Fig12 {
                 fmt_f(r.lambda),
                 fmt_f(r.dp_greedy),
                 fmt_f(r.optimal),
+                fmt_f(r.dpg_cache),
+                fmt_f(r.dpg_transfer),
+                fmt_f(r.dpg_package),
+                fmt_f(r.runtime_ms),
             ]);
         }
         t
@@ -102,7 +137,11 @@ mcs_model::impl_to_json!(Fig12Row {
     mu,
     lambda,
     dp_greedy,
-    optimal
+    optimal,
+    dpg_cache,
+    dpg_transfer,
+    dpg_package,
+    runtime_ms
 });
 mcs_model::impl_to_json!(Fig12 { rows });
 
@@ -129,6 +168,22 @@ mod tests {
             (0.5..=4.0).contains(&peak_rho),
             "peak at ρ={peak_rho}, expected an interior peak (paper: ≈2)"
         );
+    }
+
+    #[test]
+    fn breakdown_columns_sum_to_the_dp_greedy_ave_cost() {
+        let f = small_sweep();
+        for r in &f.rows {
+            let sum = r.dpg_cache + r.dpg_transfer + r.dpg_package;
+            assert!(
+                (sum - r.dp_greedy).abs() < 1e-9,
+                "ρ={}: breakdown {} != ave_cost {}",
+                r.rho,
+                sum,
+                r.dp_greedy
+            );
+            assert!(r.runtime_ms >= 0.0);
+        }
     }
 
     #[test]

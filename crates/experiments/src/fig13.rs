@@ -15,6 +15,7 @@
 use crate::par::par_map;
 
 use dp_greedy::baselines::{optimal_pair, package_served_pair};
+use dp_greedy::ledger::{optimal_pair_ledger, pair_ledger};
 use dp_greedy::two_phase::{dp_greedy_pair, DpGreedyConfig};
 use mcs_model::{CostModel, ItemId};
 use mcs_trace::workload::{generate, WorkloadConfig};
@@ -38,6 +39,14 @@ pub struct Fig13Row {
     pub optimal: f64,
     /// DP_Greedy per-access cost.
     pub dp_greedy: f64,
+    /// Cache share of the DP_Greedy per-access cost (decision ledger).
+    pub dpg_cache: f64,
+    /// Transfer share of the DP_Greedy per-access cost.
+    pub dpg_transfer: f64,
+    /// Package-delivery share of the DP_Greedy per-access cost.
+    pub dpg_package: f64,
+    /// Wall-clock milliseconds of the DP_Greedy path for this (α, pair).
+    pub runtime_ms: f64,
 }
 
 /// Output of the Fig. 13 experiment.
@@ -76,12 +85,15 @@ pub fn run(config: &WorkloadConfig) -> Fig13 {
         // Selective packing per Algorithm 1: Phase 2 only runs
         // on pairs whose similarity strictly exceeds θ; below
         // it DP_Greedy serves both items individually.
-        let dp_greedy = if pv.jaccard() > THETA {
-            dp_greedy_pair(seq, a, b, &DpGreedyConfig::new(model).with_theta(THETA)).total()
-                / accesses
+        let t0 = std::time::Instant::now();
+        let (dp_greedy, breakdown) = if pv.jaccard() > THETA {
+            let report = dp_greedy_pair(seq, a, b, &DpGreedyConfig::new(model).with_theta(THETA));
+            let breakdown = pair_ledger(&report, &model).breakdown();
+            (report.total() / accesses, breakdown)
         } else {
-            optimal
+            (optimal, optimal_pair_ledger(seq, a, b, &model).breakdown())
         };
+        let runtime_ms = t0.elapsed().as_secs_f64() * 1e3;
         Some(Fig13Row {
             alpha,
             a: i,
@@ -90,6 +102,10 @@ pub fn run(config: &WorkloadConfig) -> Fig13 {
             package_served: package_served_pair(seq, a, b, &model) / accesses,
             optimal,
             dp_greedy,
+            dpg_cache: breakdown.cache / accesses,
+            dpg_transfer: breakdown.transfer / accesses,
+            dpg_package: breakdown.package_delivery / accesses,
+            runtime_ms,
         })
     })
     .into_iter()
@@ -116,6 +132,10 @@ impl Fig13 {
                 "Package_Served",
                 "Optimal",
                 "DP_Greedy",
+                "dpg_cache",
+                "dpg_transfer",
+                "dpg_pkg",
+                "ms",
             ],
         );
         for r in &self.rows {
@@ -126,6 +146,10 @@ impl Fig13 {
                 fmt_f(r.package_served),
                 fmt_f(r.optimal),
                 fmt_f(r.dp_greedy),
+                fmt_f(r.dpg_cache),
+                fmt_f(r.dpg_transfer),
+                fmt_f(r.dpg_package),
+                fmt_f(r.runtime_ms),
             ]);
         }
         t
@@ -157,7 +181,11 @@ mcs_model::impl_to_json!(Fig13Row {
     jaccard,
     package_served,
     optimal,
-    dp_greedy
+    dp_greedy,
+    dpg_cache,
+    dpg_transfer,
+    dpg_package,
+    runtime_ms
 });
 mcs_model::impl_to_json!(Fig13 { rows });
 
@@ -191,6 +219,23 @@ mod tests {
         // DP_Greedy is never the worst of the three on average.
         assert!(dpg08 <= ps08.max(opt08) + 1e-9);
         assert!(dpg02 <= ps02.max(opt02) + 1e-9);
+    }
+
+    #[test]
+    fn breakdown_columns_sum_to_the_dp_greedy_cost() {
+        let f = small_run();
+        for r in &f.rows {
+            let sum = r.dpg_cache + r.dpg_transfer + r.dpg_package;
+            assert!(
+                (sum - r.dp_greedy).abs() < 1e-9,
+                "α={} pair ({},{}): breakdown {} != dp_greedy {}",
+                r.alpha,
+                r.a,
+                r.b,
+                sum,
+                r.dp_greedy
+            );
+        }
     }
 
     #[test]

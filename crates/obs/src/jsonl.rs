@@ -1,0 +1,65 @@
+//! Deterministic JSON fragment writers for the JSON-lines sink.
+//!
+//! The obs crate sits below `mcs-model` in the dependency graph, so it
+//! cannot use `mcs_model::json`; the handful of primitives the ledger
+//! needs live here instead. Determinism contract: the same value always
+//! renders to the same bytes (Rust's `f64` `Display` is the shortest
+//! round-trip representation, which is platform-independent), so two runs
+//! of the same seeded workload produce byte-identical event streams — the
+//! property the `obs-smoke` CI job diffs for.
+
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal (quoted, escaped).
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number; non-finite values (used by the ledger for
+/// infeasible/not-offered options) render as `null`.
+pub fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = String::new();
+        push_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_infinities_are_null() {
+        let mut s = String::new();
+        push_num(&mut s, 1.5);
+        s.push(' ');
+        push_num(&mut s, 3.0);
+        s.push(' ');
+        push_num(&mut s, f64::INFINITY);
+        s.push(' ');
+        push_num(&mut s, f64::NAN);
+        assert_eq!(s, "1.5 3 null null");
+    }
+}

@@ -1,0 +1,238 @@
+//! The decision ledger: structured cost-attribution events.
+//!
+//! Every cache interval, transfer, and package delivery an algorithm
+//! commits to becomes one [`LedgerEvent`] carrying the option it chose,
+//! the costs of the options it chose *between* (`option_costs`, indexed
+//! by [`OPTION_NAMES`] = cache/transfer/package, infeasible options
+//! `f64::INFINITY`), the decision time `t`, and the cost actually paid.
+//! Summing `cost` over a ledger reconciles with the producing schedule's
+//! `total_cost` — property-tested at the workspace root — and
+//! [`Ledger::breakdown`] attributes the total to the three cost channels
+//! the paper's figures vary.
+//!
+//! Ledgers are *derived* from algorithm outputs (explicit schedules and
+//! recorded arm choices) by `mcs-offline::ledger` and `dp-greedy::ledger`,
+//! not logged inline; this module only defines the event model and the
+//! deterministic JSON-lines encoding.
+
+use crate::jsonl;
+
+/// Names of the three option slots in [`LedgerEvent::option_costs`],
+/// in slot order.
+pub const OPTION_NAMES: [&str; 3] = ["cache", "transfer", "package"];
+
+/// What a ledger event is about: a single item or a packed pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Subject {
+    /// A single cached item.
+    Item(u32),
+    /// A packed pair of items (Phase-2 package events).
+    Pair(u32, u32),
+}
+
+/// One committed decision with its cost attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEvent {
+    /// Producing algorithm, e.g. `"dp_greedy"`, `"optimal"`, `"greedy"`.
+    pub algo: &'static str,
+    /// Algorithm phase, e.g. `"phase1"`, `"phase2.package"`, `"serve"`.
+    pub phase: &'static str,
+    /// The item or pair the decision concerns.
+    pub subject: Subject,
+    /// The option committed to: `"cache"`, `"transfer"`, or `"package"`.
+    pub option_chosen: &'static str,
+    /// Cost of each option at decision time, in [`OPTION_NAMES`] slot
+    /// order; `f64::INFINITY` marks an option that was infeasible or not
+    /// offered (rendered as `null` in JSON).
+    pub option_costs: [f64; 3],
+    /// Decision time (for cache intervals, the interval end — the point
+    /// by which the full interval cost has been paid).
+    pub t: f64,
+    /// Cost actually paid for this decision.
+    pub cost: f64,
+}
+
+impl LedgerEvent {
+    /// Renders the event as one JSON object (no trailing newline) with a
+    /// fixed key order, deterministically byte-for-byte.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push_str("{\"algo\":");
+        jsonl::push_str(&mut s, self.algo);
+        s.push_str(",\"phase\":");
+        jsonl::push_str(&mut s, self.phase);
+        match self.subject {
+            Subject::Item(i) => {
+                s.push_str(",\"item\":");
+                let _ = std::fmt::Write::write_fmt(&mut s, format_args!("{i}"));
+            }
+            Subject::Pair(a, b) => {
+                s.push_str(",\"pair\":[");
+                let _ = std::fmt::Write::write_fmt(&mut s, format_args!("{a},{b}"));
+                s.push(']');
+            }
+        }
+        s.push_str(",\"option_chosen\":");
+        jsonl::push_str(&mut s, self.option_chosen);
+        s.push_str(",\"option_costs\":[");
+        for (i, &c) in self.option_costs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            jsonl::push_num(&mut s, c);
+        }
+        s.push_str("],\"t\":");
+        jsonl::push_num(&mut s, self.t);
+        s.push_str(",\"cost\":");
+        jsonl::push_num(&mut s, self.cost);
+        s.push('}');
+        s
+    }
+}
+
+/// Total cost attributed to each of the three channels.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Cost of cache intervals (μ·time, or 2αμ·time inside packages).
+    pub cache: f64,
+    /// Cost of transfers (λ each, or 2αλ inside packages).
+    pub transfer: f64,
+    /// Cost of package deliveries chosen by the serve-time greedy (2αλ).
+    pub package_delivery: f64,
+}
+
+impl CostBreakdown {
+    /// Sum of the three channels — equals the ledger's total cost.
+    pub fn total(&self) -> f64 {
+        self.cache + self.transfer + self.package_delivery
+    }
+}
+
+/// An ordered sequence of [`LedgerEvent`]s produced by one algorithm run.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    /// The events, in the deterministic order the deriver emits them.
+    pub events: Vec<LedgerEvent>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: LedgerEvent) {
+        self.events.push(event);
+    }
+
+    /// Appends all events of `other`.
+    pub fn extend(&mut self, other: Ledger) {
+        self.events.extend(other.events);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Sum of event costs — reconciles with the producing schedule's
+    /// total cost (property-tested at the workspace root).
+    pub fn total_cost(&self) -> f64 {
+        self.events.iter().map(|e| e.cost).sum()
+    }
+
+    /// Attributes the total cost to the three channels by
+    /// `option_chosen`.
+    pub fn breakdown(&self) -> CostBreakdown {
+        let mut b = CostBreakdown::default();
+        for e in &self.events {
+            match e.option_chosen {
+                "cache" => b.cache += e.cost,
+                "transfer" => b.transfer += e.cost,
+                _ => b.package_delivery += e.cost,
+            }
+        }
+        b
+    }
+
+    /// Renders the ledger as JSON lines (one event per line, trailing
+    /// newline), byte-deterministic for a given event sequence.
+    pub fn to_jsonl_string(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 160);
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSON-lines rendering to `w`.
+    pub fn write_jsonl(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        w.write_all(self.to_jsonl_string().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(chosen: &'static str, cost: f64) -> LedgerEvent {
+        LedgerEvent {
+            algo: "test",
+            phase: "serve",
+            subject: Subject::Item(1),
+            option_chosen: chosen,
+            option_costs: [1.0, 2.0, f64::INFINITY],
+            t: 3.5,
+            cost,
+        }
+    }
+
+    #[test]
+    fn totals_and_breakdown_reconcile() {
+        let mut l = Ledger::new();
+        l.push(ev("cache", 1.0));
+        l.push(ev("transfer", 2.0));
+        l.push(ev("package", 1.6));
+        assert!((l.total_cost() - 4.6).abs() < 1e-12);
+        let b = l.breakdown();
+        assert_eq!(b.cache, 1.0);
+        assert_eq!(b.transfer, 2.0);
+        assert_eq!(b.package_delivery, 1.6);
+        assert!((b.total() - l.total_cost()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_encoding_is_stable() {
+        let e = ev("cache", 1.0);
+        assert_eq!(
+            e.to_json(),
+            "{\"algo\":\"test\",\"phase\":\"serve\",\"item\":1,\
+             \"option_chosen\":\"cache\",\"option_costs\":[1,2,null],\
+             \"t\":3.5,\"cost\":1}"
+        );
+        let p = LedgerEvent {
+            subject: Subject::Pair(4, 7),
+            ..ev("package", 1.6)
+        };
+        assert!(p.to_json().contains("\"pair\":[4,7]"));
+    }
+
+    #[test]
+    fn jsonl_rendering_is_one_line_per_event() {
+        let mut l = Ledger::new();
+        l.push(ev("cache", 1.0));
+        l.push(ev("transfer", 2.0));
+        let s = l.to_jsonl_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.ends_with('\n'));
+        // Byte-determinism: rendering twice is identical.
+        assert_eq!(s, l.to_jsonl_string());
+    }
+}

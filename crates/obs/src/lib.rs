@@ -1,0 +1,42 @@
+//! # mcs-obs — observability for the DP_Greedy stack
+//!
+//! The paper's evaluation (Figs. 9–13) is entirely about *where cost
+//! goes* — caching vs. transfer vs. package delivery as `θ`, `α` and the
+//! trace shape vary — and the ROADMAP's production north star needs
+//! wall-clock attribution on top. This crate provides both, with zero
+//! external dependencies (the build is offline; see DESIGN.md):
+//!
+//! * [`metrics`] — a lightweight span/counter/histogram registry with
+//!   **thread-local collection**: each thread accumulates into its own
+//!   buffer, which is merged into a global aggregate when the thread
+//!   exits (covering the scoped worker threads of `mcs-experiments::par`)
+//!   or when a [`metrics::snapshot`] is taken. Recording is gated by one
+//!   relaxed atomic so disabled overhead is a single load.
+//! * [`span`](mod@span) — RAII wall-clock timers feeding the registry;
+//!   this is how Phase-1 Jaccard/sort/pack vs. Phase-2 serve timings are
+//!   threaded through `dp-greedy::two_phase`, `mcs-offline::optimal{,_fast}`,
+//!   `mcs-online` and `mcs-sim::replay`.
+//! * [`ledger`] — the **decision ledger**: every cache-interval, transfer
+//!   and package-delivery choice as a structured event
+//!   `{algo, phase, item/pair, option_chosen, option_costs[3], t, cost}`
+//!   whose summed cost provably reconciles with the schedule's
+//!   `total_cost` (property-tested in `tests/ledger_reconciliation.rs`).
+//! * [`jsonl`] — a deterministic JSON-lines sink: the same run always
+//!   produces byte-identical output (enforced by the `obs-smoke` CI job).
+//!
+//! The ledger is *derived* from algorithm outputs (explicit schedules and
+//! recorded arm choices) rather than logged inline, so event emission is
+//! deterministic, costs nothing when unused, and reconciliation is a
+//! theorem about the outputs rather than a logging convention.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod jsonl;
+pub mod ledger;
+pub mod metrics;
+pub mod span;
+
+pub use ledger::{CostBreakdown, Ledger, LedgerEvent, Subject};
+pub use metrics::{counter_add, enabled, observe, reset, set_enabled, snapshot, MetricsSnapshot};
+pub use span::{span, time_phase, Span};

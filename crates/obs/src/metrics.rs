@@ -1,0 +1,244 @@
+//! Counter/histogram registry with thread-local collection.
+//!
+//! Recording goes to a thread-local buffer (no lock on the hot path); the
+//! buffer merges into a process-global aggregate when the thread exits —
+//! which covers the scoped worker threads spawned by
+//! `mcs_experiments::par::par_map` — or when [`snapshot`] drains the
+//! calling thread's buffer. All recording is gated on one relaxed
+//! [`AtomicBool`], so with observability disabled the cost of an
+//! instrumented call site is a single atomic load.
+//!
+//! Names are `&'static str` by design: every instrumentation point in the
+//! workspace uses a literal (e.g. `"dpg.phase1.jaccard"`), which keeps the
+//! registry allocation-free per observation and the snapshots
+//! deterministically ordered (BTreeMap).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Summary statistics of one histogram (we keep moments, not buckets:
+/// phase timers need count/total/mean/min/max, and a fixed-size summary
+/// keeps the hot path allocation-free).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation ([`f64::INFINITY`] when empty).
+    pub min: f64,
+    /// Largest observation ([`f64::NEG_INFINITY`] when empty).
+    pub max: f64,
+}
+
+impl HistSummary {
+    fn new() -> Self {
+        HistSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge(&mut self, other: &HistSummary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, HistSummary>,
+}
+
+impl Registry {
+    fn merge_into(&mut self, target: &mut Registry) {
+        for (k, v) in std::mem::take(&mut self.counters) {
+            *target.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in std::mem::take(&mut self.hists) {
+            target
+                .hists
+                .entry(k)
+                .or_insert_with(HistSummary::new)
+                .merge(&h);
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static GLOBAL: Mutex<Registry> = Mutex::new(Registry {
+    counters: BTreeMap::new(),
+    hists: BTreeMap::new(),
+});
+
+/// Thread-local buffer; its [`Drop`] (at thread exit) folds the buffer
+/// into the global aggregate so worker-thread metrics are not lost.
+struct LocalBuffer(RefCell<Registry>);
+
+impl Drop for LocalBuffer {
+    fn drop(&mut self) {
+        let mut local = self.0.borrow_mut();
+        if let Ok(mut global) = GLOBAL.lock() {
+            local.merge_into(&mut global);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalBuffer = LocalBuffer(RefCell::new(Registry::default()));
+}
+
+/// True when metric recording is on (the default).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enables or disables recording. Used by the bench harness to
+/// measure obs-on vs. obs-off overhead, and available to callers that
+/// want strictly zero instrumentation cost.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Adds `delta` to the named counter.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|b| {
+        *b.0.borrow_mut().counters.entry(name).or_insert(0) += delta;
+    });
+}
+
+/// Records one observation into the named histogram (for spans the unit
+/// is seconds; counters of work per call use their natural unit).
+#[inline]
+pub fn observe(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|b| {
+        b.0.borrow_mut()
+            .hists
+            .entry(name)
+            .or_insert_with(HistSummary::new)
+            .observe(value);
+    });
+}
+
+/// A point-in-time copy of the aggregated metrics, deterministically
+/// ordered by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Histogram summaries by name.
+    pub hists: Vec<(&'static str, HistSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSummary> {
+        self.hists.iter().find(|(k, _)| *k == name).map(|(_, h)| h)
+    }
+}
+
+/// Drains the calling thread's buffer into the global aggregate and
+/// returns a copy of the aggregate. (Other *live* threads' buffers merge
+/// when they exit; the scoped-thread pattern used across the workspace
+/// joins workers before their results are read, so snapshots taken after
+/// a parallel section see everything.)
+pub fn snapshot() -> MetricsSnapshot {
+    let mut global = GLOBAL.lock().expect("obs metrics mutex");
+    LOCAL.with(|b| b.0.borrow_mut().merge_into(&mut global));
+    MetricsSnapshot {
+        counters: global.counters.iter().map(|(&k, &v)| (k, v)).collect(),
+        hists: global.hists.iter().map(|(&k, &h)| (k, h)).collect(),
+    }
+}
+
+/// Clears the global aggregate and the calling thread's buffer.
+pub fn reset() {
+    let mut global = GLOBAL.lock().expect("obs metrics mutex");
+    *global = Registry::default();
+    LOCAL.with(|b| *b.0.borrow_mut() = Registry::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so tests share it; each test uses
+    // its own metric names and does not assert on global emptiness.
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        counter_add("test.counter.a", 2);
+        counter_add("test.counter.a", 3);
+        observe("test.hist.a", 1.0);
+        observe("test.hist.a", 3.0);
+        let s = snapshot();
+        assert_eq!(s.counter("test.counter.a"), Some(5));
+        let h = s.hist("test.hist.a").expect("hist recorded");
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 4.0).abs() < 1e-12);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+    }
+
+    #[test]
+    fn worker_thread_metrics_merge_on_exit() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| counter_add("test.counter.threads", 1));
+            }
+        });
+        let s = snapshot();
+        assert_eq!(s.counter("test.counter.threads"), Some(4));
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        set_enabled(false);
+        counter_add("test.counter.disabled", 10);
+        observe("test.hist.disabled", 1.0);
+        set_enabled(true);
+        let s = snapshot();
+        assert_eq!(s.counter("test.counter.disabled"), None);
+        assert!(s.hist("test.hist.disabled").is_none());
+    }
+}

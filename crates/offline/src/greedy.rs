@@ -46,6 +46,7 @@ pub struct GreedyOutcome {
 
 /// Runs the simple greedy of Fig. 4 on a single-commodity trace.
 pub fn greedy(trace: &SingleItemTrace, model: &CostModel) -> GreedyOutcome {
+    let _span = mcs_obs::span("offline.greedy");
     let mu = model.mu();
     let lambda = model.lambda();
     let preds = trace.predecessors();

@@ -1,0 +1,102 @@
+//! Derives decision-ledger events from explicit schedules.
+//!
+//! The off-line solvers already emit explicit [`Schedule`]s whose cost is
+//! asserted (and property-tested) to equal the DP cost, so the ledger for
+//! an off-line run is *derived* from the schedule rather than logged
+//! inline: one `cache` event per cache interval (cost `μ·len`, stamped at
+//! the interval end — the point by which the full holding cost has been
+//! paid) and one `transfer` event per transfer (cost `λ`). Summing event
+//! costs therefore reconciles with `Schedule::cost(μ, λ).total` by
+//! construction, which is exactly the reconciliation theorem the
+//! workspace-level property test checks.
+
+use mcs_model::Schedule;
+use mcs_obs::{LedgerEvent, Subject};
+
+/// Appends one ledger event per cache interval and per transfer of
+/// `schedule`, priced at rates `mu`/`lambda` (pass the package-scaled
+/// rates for package schedules). Events are emitted in the schedule's
+/// own order, so derivation is deterministic for a given schedule.
+pub fn schedule_events(
+    algo: &'static str,
+    phase: &'static str,
+    subject: Subject,
+    schedule: &Schedule,
+    mu: f64,
+    lambda: f64,
+    out: &mut Vec<LedgerEvent>,
+) {
+    for iv in &schedule.intervals {
+        let cost = mu * iv.span.len();
+        out.push(LedgerEvent {
+            algo,
+            phase,
+            subject,
+            option_chosen: "cache",
+            option_costs: [cost, f64::INFINITY, f64::INFINITY],
+            t: iv.span.end,
+            cost,
+        });
+    }
+    for tr in &schedule.transfers {
+        out.push(LedgerEvent {
+            algo,
+            phase,
+            subject,
+            option_chosen: "transfer",
+            option_costs: [f64::INFINITY, lambda, f64::INFINITY],
+            t: tr.time,
+            cost: lambda,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::request::SingleItemTrace;
+    use mcs_model::{approx_eq, CostModel};
+
+    #[test]
+    fn schedule_events_reconcile_with_schedule_cost() {
+        let model = CostModel::new(2.0, 3.0, 0.8).unwrap();
+        let trace =
+            SingleItemTrace::from_pairs(4, &[(0.5, 1), (0.8, 2), (1.4, 0), (2.6, 1), (4.0, 2)]);
+        let out = crate::optimal(&trace, &model);
+        let mut events = Vec::new();
+        schedule_events(
+            "optimal",
+            "offline",
+            Subject::Item(7),
+            &out.schedule,
+            model.mu(),
+            model.lambda(),
+            &mut events,
+        );
+        let total: f64 = events.iter().map(|e| e.cost).sum();
+        assert!(approx_eq(total, out.cost));
+        assert_eq!(
+            events.len(),
+            out.schedule.intervals.len() + out.schedule.transfers.len()
+        );
+    }
+
+    #[test]
+    fn greedy_schedule_events_reconcile_too() {
+        let model = CostModel::new(1.0, 1.0, 0.8).unwrap();
+        let trace = SingleItemTrace::from_pairs(3, &[(1.0, 1), (2.0, 2), (3.0, 1), (4.5, 0)]);
+        let out = crate::greedy(&trace, &model);
+        let mut events = Vec::new();
+        schedule_events(
+            "greedy",
+            "offline",
+            Subject::Item(0),
+            &out.schedule,
+            model.mu(),
+            model.lambda(),
+            &mut events,
+        );
+        let total: f64 = events.iter().map(|e| e.cost).sum();
+        assert!(approx_eq(total, out.cost));
+    }
+}

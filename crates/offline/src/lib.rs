@@ -50,6 +50,7 @@
 pub mod exhaustive;
 pub mod greedy;
 pub mod hetero;
+pub mod ledger;
 pub mod optimal;
 pub mod optimal_fast;
 pub mod single_copy;

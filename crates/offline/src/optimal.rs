@@ -79,10 +79,12 @@ enum Edge {
 /// out.schedule.validate(&trace).unwrap();
 /// ```
 pub fn optimal(trace: &SingleItemTrace, model: &CostModel) -> OptimalOutcome {
+    let _span = mcs_obs::span("offline.optimal");
     let n = trace.len();
     if n == 0 {
         return OptimalOutcome::empty();
     }
+    mcs_obs::counter_add("offline.optimal.requests", n as u64);
     let mu = model.mu();
     let lambda = model.lambda();
 

@@ -73,6 +73,7 @@ impl MinTree {
 /// not reconstruct a schedule — use the quadratic solver when the explicit
 /// schedule is needed.
 pub fn optimal_fast_cost(trace: &SingleItemTrace, model: &CostModel) -> f64 {
+    let _span = mcs_obs::span("offline.optimal_fast");
     let n = trace.len();
     if n == 0 {
         return 0.0;

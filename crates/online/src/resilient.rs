@@ -64,6 +64,8 @@ pub fn resilient_ski_rental(
     model: &CostModel,
     plan: &FaultPlan,
 ) -> ResilientOutcome {
+    let _span = mcs_obs::span("online.resilient");
+    mcs_obs::counter_add("online.resilient.requests", trace.len() as u64);
     let mu = model.mu();
     let lambda = model.lambda();
     let keep = lambda / mu;

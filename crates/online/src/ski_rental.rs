@@ -46,6 +46,8 @@ struct Copy {
 
 /// Runs the ski-rental policy over a trace.
 pub fn ski_rental(trace: &SingleItemTrace, model: &CostModel) -> OnlineOutcome {
+    let _span = mcs_obs::span("online.ski_rental");
+    mcs_obs::counter_add("online.ski_rental.requests", trace.len() as u64);
     let mu = model.mu();
     let lambda = model.lambda();
     let keep = lambda / mu;

@@ -30,12 +30,15 @@ impl ReplayMetrics {
         }
     }
 
-    /// Records a swept gap with a constant copy count.
+    /// Records a swept gap with a constant copy count. The copy count
+    /// contributes to `peak_copies` even when `dt == 0`: a zero-length
+    /// gap at peak occupancy is still peak occupancy (only the
+    /// time-weighted mean ignores it).
     pub fn observe_gap(&mut self, copies: u32, dt: f64) {
+        self.peak_copies = self.peak_copies.max(copies);
         if dt <= 0.0 {
             return;
         }
-        self.peak_copies = self.peak_copies.max(copies);
         self.total_copy_time += copies as f64 * dt;
         self.total_time += dt;
         self.mean_copies = if self.total_time > 0.0 {
@@ -175,9 +178,12 @@ mod tests {
         m.observe_gap(3, 1.0);
         assert_eq!(m.peak_copies, 3);
         assert!((m.mean_copies - 2.0).abs() < 1e-12);
-        // Zero-length gaps are ignored.
+        // Zero-length gaps don't move the time-weighted mean…
         m.observe_gap(100, 0.0);
-        assert_eq!(m.peak_copies, 3);
+        assert!((m.mean_copies - 2.0).abs() < 1e-12);
+        // …but they do count toward the peak: momentary occupancy at a
+        // gap boundary is still occupancy.
+        assert_eq!(m.peak_copies, 100);
     }
 
     #[test]

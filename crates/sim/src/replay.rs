@@ -58,6 +58,10 @@ impl ReplayReport {
 /// * every request must observe a copy at its server at its time (an
 ///   open/closing interval or an arriving transfer).
 pub fn replay(schedule: &Schedule, trace: &SingleItemTrace) -> Result<ReplayReport, ReplayError> {
+    let _span = mcs_obs::span("sim.replay");
+    mcs_obs::counter_add("sim.replay.requests", trace.len() as u64);
+    mcs_obs::counter_add("sim.replay.intervals", schedule.intervals.len() as u64);
+    mcs_obs::counter_add("sim.replay.transfers", schedule.transfers.len() as u64);
     let tl = timeline(schedule, trace);
     let mut net = Network::new(trace.servers);
     let mut metrics = ReplayMetrics::new(trace.servers);

@@ -5,16 +5,28 @@
 //! dpg stats trace.json
 //! dpg solve trace.json [--algo dpg|optimal|greedy|package|multi]
 //!                      [--mu X] [--lambda X] [--alpha X] [--theta X]
+//! dpg trace solve trace.json --out events.jsonl [--algo dpg|optimal|greedy] [...]
+//! dpg trace example --out events.jsonl
 //! dpg chaos [--seed N] [--fault-rate X] [--sweep]
 //! dpg example
+//! dpg version
 //! ```
 //!
 //! Traces are the JSON format of `mcs_trace::io` (generated here or
 //! imported from elsewhere).
 //!
+//! Every subcommand additionally accepts `--metrics`, which prints the
+//! `mcs-obs` counter/span summary (phase timings and work counters) after
+//! the command completes. `dpg trace` derives the decision ledger of a
+//! run — one JSON-lines event per cache interval, transfer, and
+//! package-delivery choice — verifies it reconciles with the reported
+//! total cost, and writes it to `--out` (byte-deterministic for a given
+//! input; see the README's "Observability" section for the schema).
+//!
 //! Exit codes follow the usual convention: `0` on success, `1` on a
-//! runtime failure (unreadable trace, I/O error), `2` on a usage error
-//! (unknown command, unknown or malformed flag, missing argument).
+//! runtime failure (unreadable trace, I/O error, ledger mismatch), `2` on
+//! a usage error (unknown command, unknown or malformed flag, missing
+//! argument).
 
 use std::process::ExitCode;
 
@@ -51,9 +63,14 @@ fn print_usage() {
          [--mu X] [--lambda X] [--alpha X] [--theta X]\n  \
          dpg svg FILE --out FILE.svg [--item N] [--mu X] [--lambda X]\n  \
          dpg explain FILE [--a N --b N] [--mu X] [--lambda X] [--alpha X]\n  \
+         dpg trace solve FILE --out FILE.jsonl [--algo dpg|optimal|greedy] \
+         [--mu X] [--lambda X] [--alpha X] [--theta X]\n  \
+         dpg trace example --out FILE.jsonl\n  \
          dpg chaos [--seed N] [--fault-rate X] [--mean-outage X] [--steps N] \
          [--mu X] [--lambda X] [--alpha X] [--theta X] [--sweep]\n  \
-         dpg example"
+         dpg example\n  \
+         dpg version\n\
+         every subcommand also accepts --metrics (print the obs summary)"
     );
 }
 
@@ -443,6 +460,143 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `dpg version` / `dpg --version` — crate version plus git-independent
+/// build information (everything comes from the Cargo environment, so the
+/// output is identical whether or not the source tree is a checkout).
+fn cmd_version() -> Result<(), CliError> {
+    println!("dpg {}", env!("CARGO_PKG_VERSION"));
+    println!(
+        "{} — DP_Greedy (CLUSTER 2019) reproduction suite",
+        env!("CARGO_PKG_NAME")
+    );
+    println!("offline build: no external dependencies (see DESIGN.md)");
+    Ok(())
+}
+
+/// `dpg trace` — derive, verify, and export the decision ledger of a run.
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    let Some(sub) = args.first() else {
+        return Err(CliError::Usage(
+            "trace needs a subcommand: solve or example".to_string(),
+        ));
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "solve" => cmd_trace_solve(rest),
+        "example" => cmd_trace_example(rest),
+        other => Err(CliError::Usage(format!(
+            "unknown trace subcommand {other} (expected solve or example)"
+        ))),
+    }
+}
+
+/// Writes `ledger` to `out` after checking it reconciles with the
+/// algorithm's reported total, then prints the cost breakdown.
+fn emit_ledger(
+    ledger: &dp_greedy_suite::obs::Ledger,
+    reported_total: f64,
+    algo: &str,
+    out: &str,
+) -> Result<(), CliError> {
+    let derived = ledger.total_cost();
+    if (derived - reported_total).abs() > 1e-6 {
+        return Err(CliError::Runtime(format!(
+            "ledger does not reconcile: Σ event.cost = {derived} but {algo} reported {reported_total}"
+        )));
+    }
+    std::fs::write(out, ledger.to_jsonl_string()).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let b = ledger.breakdown();
+    println!(
+        "wrote {out}: {} events, total {:.4} (reconciles with {algo})",
+        ledger.len(),
+        derived
+    );
+    println!(
+        "breakdown: cache {:.4} + transfer {:.4} + package_delivery {:.4}",
+        b.cache, b.transfer, b.package_delivery
+    );
+    Ok(())
+}
+
+fn cmd_trace_solve(args: &[String]) -> Result<(), CliError> {
+    use dp_greedy_suite::dp_greedy::ledger::{dp_greedy_ledger, greedy_ledger, optimal_ledger};
+
+    check_flags(
+        "trace solve",
+        args,
+        &["--algo", "--mu", "--lambda", "--alpha", "--theta", "--out"],
+        &[],
+    )?;
+    let path = trace_arg("trace solve", args)?;
+    let out: String = parse_flag(args, "--out").ok_or("--out FILE.jsonl is required")??;
+    let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(2.0);
+    let lambda: f64 = parse_flag(args, "--lambda").transpose()?.unwrap_or(4.0);
+    let alpha: f64 = parse_flag(args, "--alpha").transpose()?.unwrap_or(0.8);
+    let theta: f64 = parse_flag(args, "--theta").transpose()?.unwrap_or(0.3);
+    let algo: String = parse_flag(args, "--algo")
+        .transpose()?
+        .unwrap_or_else(|| "dpg".to_string());
+
+    let file = TraceFile::load(path).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let seq = &file.sequence;
+    let model = CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let (ledger, total, name) = match algo.as_str() {
+        "dpg" => {
+            let r = dp_greedy(seq, &DpGreedyConfig::new(model).with_theta(theta));
+            (dp_greedy_ledger(&r, &model), r.total_cost, "DP_Greedy")
+        }
+        "optimal" => {
+            let r = optimal_non_packing(seq, &model);
+            (optimal_ledger(seq, &model), r.total_cost, "Optimal")
+        }
+        "greedy" => {
+            let r = greedy_non_packing(seq, &model);
+            (greedy_ledger(seq, &model), r.total_cost, "Greedy")
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown algorithm {other} for trace (expected dpg, optimal, or greedy)"
+            )))
+        }
+    };
+    emit_ledger(&ledger, total, name, &out)
+}
+
+fn cmd_trace_example(args: &[String]) -> Result<(), CliError> {
+    use dp_greedy_suite::dp_greedy::ledger::dp_greedy_ledger;
+    use dp_greedy_suite::dp_greedy::paper_example::{paper_model, paper_report};
+
+    check_flags("trace example", args, &["--out"], &[])?;
+    let out: String = parse_flag(args, "--out").ok_or("--out FILE.jsonl is required")??;
+    let report = paper_report();
+    let ledger = dp_greedy_ledger(&report, &paper_model());
+    emit_ledger(&ledger, report.total_cost, "DP_Greedy", &out)
+}
+
+/// Prints the `--metrics` summary: counters, then span/histogram stats,
+/// in deterministic name order.
+fn print_metrics() {
+    let s = dp_greedy_suite::obs::snapshot();
+    println!(
+        "\n-- metrics ({} counters, {} spans) --",
+        s.counters.len(),
+        s.hists.len()
+    );
+    for (name, v) in &s.counters {
+        println!("  {name:<28} {v}");
+    }
+    for (name, h) in &s.hists {
+        println!(
+            "  {name:<28} n={} total={:.6}s mean={:.6}s max={:.6}s",
+            h.count,
+            h.sum,
+            h.mean(),
+            h.max
+        );
+    }
+}
+
 fn cmd_example() -> Result<(), CliError> {
     let report = dp_greedy_suite::dp_greedy::paper_example::paper_report();
     let pair = &report.pairs[0];
@@ -457,7 +611,11 @@ fn cmd_example() -> Result<(), CliError> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--metrics` is accepted by every subcommand: strip it before
+    // dispatch and print the obs summary after a successful run.
+    let metrics = args.iter().any(|a| a == "--metrics");
+    args.retain(|a| a != "--metrics");
     let Some(cmd) = args.first() else {
         print_usage();
         return ExitCode::from(2);
@@ -469,14 +627,19 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(rest),
         "svg" => cmd_svg(rest),
         "explain" => cmd_explain(rest),
+        "trace" => cmd_trace(rest),
         "chaos" => cmd_chaos(rest),
         "example" => cmd_example(),
+        "version" | "--version" | "-V" => cmd_version(),
         "--help" | "-h" | "help" => {
             print_usage();
             return ExitCode::SUCCESS;
         }
         other => Err(CliError::Usage(format!("unknown command {other}"))),
     };
+    if metrics && result.is_ok() {
+        print_metrics();
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(CliError::Usage(e)) => {

@@ -13,6 +13,7 @@
 //!
 //! Crate map (see `DESIGN.md` for the full inventory):
 //!
+//! * [`obs`] — observability: metrics registry, spans, decision ledger
 //! * [`model`] — requests, cost model, schedules, validation
 //! * [`correlation`] — Phase 1: Jaccard analysis and matching
 //! * [`offline`] — the optimal off-line substrate of \[6\] + baselines
@@ -28,6 +29,7 @@ pub use dp_greedy;
 pub use mcs_correlation as correlation;
 pub use mcs_experiments as experiments;
 pub use mcs_model as model;
+pub use mcs_obs as obs;
 pub use mcs_offline as offline;
 pub use mcs_online as online;
 pub use mcs_sim as sim;

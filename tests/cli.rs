@@ -209,6 +209,100 @@ fn chaos_subcommand_is_deterministic_for_a_fixed_seed() {
 }
 
 #[test]
+fn version_subcommand_and_flag_exit_zero() {
+    for argv in [&["version"][..], &["--version"], &["-V"]] {
+        let out = dpg().args(argv).output().expect("run dpg version");
+        assert_eq!(out.status.code(), Some(0), "argv {argv:?}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.starts_with(concat!("dpg ", env!("CARGO_PKG_VERSION"))),
+            "argv {argv:?}: {text}"
+        );
+    }
+}
+
+#[test]
+fn trace_solve_writes_deterministic_jsonl_that_reconciles() {
+    let trace_path = temp_trace_path("trace-solve");
+    dpg()
+        .args([
+            "generate",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--steps",
+            "200",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("generate");
+
+    let run = |tag: &str| {
+        let out_path = std::env::temp_dir().join(format!("dpg-cli-test-ledger-{tag}.jsonl"));
+        let out = dpg()
+            .args([
+                "trace",
+                "solve",
+                trace_path.to_str().unwrap(),
+                "--algo",
+                "dpg",
+                "--out",
+                out_path.to_str().unwrap(),
+                "--metrics",
+            ])
+            .output()
+            .expect("run dpg trace solve");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        let jsonl = std::fs::read_to_string(&out_path).expect("ledger written");
+        std::fs::remove_file(&out_path).ok();
+        (stdout, jsonl)
+    };
+
+    let (stdout, jsonl) = run("a");
+    assert!(stdout.contains("reconciles with DP_Greedy"), "{stdout}");
+    assert!(stdout.contains("breakdown:"), "{stdout}");
+    assert!(stdout.contains("-- metrics"), "{stdout}");
+    // Every line is one event with the fixed key order.
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        assert!(line.starts_with("{\"algo\":\"dp_greedy\""), "{line}");
+        assert!(line.contains("\"option_chosen\":"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+
+    // Byte-determinism: a second run emits the identical ledger.
+    let (_, jsonl2) = run("b");
+    assert_eq!(jsonl, jsonl2, "trace output must be byte-deterministic");
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn trace_example_reproduces_the_paper_breakdown() {
+    let out_path = std::env::temp_dir().join("dpg-cli-test-ledger-example.jsonl");
+    let out = dpg()
+        .args(["trace", "example", "--out", out_path.to_str().unwrap()])
+        .output()
+        .expect("run dpg trace example");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("14.96"), "{text}");
+    std::fs::remove_file(&out_path).ok();
+
+    // `trace` without a known mode is a usage error.
+    let out = dpg().arg("trace").output().expect("run dpg trace");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn chaos_rejects_out_of_range_fault_rates() {
     let out = dpg()
         .args(["chaos", "--fault-rate", "1.5"])

@@ -1,0 +1,118 @@
+//! Property test: on random workloads, every algorithm's decision ledger
+//! reconciles with its reported total cost.
+//!
+//! The ledger (`dp_greedy::ledger`) is *derived* from algorithm outputs,
+//! so `Σ event.cost == total_cost` is a structural invariant of those
+//! outputs — intervals priced at `μ·len`, transfers at `λ`, serve events
+//! at the chosen arm's real cost — not a logging convention. This file
+//! fuzzes it across random sequences, cost models, and thresholds for
+//! DP_Greedy, the simple-greedy baseline, and the optimal yardstick.
+
+use dp_greedy::baselines::{greedy_non_packing, optimal_non_packing};
+use dp_greedy::ledger::{dp_greedy_ledger, greedy_ledger, optimal_ledger};
+use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
+use mcs_model::rng::Rng;
+use mcs_model::{CostModel, RequestSeq, RequestSeqBuilder};
+
+const TOL: f64 = 1e-9;
+
+/// A random valid sequence: 3–6 servers, 2–6 items, 20–60 requests with
+/// strictly increasing times and 1–2 items each.
+fn random_sequence(rng: &mut Rng) -> RequestSeq {
+    let servers = rng.gen_range(3u32..=6);
+    let items = rng.gen_range(2u32..=6);
+    let n = rng.gen_range(20usize..=60);
+    let mut b = RequestSeqBuilder::new(servers, items);
+    let mut t = 0.0;
+    for _ in 0..n {
+        t += 0.1 + rng.gen_f64() * 2.0;
+        let server = rng.gen_range(0u32..servers);
+        let first = rng.gen_range(0u32..items);
+        let mut set = vec![first];
+        if rng.gen_bool(0.45) {
+            let second = rng.gen_range(0u32..items);
+            if second != first {
+                set.push(second);
+            }
+        }
+        b = b.push(server, t, set);
+    }
+    b.build().expect("generated sequence is valid")
+}
+
+fn random_model(rng: &mut Rng) -> CostModel {
+    let mu = 0.5 + rng.gen_f64() * 4.0;
+    let lambda = 0.5 + rng.gen_f64() * 8.0;
+    let alpha = 0.55 + rng.gen_f64() * 0.44;
+    CostModel::new(mu, lambda, alpha).expect("generated model is valid")
+}
+
+#[test]
+fn ledgers_reconcile_with_reports_on_random_workloads() {
+    let mut rng = Rng::seed_from_u64(0x1ed6e7);
+    for case in 0..40 {
+        let seq = random_sequence(&mut rng);
+        let model = random_model(&mut rng);
+        let theta = rng.gen_f64() * 0.8;
+        let config = DpGreedyConfig::new(model).with_theta(theta);
+
+        let dpg = dp_greedy(&seq, &config);
+        let ledger = dp_greedy_ledger(&dpg, &model);
+        let diff = (ledger.total_cost() - dpg.total_cost).abs();
+        assert!(
+            diff < TOL,
+            "case {case}: dp_greedy ledger {} vs report {} (diff {diff:e})",
+            ledger.total_cost(),
+            dpg.total_cost
+        );
+        // The three-channel breakdown partitions the events completely.
+        let b = ledger.breakdown();
+        assert!(
+            (b.total() - ledger.total_cost()).abs() < TOL,
+            "case {case}: breakdown {} vs ledger {}",
+            b.total(),
+            ledger.total_cost()
+        );
+
+        let opt = optimal_non_packing(&seq, &model);
+        let opt_ledger = optimal_ledger(&seq, &model);
+        assert!(
+            (opt_ledger.total_cost() - opt.total_cost).abs() < TOL,
+            "case {case}: optimal ledger {} vs report {}",
+            opt_ledger.total_cost(),
+            opt.total_cost
+        );
+        // The non-packing baselines never use the package channel.
+        assert!(opt_ledger.breakdown().package_delivery == 0.0);
+
+        let gre = greedy_non_packing(&seq, &model);
+        let gre_ledger = greedy_ledger(&seq, &model);
+        assert!(
+            (gre_ledger.total_cost() - gre.total_cost).abs() < TOL,
+            "case {case}: greedy ledger {} vs report {}",
+            gre_ledger.total_cost(),
+            gre.total_cost
+        );
+        assert!(gre_ledger.breakdown().package_delivery == 0.0);
+    }
+}
+
+#[test]
+fn serve_events_always_pick_the_cheapest_feasible_arm() {
+    let mut rng = Rng::seed_from_u64(0xa2b);
+    for _ in 0..10 {
+        let seq = random_sequence(&mut rng);
+        let model = random_model(&mut rng);
+        let config = DpGreedyConfig::new(model).with_theta(0.1);
+        let ledger = dp_greedy_ledger(&dp_greedy(&seq, &config), &model);
+        for e in ledger.events.iter().filter(|e| e.phase == "phase2.serve") {
+            let min = e.option_costs.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(min.is_finite(), "at least one arm is always feasible");
+            assert!(
+                (e.cost - min).abs() < 1e-12,
+                "serve event paid {} but the cheapest arm was {min}",
+                e.cost
+            );
+        }
+    }
+}
