@@ -1,6 +1,7 @@
 //! Core-algorithm throughput benchmarks: the substrate DP, the greedy
-//! baseline, Phase 1 correlation analysis, and the full two-phase
-//! DP_Greedy pipeline.
+//! baseline, Phase 1 correlation analysis, the full two-phase DP_Greedy
+//! pipeline, and — via the engine registry — every registered solver on
+//! one shared workload (new algorithms get benchmarked for free).
 
 use mcs_bench::harness::{black_box, Criterion};
 use mcs_bench::{criterion_group, criterion_main};
@@ -8,6 +9,7 @@ use mcs_bench::{criterion_group, criterion_main};
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
 use mcs_bench::{bench_model, bench_trace, bench_workload};
 use mcs_correlation::{greedy_matching, JaccardMatrix};
+use mcs_engine::RunContext;
 use mcs_offline::{greedy::greedy, optimal};
 
 fn bench_substrate(c: &mut Criterion) {
@@ -44,9 +46,28 @@ fn bench_full_pipeline(c: &mut Criterion) {
     });
 }
 
+fn bench_registry(c: &mut Criterion) {
+    let seq = bench_workload(1500);
+    let ctx = RunContext::new(bench_model()).with_theta(0.3);
+    let mut g = c.benchmark_group("registry");
+    for solver in mcs_engine::solvers() {
+        if solver
+            .request_limit()
+            .is_some_and(|limit| seq.requests().len() > limit)
+        {
+            continue; // exponential solvers skip the 1500-step workload
+        }
+        let label = format!("solve_{}", solver.name());
+        g.bench_function(&label, |b| {
+            b.iter(|| solver.solve(black_box(&seq), black_box(&ctx)).total_cost)
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_substrate, bench_phase1, bench_full_pipeline
+    targets = bench_substrate, bench_phase1, bench_full_pipeline, bench_registry
 }
 criterion_main!(benches);

@@ -10,7 +10,7 @@
 //! * `obs_on` — the same solve with the registry enabled (the default),
 //!   i.e. the always-on instrumentation cost.
 //! * `trace` — the full `dpg trace` pipeline: solve + ledger derivation
-//!   ([`dp_greedy::ledger::dp_greedy_ledger`]) + JSONL serialization.
+//!   (the engine's [`mcs_engine::Solution::ledger`]) + JSONL serialization.
 //!
 //! Usage: `bench_obs [--steps N] [--reps N] [--out PATH] [--max-overhead X]`.
 //! With `--max-overhead X` the process exits 1 when the *instrumentation*
@@ -21,10 +21,10 @@
 
 use std::time::Instant;
 
-use dp_greedy::ledger::dp_greedy_ledger;
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
 use mcs_bench::harness::black_box;
 use mcs_bench::{bench_model, bench_workload};
+use mcs_engine::{find, RunContext};
 use mcs_model::json::Json;
 
 struct Args {
@@ -109,16 +109,19 @@ fn main() {
     let obs_on = min_secs(args.reps, || dp_greedy(&seq, &config));
     let phase_snapshot = mcs_obs::snapshot();
 
-    // The full trace pipeline: solve, derive the ledger, serialize JSONL.
-    let report = dp_greedy(&seq, &config);
-    let ledger = dp_greedy_ledger(&report, &model);
+    // The full trace pipeline: solve, derive the ledger, serialize JSONL
+    // — the same path `dpg trace solve` takes through the engine registry.
+    let solver = find("dp_greedy").expect("dp_greedy is registered");
+    let ctx = RunContext::new(model);
+    let solution = solver.solve(&seq, &ctx);
+    let ledger = solution.ledger();
     let events = ledger.len();
     let trace = min_secs(args.reps, || {
-        let report = dp_greedy(&seq, &config);
-        let ledger = dp_greedy_ledger(&report, &model);
+        let solution = solver.solve(&seq, &ctx);
+        let ledger = solution.ledger();
         ledger.to_jsonl_string()
     });
-    let derive_secs = min_secs(args.reps, || dp_greedy_ledger(&report, &model));
+    let derive_secs = min_secs(args.reps, || solution.ledger());
     let serialize_secs = min_secs(args.reps, || ledger.to_jsonl_string());
 
     let overhead_instrumentation = obs_on / obs_off;

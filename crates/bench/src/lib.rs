@@ -30,9 +30,10 @@ pub fn bench_trace(n: usize, m: u32) -> SingleItemTrace {
     SingleItemTrace::from_pairs(m, &pairs)
 }
 
-/// The benchmark cost model (`μ = 2`, `λ = 4`, `α = 0.8` — the ρ = 2 mix).
+/// The benchmark cost model — the workspace defaults (`μ = 2`, `λ = 4`,
+/// `α = 0.8`; the Fig.-12 peak mix ρ = 2).
 pub fn bench_model() -> CostModel {
-    CostModel::new(2.0, 4.0, 0.8).expect("valid model")
+    mcs_model::defaults::default_model()
 }
 
 #[cfg(test)]

@@ -1,37 +1,39 @@
-//! Decision-ledger derivation for DP_Greedy and its baselines.
+//! Per-pair decision-ledger derivation for DP_Greedy's Phase 2.
 //!
 //! The ledger is derived from algorithm *outputs* — the explicit package
-//! and singleton schedules plus the recorded three-arm choices — rather
-//! than logged inline, so the emission is deterministic and the
-//! reconciliation `Σ event.cost == report.total_cost` is a theorem about
-//! the outputs (property-tested at the workspace root in
-//! `tests/ledger_reconciliation.rs`), not a logging convention.
+//! schedules plus the recorded three-arm choices — rather than logged
+//! inline, so the emission is deterministic and the reconciliation
+//! `Σ event.cost == total` is a theorem about the outputs, not a logging
+//! convention.
 //!
-//! Event taxonomy for a DP_Greedy run:
+//! Whole-sequence ledgers are derived generically by the engine layer
+//! (`mcs_engine::Solution::ledger`), which replaced the per-algorithm
+//! builders that used to live here (`dp_greedy_ledger` /
+//! `optimal_ledger` / `greedy_ledger`). This module keeps only the
+//! *per-pair* derivations that the pairwise experiments of Figs. 11 and
+//! 13 need — those examine one packed pair in isolation, which no
+//! whole-sequence solver run can express.
 //!
-//! * `phase2.package` — the package DP's schedule over a pair's
+//! Event taxonomy for a packed pair:
+//!
+//! * `phase2.package` — the package DP's schedule over the pair's
 //!   co-requests, priced at the scaled rates (`2αμ`, `2αλ`); subject is
 //!   the pair.
 //! * `phase2.serve` — each three-arm greedy decision of Observation 2,
 //!   carrying the *real* costs of all three arms at decision time in
 //!   `option_costs` (infeasible arms are `∞`).
-//! * `phase2.unpacked` — the per-item optimal schedules of unpacked
-//!   items, at base rates.
-//!
-//! The `optimal` and `greedy` non-packing baselines re-run their per-item
-//! solvers (their [`BaselineReport`]s do not retain schedules) and derive
-//! one `offline`-phase event stream per item.
 
 use mcs_model::{CostModel, ItemId, RequestSeq};
 use mcs_obs::{Ledger, LedgerEvent, Subject};
 use mcs_offline::ledger::schedule_events;
-use mcs_offline::{greedy::greedy, optimal};
+use mcs_offline::optimal;
 
-use crate::baselines::BaselineReport;
 use crate::singleton_greedy::{Arm, SingletonGreedyOutcome};
-use crate::two_phase::{DpGreedyReport, PairReport};
+use crate::two_phase::PairReport;
 
-fn arm_name(arm: Arm) -> &'static str {
+/// The ledger spelling of a three-arm choice (`"cache"` / `"transfer"` /
+/// `"package"`, matching `mcs_obs::ledger::OPTION_NAMES`).
+pub fn arm_name(arm: Arm) -> &'static str {
     match arm {
         Arm::Cache => "cache",
         Arm::Transfer => "transfer",
@@ -39,7 +41,8 @@ fn arm_name(arm: Arm) -> &'static str {
     }
 }
 
-fn serve_events(
+/// Appends one `phase2.serve` event per recorded three-arm choice.
+pub fn serve_events(
     algo: &'static str,
     item: ItemId,
     greedy_out: &SingletonGreedyOutcome,
@@ -56,28 +59,6 @@ fn serve_events(
             cost: c.cost,
         });
     }
-}
-
-/// Derives the full decision ledger of a DP_Greedy run. The summed event
-/// cost reconciles with `report.total_cost` within floating-point
-/// associativity (≤ 1e-9 on the tested workloads).
-pub fn dp_greedy_ledger(report: &DpGreedyReport, model: &CostModel) -> Ledger {
-    let mut events = Vec::new();
-    for pair in &report.pairs {
-        pair_events(pair, model, &mut events);
-    }
-    for s in &report.singletons {
-        schedule_events(
-            "dp_greedy",
-            "phase2.unpacked",
-            Subject::Item(s.item.0),
-            &s.schedule,
-            model.mu(),
-            model.lambda(),
-            &mut events,
-        );
-    }
-    Ledger { events }
 }
 
 fn pair_events(pair: &PairReport, model: &CostModel, events: &mut Vec<LedgerEvent>) {
@@ -123,87 +104,11 @@ pub fn optimal_pair_ledger(seq: &RequestSeq, a: ItemId, b: ItemId, model: &CostM
     Ledger { events }
 }
 
-/// Derives the ledger of the non-packing `Optimal` baseline by re-running
-/// the per-item optimal solver (baseline reports do not retain
-/// schedules). Reconciles with [`crate::baselines::optimal_non_packing`].
-pub fn optimal_ledger(seq: &RequestSeq, model: &CostModel) -> Ledger {
-    per_item_ledger(seq, model, "optimal", |trace, model| {
-        optimal(trace, model).schedule
-    })
-}
-
-/// Derives the ledger of the non-packing simple-greedy baseline by
-/// re-running the per-item Fig.-4 greedy. Reconciles with
-/// [`crate::baselines::greedy_non_packing`].
-pub fn greedy_ledger(seq: &RequestSeq, model: &CostModel) -> Ledger {
-    per_item_ledger(seq, model, "greedy", |trace, model| {
-        greedy(trace, model).schedule
-    })
-}
-
-fn per_item_ledger(
-    seq: &RequestSeq,
-    model: &CostModel,
-    algo: &'static str,
-    solve: impl Fn(&mcs_model::request::SingleItemTrace, &CostModel) -> mcs_model::Schedule,
-) -> Ledger {
-    let mut events = Vec::new();
-    for i in 0..seq.items() {
-        let item = ItemId(i);
-        let schedule = solve(&seq.item_trace(item), model);
-        schedule_events(
-            algo,
-            "offline",
-            Subject::Item(item.0),
-            &schedule,
-            model.mu(),
-            model.lambda(),
-            &mut events,
-        );
-    }
-    Ledger { events }
-}
-
-/// Convenience: asserts (within `tol`) that a ledger reconciles with a
-/// baseline report's total cost, returning the absolute difference.
-pub fn reconcile_baseline(ledger: &Ledger, report: &BaselineReport) -> f64 {
-    (ledger.total_cost() - report.total_cost).abs()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::baselines::{greedy_non_packing, optimal_non_packing};
     use crate::paper_example::{paper_model, paper_sequence};
     use crate::two_phase::{dp_greedy, DpGreedyConfig};
-
-    #[test]
-    fn dp_greedy_ledger_reconciles_on_the_paper_example() {
-        let seq = paper_sequence();
-        let model = paper_model();
-        let report = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.4));
-        let ledger = dp_greedy_ledger(&report, &model);
-        assert!(
-            (ledger.total_cost() - report.total_cost).abs() < 1e-9,
-            "ledger {} vs report {}",
-            ledger.total_cost(),
-            report.total_cost
-        );
-        // The paper's 14.96 splits into the three channels completely.
-        let b = ledger.breakdown();
-        assert!((b.total() - 14.96).abs() < 1e-9);
-        assert!(b.package_delivery > 0.0, "running example uses the P arm");
-    }
-
-    #[test]
-    fn baseline_ledgers_reconcile_on_the_paper_example() {
-        let seq = paper_sequence();
-        let model = paper_model();
-        let o = optimal_non_packing(&seq, &model);
-        assert!(reconcile_baseline(&optimal_ledger(&seq, &model), &o) < 1e-9);
-        let g = greedy_non_packing(&seq, &model);
-        assert!(reconcile_baseline(&greedy_ledger(&seq, &model), &g) < 1e-9);
-    }
 
     #[test]
     fn pair_ledgers_reconcile_with_pair_reports() {
@@ -223,7 +128,7 @@ mod tests {
         let seq = paper_sequence();
         let model = paper_model();
         let report = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.4));
-        let ledger = dp_greedy_ledger(&report, &model);
+        let ledger = pair_ledger(&report.pairs[0], &model);
         let serves: Vec<_> = ledger
             .events
             .iter()

@@ -72,8 +72,10 @@ impl WindowedReport {
 
 /// Slices a sequence into windows of `window` time units, rebasing each
 /// window's times to start at the window boundary (times stay positive
-/// relative to the window's origin placement).
-fn slice_windows(seq: &RequestSeq, window: f64) -> Vec<(f64, f64, RequestSeq)> {
+/// relative to the window's origin placement). Returns
+/// `(window_start, window_end, rebased_slice)` triples; empty windows
+/// are skipped.
+pub fn slice_windows(seq: &RequestSeq, window: f64) -> Vec<(f64, f64, RequestSeq)> {
     assert!(window > 0.0, "window must be positive");
     let mut out = Vec::new();
     let horizon = seq.horizon();

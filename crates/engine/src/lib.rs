@@ -1,0 +1,181 @@
+//! # mcs-engine — the unified solver engine
+//!
+//! Every algorithm in the workspace — DP_Greedy and its multi-item and
+//! windowed extensions, the off-line `optimal`/`optimal_fast`/`greedy`/
+//! `exhaustive` substrate, the Package_Served baseline, and the on-line
+//! ski-rental family — is reachable through one seam:
+//!
+//! * [`CachingSolver`] — the trait: `name()`, `kind()` (offline/online),
+//!   and `solve(&RequestSeq, &RunContext) -> Solution`.
+//! * [`RunContext`] — the shared run parameters: [`mcs_model::CostModel`],
+//!   the packing threshold `θ`, a seed, and an optional
+//!   [`mcs_model::FaultPlan`] for fault-aware policies. Observability
+//!   handles are the process-global `mcs-obs` registry, so solvers need
+//!   no plumbing to emit spans and counters.
+//! * [`Solution`] — the unified result: total cost, the `Σ|d_i|`
+//!   denominator of the paper's `ave_cost` metric, and a list of
+//!   [`solution::SolutionPart`]s (explicit schedules, recorded serve-arm
+//!   choices, and aggregate channel costs) from which one *generic*
+//!   ledger derivation ([`Solution::ledger`]) produces the decision
+//!   ledger — replacing the per-algorithm builders that used to live in
+//!   `dp_greedy::ledger`.
+//! * [`registry`] — the static solver registry: iterate all solvers with
+//!   [`registry::solvers`], look one up (aliases included) with
+//!   [`registry::find`]. Adding an algorithm is one `impl CachingSolver`
+//!   plus one registry entry; the CLI (`dpg algos`, `dpg run --algo`),
+//!   the experiment runners, the bench harness, and the workspace-level
+//!   reconciliation property test all pick it up automatically.
+//!
+//! The engine sits above the algorithm crates and below the consumers
+//! (`sim`, `experiments`, CLI, benches): algorithm crates stay free of
+//! trait plumbing and the consumers stay free of per-algorithm glue.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod registry;
+pub mod solution;
+pub mod solvers;
+
+use mcs_model::defaults::{DEFAULT_SEED, DEFAULT_THETA};
+use mcs_model::{CostModel, FaultPlan, RequestSeq};
+
+pub use registry::{aliases, find, solvers};
+pub use solution::{ServeChoice, Solution, SolutionPart};
+
+/// Whether a solver sees the whole request sequence up front (offline)
+/// or serves requests one at a time with no knowledge of the future
+/// (online).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Off-line: the full trajectory is known (the paper's model).
+    Offline,
+    /// On-line: requests arrive one at a time.
+    Online,
+}
+
+impl SolverKind {
+    /// Stable lowercase label (`"offline"` / `"online"`), used by the
+    /// CLI's JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::Offline => "offline",
+            SolverKind::Online => "online",
+        }
+    }
+}
+
+/// Shared parameters of one solver run.
+///
+/// Observability is deliberately *not* a field: `mcs-obs` is a
+/// process-global registry and solvers emit spans/counters through it
+/// directly, so a `RunContext` stays `Copy`-cheap and serializable.
+#[derive(Debug, Clone)]
+pub struct RunContext {
+    /// The homogeneous cost model (`μ`, `λ`, `α`).
+    pub model: CostModel,
+    /// Packing threshold `θ` for correlation-aware solvers.
+    pub theta: f64,
+    /// Seed for solvers with internal randomness or derived workloads.
+    pub seed: u64,
+    /// Fault plan for fault-aware policies (`None` = ideal fleet; only
+    /// the `resilient` solver reads it today).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl RunContext {
+    /// A context with the workspace defaults for `θ` and the seed.
+    pub fn new(model: CostModel) -> Self {
+        RunContext {
+            model,
+            theta: DEFAULT_THETA,
+            seed: DEFAULT_SEED,
+            fault_plan: None,
+        }
+    }
+
+    /// The Section V-C running-example context (`μ = λ = 1`, `α = 0.8`,
+    /// `θ = 0.4`).
+    pub fn paper_example() -> Self {
+        RunContext::new(CostModel::paper_example()).with_theta(dp_greedy::paper_example::THETA)
+    }
+
+    /// Sets the packing threshold.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+impl Default for RunContext {
+    fn default() -> Self {
+        RunContext::new(mcs_model::defaults::default_model())
+    }
+}
+
+/// One caching algorithm behind the engine seam.
+///
+/// Implementations are zero-sized registry entries; all run state lives
+/// in the [`RunContext`] and the returned [`Solution`].
+pub trait CachingSolver: Sync {
+    /// Stable registry name (snake_case; the `--algo` spelling).
+    fn name(&self) -> &'static str;
+
+    /// Off-line or on-line.
+    fn kind(&self) -> SolverKind;
+
+    /// One-line human description for `dpg algos`.
+    fn description(&self) -> &'static str;
+
+    /// Runs the algorithm over `seq` under `ctx`.
+    fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution;
+
+    /// Upper bound on the request-sequence length this solver stays
+    /// tractable at, or `None` for the polynomial solvers. The
+    /// registry-wide property tests clamp their random workloads to this
+    /// (the exhaustive solver is exponential — historically its
+    /// cross-validation capped traces at ~10 points).
+    fn request_limit(&self) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_uses_the_workspace_defaults() {
+        let ctx = RunContext::default();
+        assert_eq!(ctx.theta, DEFAULT_THETA);
+        assert_eq!(ctx.seed, DEFAULT_SEED);
+        assert!(ctx.fault_plan.is_none());
+        assert_eq!(ctx.model.mu(), mcs_model::defaults::DEFAULT_MU);
+    }
+
+    #[test]
+    fn paper_context_matches_the_running_example() {
+        let ctx = RunContext::paper_example();
+        assert_eq!(ctx.model.mu(), 1.0);
+        assert_eq!(ctx.model.lambda(), 1.0);
+        assert_eq!(ctx.theta, 0.4);
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(SolverKind::Offline.label(), "offline");
+        assert_eq!(SolverKind::Online.label(), "online");
+    }
+}

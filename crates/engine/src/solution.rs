@@ -1,0 +1,283 @@
+//! The unified solver result and its generic ledger derivation.
+//!
+//! A [`Solution`] carries the totals every consumer needs (`total_cost`,
+//! the `Σ|d_i|` denominator of `ave_cost`) plus a flat list of
+//! [`SolutionPart`]s — the committed outputs of the run. One generic
+//! pass ([`Solution::ledger`]) turns those parts into the decision
+//! ledger of `mcs-obs`, replacing the three near-identical per-algorithm
+//! builders that used to live in `dp_greedy::ledger`
+//! (`dp_greedy_ledger` / `optimal_ledger` / `greedy_ledger`):
+//!
+//! * [`SolutionPart::Schedule`] — an explicit schedule priced at the
+//!   part's own rates (base rates for singletons, `2αμ`/`2αλ` for
+//!   package schedules): one `cache` event per interval and one
+//!   `transfer` event per transfer, exactly as
+//!   `mcs_offline::ledger::schedule_events` derives them.
+//! * [`SolutionPart::Serve`] — the recorded three-arm greedy choices of
+//!   Observation 2, carrying the real `option_costs` of all arms.
+//! * [`SolutionPart::Aggregate`] — a channel-attributed lump cost for
+//!   solvers that only report aggregates (the on-line DP_Greedy's
+//!   package-transfer counts, the resilient policy's attempt totals, the
+//!   multi-item partial-subset serving).
+//!
+//! Because parts are emitted in the same order the old builders walked
+//! the reports, a `dp_greedy` Solution renders the byte-identical JSONL
+//! the pre-engine `dpg trace solve` produced.
+
+use mcs_model::Schedule;
+use mcs_obs::ledger::OPTION_NAMES;
+use mcs_obs::{Ledger, LedgerEvent, Subject};
+use mcs_offline::ledger::schedule_events;
+
+use crate::SolverKind;
+
+/// One recorded serve-time arm choice (Observation 2's three-arm greedy).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeChoice {
+    /// The arm committed to: `"cache"`, `"transfer"`, or `"package"`.
+    pub option_chosen: &'static str,
+    /// Real cost of each arm at decision time, `f64::INFINITY` for
+    /// infeasible arms, in [`OPTION_NAMES`] slot order.
+    pub option_costs: [f64; 3],
+    /// Decision time.
+    pub t: f64,
+    /// Cost actually paid.
+    pub cost: f64,
+}
+
+/// One committed output of a solver run.
+#[derive(Debug, Clone)]
+pub enum SolutionPart {
+    /// An explicit schedule priced at `mu`/`lambda` (pass the
+    /// package-scaled rates for package schedules).
+    Schedule {
+        /// Ledger phase, e.g. `"offline"`, `"phase2.package"`.
+        phase: &'static str,
+        /// The item or pair the schedule serves.
+        subject: Subject,
+        /// The schedule itself.
+        schedule: Schedule,
+        /// Cache rate this schedule is priced at.
+        mu: f64,
+        /// Transfer cost this schedule is priced at.
+        lambda: f64,
+    },
+    /// Recorded serve-time arm choices.
+    Serve {
+        /// Ledger phase (DP_Greedy uses `"phase2.serve"`).
+        phase: &'static str,
+        /// The item served.
+        subject: Subject,
+        /// The choices, in request order.
+        choices: Vec<ServeChoice>,
+    },
+    /// A lump cost attributed to one channel (for aggregate-only
+    /// solvers).
+    Aggregate {
+        /// Ledger phase, e.g. `"online"`, `"phase2.partial"`.
+        phase: &'static str,
+        /// The item or pair the cost is attributed to.
+        subject: Subject,
+        /// The channel: `"cache"`, `"transfer"`, or `"package"`.
+        channel: &'static str,
+        /// Attribution time (the horizon for end-of-run settlements).
+        t: f64,
+        /// The lump cost.
+        cost: f64,
+    },
+}
+
+impl SolutionPart {
+    /// Sum of the costs this part will contribute to the ledger.
+    pub fn cost(&self, _total: f64) -> f64 {
+        match self {
+            SolutionPart::Schedule {
+                schedule,
+                mu,
+                lambda,
+                ..
+            } => {
+                let cache: f64 = schedule.intervals.iter().map(|iv| mu * iv.span.len()).sum();
+                cache + lambda * schedule.transfers.len() as f64
+            }
+            SolutionPart::Serve { choices, .. } => choices.iter().map(|c| c.cost).sum(),
+            SolutionPart::Aggregate { cost, .. } => *cost,
+        }
+    }
+}
+
+/// The unified result of a [`crate::CachingSolver`] run.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The producing solver's registry name (also the ledger `algo`).
+    pub algo: &'static str,
+    /// Off-line or on-line.
+    pub kind: SolverKind,
+    /// Total cost as reported by the algorithm (authoritative — the
+    /// ledger reconciles *against* it, it is never re-summed from parts).
+    pub total_cost: f64,
+    /// `Σ|d_i|` — total item accesses, the `ave_cost` denominator.
+    pub total_accesses: usize,
+    /// The committed outputs, in deterministic emission order.
+    pub parts: Vec<SolutionPart>,
+}
+
+impl Solution {
+    /// The paper's headline metric: cost per item access.
+    pub fn ave_cost(&self) -> f64 {
+        if self.total_accesses == 0 {
+            0.0
+        } else {
+            self.total_cost / self.total_accesses as f64
+        }
+    }
+
+    /// Derives the decision ledger from the parts — the single generic
+    /// derivation shared by every registered solver.
+    pub fn ledger(&self) -> Ledger {
+        let mut events = Vec::new();
+        for part in &self.parts {
+            match part {
+                SolutionPart::Schedule {
+                    phase,
+                    subject,
+                    schedule,
+                    mu,
+                    lambda,
+                } => {
+                    schedule_events(
+                        self.algo,
+                        phase,
+                        *subject,
+                        schedule,
+                        *mu,
+                        *lambda,
+                        &mut events,
+                    );
+                }
+                SolutionPart::Serve {
+                    phase,
+                    subject,
+                    choices,
+                } => {
+                    for c in choices {
+                        events.push(LedgerEvent {
+                            algo: self.algo,
+                            phase,
+                            subject: *subject,
+                            option_chosen: c.option_chosen,
+                            option_costs: c.option_costs,
+                            t: c.t,
+                            cost: c.cost,
+                        });
+                    }
+                }
+                SolutionPart::Aggregate {
+                    phase,
+                    subject,
+                    channel,
+                    t,
+                    cost,
+                } => {
+                    let slot = OPTION_NAMES
+                        .iter()
+                        .position(|n| n == channel)
+                        .expect("channel is one of cache/transfer/package");
+                    let mut option_costs = [f64::INFINITY; 3];
+                    option_costs[slot] = *cost;
+                    events.push(LedgerEvent {
+                        algo: self.algo,
+                        phase,
+                        subject: *subject,
+                        option_chosen: channel,
+                        option_costs,
+                        t: *t,
+                        cost: *cost,
+                    });
+                }
+            }
+        }
+        Ledger { events }
+    }
+
+    /// Absolute gap between the derived ledger total and the reported
+    /// total cost (the reconciliation theorem says this is 0 up to
+    /// floating-point associativity).
+    pub fn reconciliation_gap(&self) -> f64 {
+        (self.ledger().total_cost() - self.total_cost).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aggregate(channel: &'static str, cost: f64) -> SolutionPart {
+        SolutionPart::Aggregate {
+            phase: "online",
+            subject: Subject::Item(0),
+            channel,
+            t: 1.0,
+            cost,
+        }
+    }
+
+    #[test]
+    fn aggregate_parts_land_in_their_channel() {
+        let s = Solution {
+            algo: "test",
+            kind: SolverKind::Online,
+            total_cost: 4.5,
+            total_accesses: 9,
+            parts: vec![
+                aggregate("cache", 1.0),
+                aggregate("transfer", 2.0),
+                aggregate("package", 1.5),
+            ],
+        };
+        let b = s.ledger().breakdown();
+        assert_eq!(b.cache, 1.0);
+        assert_eq!(b.transfer, 2.0);
+        assert_eq!(b.package_delivery, 1.5);
+        assert!(s.reconciliation_gap() < 1e-12);
+        assert!((s.ave_cost() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_parts_carry_option_costs_through() {
+        let s = Solution {
+            algo: "test",
+            kind: SolverKind::Offline,
+            total_cost: 2.0,
+            total_accesses: 1,
+            parts: vec![SolutionPart::Serve {
+                phase: "phase2.serve",
+                subject: Subject::Item(3),
+                choices: vec![ServeChoice {
+                    option_chosen: "transfer",
+                    option_costs: [5.0, 2.0, f64::INFINITY],
+                    t: 0.7,
+                    cost: 2.0,
+                }],
+            }],
+        };
+        let l = s.ledger();
+        assert_eq!(l.events.len(), 1);
+        assert_eq!(l.events[0].option_chosen, "transfer");
+        assert_eq!(l.events[0].option_costs[0], 5.0);
+        assert!(s.reconciliation_gap() < 1e-12);
+    }
+
+    #[test]
+    fn empty_solution_has_an_empty_ledger() {
+        let s = Solution {
+            algo: "test",
+            kind: SolverKind::Offline,
+            total_cost: 0.0,
+            total_accesses: 0,
+            parts: vec![],
+        };
+        assert!(s.ledger().is_empty());
+        assert_eq!(s.ave_cost(), 0.0);
+    }
+}

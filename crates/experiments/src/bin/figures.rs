@@ -13,7 +13,7 @@ use std::path::PathBuf;
 
 use mcs_experiments::{
     ablations, capacity_exp, chaos_exp, drift_exp, fig09, fig10, fig11, fig12, fig13, multi_exp,
-    online_exp, ratio_exp, replication,
+    online_exp, ratio_exp, replication, solver_sweep,
 };
 use mcs_experiments::{paper_workload, DEFAULT_SEED};
 
@@ -24,10 +24,12 @@ struct Args {
     online: bool,
     ablations: bool,
     chaos: bool,
+    registry: bool,
     seed: u64,
     steps: Option<usize>,
     json: Option<PathBuf>,
     dat: Option<PathBuf>,
+    tsv: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,10 +39,12 @@ fn parse_args() -> Result<Args, String> {
         online: false,
         ablations: false,
         chaos: false,
+        registry: false,
         seed: DEFAULT_SEED,
         steps: None,
         json: None,
         dat: None,
+        tsv: None,
     };
     let mut it = std::env::args().skip(1);
     let mut any = false;
@@ -67,12 +71,17 @@ fn parse_args() -> Result<Args, String> {
                 args.chaos = true;
                 any = true;
             }
+            "--registry" => {
+                args.registry = true;
+                any = true;
+            }
             "--all" => {
                 args.figs = vec![9, 10, 11, 12, 13];
                 args.ratio = true;
                 args.online = true;
                 args.ablations = true;
                 args.chaos = true;
+                args.registry = true;
                 any = true;
             }
             "--seed" => {
@@ -91,10 +100,15 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--dat needs a directory")?;
                 args.dat = Some(PathBuf::from(v));
             }
+            "--tsv" => {
+                let v = it.next().ok_or("--tsv needs a file path")?;
+                args.tsv = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 println!(
                     "figures [--fig 9|10|11|12|13] [--ratio] [--online] [--ablations] \
-                     [--chaos] [--all] [--seed N] [--steps N] [--json DIR]"
+                     [--chaos] [--registry] [--all] [--seed N] [--steps N] [--json DIR] \
+                     [--tsv FILE]"
                 );
                 std::process::exit(0);
             }
@@ -107,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
         args.online = true;
         args.ablations = true;
         args.chaos = true;
+        args.registry = true;
     }
     Ok(args)
 }
@@ -266,5 +281,18 @@ fn main() {
         println!("{}", c.table());
         println!("worst degradation ratio: {:.4}\n", c.worst_ratio());
         write_json(&args.json, "chaos", &c);
+    }
+    if args.registry {
+        // The paper-example sweep the CI registry-smoke job pins: every
+        // registered solver, `ave_cost` at 6 decimals.
+        let s = solver_sweep::paper_example();
+        println!("{}", s.table());
+        // No --json artefact here: SweepRow carries wall-clock runtimes,
+        // which would make the provenance directory non-reproducible.
+        // The deterministic projection is the TSV.
+        if let Some(path) = &args.tsv {
+            std::fs::write(path, s.to_tsv()).expect("write tsv");
+            eprintln!("wrote {}", path.display());
+        }
     }
 }

@@ -9,8 +9,7 @@
 
 use crate::par::par_map;
 
-use dp_greedy::baselines::optimal_non_packing;
-use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
+use mcs_engine::{find, CachingSolver, RunContext};
 use mcs_model::CostModel;
 use mcs_online::capacity::{capacity_run, EvictionPolicy};
 use mcs_trace::workload::{generate, WorkloadConfig};
@@ -41,8 +40,23 @@ pub struct CapacityExp {
     pub dp_greedy: f64,
 }
 
-/// Runs the sweep under `μ = 2`, `λ = 4`.
+/// Runs the sweep under `μ = 2`, `λ = 4`, with the registry's `optimal`
+/// and `dp_greedy` as the cost-oriented references.
 pub fn run(config: &WorkloadConfig) -> CapacityExp {
+    run_with(
+        find("optimal").expect("optimal is registered"),
+        find("dp_greedy").expect("dp_greedy is registered"),
+        config,
+    )
+}
+
+/// Runs the sweep with any two cost-oriented reference solvers — the
+/// first fills the `optimal` column, the second `dp_greedy`.
+pub fn run_with(
+    optimal: &dyn CachingSolver,
+    dp_greedy: &dyn CachingSolver,
+    config: &WorkloadConfig,
+) -> CapacityExp {
     let seq = generate(config);
     let model = CostModel::new(2.0, 4.0, 0.8).expect("valid");
     let accesses = seq.total_item_accesses() as f64;
@@ -58,13 +72,11 @@ pub fn run(config: &WorkloadConfig) -> CapacityExp {
         }
     });
 
-    let optimal = optimal_non_packing(&seq, &model).total_cost;
-    let dpg = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.3)).total_cost;
-
+    let ctx = RunContext::new(model).with_theta(0.3);
     CapacityExp {
         rows,
-        optimal,
-        dp_greedy: dpg,
+        optimal: optimal.solve(&seq, &ctx).total_cost,
+        dp_greedy: dp_greedy.solve(&seq, &ctx).total_cost,
     }
 }
 

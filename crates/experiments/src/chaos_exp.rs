@@ -21,10 +21,10 @@
 
 use crate::par::par_map;
 
-use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
+use mcs_engine::{find, CachingSolver, RunContext};
 use mcs_model::fault::FaultPlan;
 use mcs_model::CostModel;
-use mcs_sim::fleet::chaos_dp_greedy;
+use mcs_sim::fleet::chaos_solver;
 use mcs_trace::workload::{generate, WorkloadConfig};
 
 use crate::table::{fmt_f, Table};
@@ -72,11 +72,27 @@ pub const ALPHAS: [f64; 2] = [0.5, 0.8];
 /// Mean crash-outage duration used by every plan of the sweep.
 const MEAN_OUTAGE: f64 = 2.0;
 
-/// Runs the sweep under the Fig.-11 rates (`μ = 2`, `λ = 4`).
+/// Runs the sweep under the Fig.-11 rates (`μ = 2`, `λ = 4`) for the
+/// registry's `dp_greedy` solver.
 ///
 /// `fault_seed` derives every grid point's [`FaultPlan`]; a fixed seed
 /// makes the whole table reproducible.
 pub fn run(config: &WorkloadConfig, fault_seed: u64) -> ChaosExp {
+    run_with(
+        find("dp_greedy").expect("dp_greedy is registered"),
+        config,
+        fault_seed,
+    )
+}
+
+/// Runs the sweep for any generically replayable solver (see
+/// [`mcs_sim::fleet::chaos_solution`]).
+///
+/// # Panics
+///
+/// Panics if the solver's solutions cannot be replayed generically
+/// (windowed/multi slicing, aggregate-only online policies).
+pub fn run_with(solver: &dyn CachingSolver, config: &WorkloadConfig, fault_seed: u64) -> ChaosExp {
     let seq = generate(config);
     let horizon = seq.horizon();
 
@@ -91,7 +107,7 @@ pub fn run(config: &WorkloadConfig, fault_seed: u64) -> ChaosExp {
 
     let rows = par_map(&grid, |&(fault_rate, theta, alpha)| {
         let model = CostModel::new(2.0, 4.0, alpha).expect("valid model");
-        let report = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(theta));
+        let ctx = RunContext::new(model).with_theta(theta);
         // One plan per grid point, derived from the sweep seed and the
         // point's coordinates so rows don't share crash times.
         let plan = FaultPlan::random(
@@ -105,7 +121,8 @@ pub fn run(config: &WorkloadConfig, fault_seed: u64) -> ChaosExp {
             MEAN_OUTAGE,
             fault_rate, // transfer failures injected at the crash rate
         );
-        let chaos = chaos_dp_greedy(&seq, &report, &model, &plan);
+        let chaos =
+            chaos_solver(&seq, solver, &ctx, &plan).expect("solver must be generically replayable");
         ChaosRow {
             fault_rate,
             theta,

@@ -16,9 +16,9 @@
 use crate::par::par_map;
 use mcs_model::rng::Rng;
 
-use dp_greedy::baselines::optimal_non_packing;
-use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
+use dp_greedy::two_phase::DpGreedyConfig;
 use dp_greedy::windowed::{dp_greedy_windowed, WindowedConfig};
+use mcs_engine::{find, CachingSolver, RunContext};
 use mcs_model::{CostModel, RequestSeq, RequestSeqBuilder};
 
 use crate::table::{fmt_f, Table};
@@ -74,8 +74,23 @@ pub fn drift_workload(n: usize, drifting: bool, seed: u64) -> (RequestSeq, f64) 
     (seq, boundary)
 }
 
-/// Runs the sweep.
+/// Runs the sweep with the registry's `dp_greedy` as the global packer
+/// and `optimal` as the non-packing yardstick.
 pub fn run(seed: u64) -> DriftExp {
+    run_with(
+        find("dp_greedy").expect("dp_greedy is registered"),
+        find("optimal").expect("optimal is registered"),
+        seed,
+    )
+}
+
+/// Runs the sweep with any whole-sequence solver as the `global` column
+/// and any baseline as the `optimal` column. The windowed column always
+/// re-runs DP_Greedy per phase-boundary window (the drift-adaptive
+/// variant under test); it is pinned to the workload's phase boundary,
+/// which the registry's fixed quarter-horizon `windowed` solver cannot
+/// express.
+pub fn run_with(global: &dyn CachingSolver, optimal: &dyn CachingSolver, seed: u64) -> DriftExp {
     let alphas = [0.3, 0.5, 0.8];
     let mut window = 0.0;
     let mut rows = Vec::new();
@@ -84,22 +99,20 @@ pub fn run(seed: u64) -> DriftExp {
         window = boundary;
         let batch: Vec<DriftRow> = par_map(&alphas, |&alpha| {
             let model = CostModel::new(2.0, 4.0, alpha).expect("valid");
-            let cfg = DpGreedyConfig::new(model).with_theta(0.3);
-            let global = dp_greedy(&seq, &cfg);
+            let ctx = RunContext::new(model).with_theta(0.3);
             let windowed = dp_greedy_windowed(
                 &seq,
                 &WindowedConfig {
-                    inner: cfg,
+                    inner: DpGreedyConfig::new(model).with_theta(0.3),
                     window: boundary,
                 },
             );
-            let opt = optimal_non_packing(&seq, &model);
             DriftRow {
                 alpha,
                 drifting,
-                global: global.ave_cost(),
+                global: global.solve(&seq, &ctx).ave_cost(),
                 windowed: windowed.ave_cost(),
-                optimal: opt.ave_cost(),
+                optimal: optimal.solve(&seq, &ctx).ave_cost(),
             }
         });
         rows.extend(batch);

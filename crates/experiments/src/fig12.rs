@@ -9,9 +9,8 @@
 
 use crate::par::par_map;
 
-use dp_greedy::baselines::optimal_non_packing;
-use dp_greedy::ledger::dp_greedy_ledger;
-use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
+use mcs_engine::{find, CachingSolver, RunContext};
+use mcs_model::defaults::{DEFAULT_ALPHA, DEFAULT_THETA, RATE_SUM};
 use mcs_model::CostModelBuilder;
 use mcs_trace::workload::{generate, WorkloadConfig};
 
@@ -55,30 +54,46 @@ pub fn default_rhos() -> Vec<f64> {
     v
 }
 
-/// Runs the sweep (points in parallel).
+/// Runs the sweep with the paper's two contenders (DP_Greedy against the
+/// non-packing Optimal), resolved from the engine registry.
 pub fn run(config: &WorkloadConfig, rhos: &[f64]) -> Fig12 {
+    let solver = find("dp_greedy").expect("dp_greedy is registered");
+    let baseline = find("optimal").expect("optimal is registered");
+    run_with(solver, baseline, config, rhos)
+}
+
+/// Runs the sweep for any (solver, baseline) pair behind the engine seam
+/// (points in parallel). The `dp_greedy`-named columns report `solver`;
+/// the `optimal` column reports `baseline`.
+pub fn run_with(
+    solver: &dyn CachingSolver,
+    baseline: &dyn CachingSolver,
+    config: &WorkloadConfig,
+    rhos: &[f64],
+) -> Fig12 {
     let seq = generate(config);
     let rows: Vec<Fig12Row> = par_map(rhos, |&rho| {
         let model = CostModelBuilder::new()
-            .from_rho(rho, 6.0)
-            .alpha(0.8)
+            .from_rho(rho, RATE_SUM)
+            .alpha(DEFAULT_ALPHA)
             .build()
             .expect("valid model");
+        let ctx = RunContext::new(model).with_theta(DEFAULT_THETA);
         let t0 = std::time::Instant::now();
-        let dpg = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.3));
+        let sol = solver.solve(&seq, &ctx);
         let runtime_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let opt = optimal_non_packing(&seq, &model);
-        let breakdown = dp_greedy_ledger(&dpg, &model).breakdown();
-        let per_access = if dpg.total_accesses == 0 {
+        let opt = baseline.solve(&seq, &ctx);
+        let breakdown = sol.ledger().breakdown();
+        let per_access = if sol.total_accesses == 0 {
             0.0
         } else {
-            1.0 / dpg.total_accesses as f64
+            1.0 / sol.total_accesses as f64
         };
         Fig12Row {
             rho,
             mu: model.mu(),
             lambda: model.lambda(),
-            dp_greedy: dpg.ave_cost(),
+            dp_greedy: sol.ave_cost(),
             optimal: opt.ave_cost(),
             dpg_cache: breakdown.cache * per_access,
             dpg_transfer: breakdown.transfer * per_access,

@@ -13,10 +13,15 @@
 //! | [`ratio_exp`]| Thm. 1  | empirical `C_DPG/C*` against the `2/α` bound |
 //! | [`online_exp`]| E10    | competitive ratios of the on-line policies |
 //! | [`chaos_exp`]| —       | robustness: degradation under injected faults |
+//! | [`solver_sweep`]| —    | every registered engine solver on one workload |
 //!
 //! All sweeps are deterministic (seeded workloads) and parallelised with
-//! the in-tree [`par`] helper where points are independent. The `figures`
-//! binary drives them from the command line.
+//! the shared [`par`] helper (now hosted by `mcs_model::par`) where
+//! points are independent. The `figures` binary drives them from the
+//! command line. The whole-sequence runners (`fig12`, `drift_exp`,
+//! `capacity_exp`, `chaos_exp`) resolve their algorithms from the
+//! `mcs-engine` registry and expose `run_with(&dyn CachingSolver, ...)`
+//! seams, so any registered solver can be swept without new runner code.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +41,7 @@ pub mod online_exp;
 pub mod par;
 pub mod ratio_exp;
 pub mod replication;
+pub mod solver_sweep;
 pub mod table;
 
 pub use table::Table;
@@ -43,8 +49,9 @@ pub use table::Table;
 use mcs_trace::workload::WorkloadConfig;
 
 /// The default workload seed used by every figure (kept stable so
-/// `EXPERIMENTS.md` numbers are reproducible).
-pub const DEFAULT_SEED: u64 = 20190923; // CLUSTER 2019 conference date.
+/// `EXPERIMENTS.md` numbers are reproducible; equals
+/// [`mcs_model::defaults::DEFAULT_SEED`]).
+pub const DEFAULT_SEED: u64 = mcs_model::defaults::DEFAULT_SEED; // CLUSTER 2019 conference date.
 
 /// The shared paper-like workload configuration.
 pub fn paper_workload(seed: u64) -> WorkloadConfig {

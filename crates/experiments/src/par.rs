@@ -1,68 +1,6 @@
-//! Minimal data parallelism on `std::thread::scope`.
-//!
-//! Replaces the rayon `par_iter().map(..).collect()` pattern the
-//! experiment runners used (rayon is unavailable in the no-network
-//! build). Work is split into contiguous chunks, one scoped thread per
-//! chunk, and results land in their input positions — so output order,
-//! and therefore every experiment table, is identical to a sequential
-//! run.
+//! Re-export shim: the data-parallel map now lives in
+//! [`mcs_model::par`], at the bottom of the dependency graph, so the
+//! bench harness and `mcs-offline`'s cross-validation can share it.
+//! Experiment runners keep importing `crate::par` unchanged.
 
-/// Maps `f` over `items` in parallel, preserving order.
-///
-/// Spawns at most `available_parallelism()` scoped threads; falls back to
-/// a plain sequential map for tiny inputs.
-pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
-    let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|s| {
-        for (slots, chunk_items) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            let f = &f;
-            s.spawn(move || {
-                for (slot, item) in slots.iter_mut().zip(chunk_items) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|o| o.expect("every slot filled by its chunk's thread"))
-        .collect()
-}
-
-/// [`par_map`] over the index range `0..n`.
-pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
-    let idx: Vec<usize> = (0..n).collect();
-    par_map(&idx, |&i| f(i))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let xs: Vec<u64> = (0..1000).collect();
-        let ys = par_map(&xs, |&x| x * 2);
-        assert_eq!(ys, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn handles_empty_and_single() {
-        let none: Vec<u32> = vec![];
-        assert!(par_map(&none, |&x| x).is_empty());
-        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn range_variant_matches() {
-        assert_eq!(par_map_range(5, |i| i * i), vec![0, 1, 4, 9, 16]);
-    }
-}
+pub use mcs_model::par::{par_map, par_map_range};

@@ -1,0 +1,167 @@
+//! Registry sweep — every registered solver on one workload.
+//!
+//! The engine registry makes "run everything and compare" a one-liner;
+//! this module is that one-liner, plus the table/TSV renderings the CI
+//! registry-smoke job diffs against `results/registry_expected.tsv`.
+//! Solvers whose [`mcs_engine::CachingSolver::request_limit`] is below
+//! the workload size are skipped (and reported as skipped), so the sweep
+//! is safe on arbitrarily large workloads.
+
+use mcs_engine::{solvers, RunContext, Solution};
+use mcs_model::RequestSeq;
+
+use crate::table::{fmt_f, Table};
+
+/// One solver's measurement.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Registry name.
+    pub algo: String,
+    /// `"offline"` / `"online"`.
+    pub kind: String,
+    /// The paper's headline metric.
+    pub ave_cost: f64,
+    /// Total cost.
+    pub total_cost: f64,
+    /// `Σ|d_i|`.
+    pub total_accesses: usize,
+    /// `|ledger total − total_cost|` — 0 up to float associativity.
+    pub reconciliation_gap: f64,
+    /// Wall-clock milliseconds of the solve.
+    pub runtime_ms: f64,
+}
+
+/// Output of the registry sweep.
+#[derive(Debug, Clone)]
+pub struct SolverSweep {
+    /// One row per solver that ran, in registry order.
+    pub rows: Vec<SweepRow>,
+    /// Solvers skipped because the workload exceeds their request limit.
+    pub skipped: Vec<String>,
+}
+
+/// Runs every registered solver on `seq` under `ctx`.
+pub fn run(seq: &RequestSeq, ctx: &RunContext) -> SolverSweep {
+    let mut rows = Vec::new();
+    let mut skipped = Vec::new();
+    for solver in solvers() {
+        if solver
+            .request_limit()
+            .is_some_and(|limit| seq.requests().len() > limit)
+        {
+            skipped.push(solver.name().to_string());
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let sol: Solution = solver.solve(seq, ctx);
+        let runtime_ms = t0.elapsed().as_secs_f64() * 1e3;
+        rows.push(SweepRow {
+            algo: solver.name().to_string(),
+            kind: solver.kind().label().to_string(),
+            ave_cost: sol.ave_cost(),
+            total_cost: sol.total_cost,
+            total_accesses: sol.total_accesses,
+            reconciliation_gap: sol.reconciliation_gap(),
+            runtime_ms,
+        });
+    }
+    SolverSweep { rows, skipped }
+}
+
+/// The sweep on the Section V-C running example — the fixture the CI
+/// registry-smoke job pins (`results/registry_expected.tsv`).
+pub fn paper_example() -> SolverSweep {
+    run(
+        &dp_greedy::paper_example::paper_sequence(),
+        &RunContext::paper_example(),
+    )
+}
+
+impl SolverSweep {
+    /// Renders the sweep table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Registry sweep — every solver on one workload",
+            &["algo", "kind", "ave_cost", "total", "accesses", "gap", "ms"],
+        );
+        for r in &self.rows {
+            t.push(vec![
+                r.algo.clone(),
+                r.kind.clone(),
+                fmt_f(r.ave_cost),
+                fmt_f(r.total_cost),
+                r.total_accesses.to_string(),
+                format!("{:.1e}", r.reconciliation_gap),
+                fmt_f(r.runtime_ms),
+            ]);
+        }
+        for s in &self.skipped {
+            t.push(vec![
+                s.clone(),
+                "-".into(),
+                "skipped".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+        t
+    }
+
+    /// Stable TSV (`algo<TAB>ave_cost` at 6 decimals) for the CI
+    /// registry-smoke diff. Skipped solvers are omitted.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("algo\tave_cost\n");
+        for r in &self.rows {
+            out.push_str(&format!("{}\t{:.6}\n", r.algo, r.ave_cost));
+        }
+        out
+    }
+}
+
+mcs_model::impl_to_json!(SweepRow {
+    algo,
+    kind,
+    ave_cost,
+    total_cost,
+    total_accesses,
+    reconciliation_gap,
+    runtime_ms
+});
+mcs_model::impl_to_json!(SolverSweep { rows, skipped });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_sweep_covers_the_whole_registry() {
+        let sweep = paper_example();
+        assert_eq!(
+            sweep.rows.len() + sweep.skipped.len(),
+            mcs_engine::solvers().len()
+        );
+        // The 7-request example is under every solver's limit.
+        assert!(sweep.skipped.is_empty());
+        let dpg = sweep.rows.iter().find(|r| r.algo == "dp_greedy").unwrap();
+        assert!((dpg.total_cost - 14.96).abs() < 1e-9);
+        for r in &sweep.rows {
+            assert!(r.reconciliation_gap < 1e-9, "{} gap", r.algo);
+        }
+    }
+
+    #[test]
+    fn tsv_is_deterministic_and_matches_registry_order() {
+        let a = paper_example().to_tsv();
+        let b = paper_example().to_tsv();
+        assert_eq!(a, b);
+        let names: Vec<&str> = a
+            .lines()
+            .skip(1)
+            .map(|l| l.split('\t').next().unwrap())
+            .collect();
+        let expected: Vec<&str> = mcs_engine::solvers().iter().map(|s| s.name()).collect();
+        assert_eq!(names, expected);
+    }
+}

@@ -28,12 +28,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cost;
+pub mod defaults;
 pub mod diagram;
 pub mod error;
 pub mod fault;
 pub mod hetero;
 pub mod ids;
 pub mod json;
+pub mod par;
 mod proptests;
 pub mod request;
 pub mod rng;

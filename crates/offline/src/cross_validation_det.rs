@@ -1,0 +1,85 @@
+//! Deterministic, always-on cross-validation of the exact solvers.
+//!
+//! The full property suite lives in `cross_validation` behind the
+//! off-by-default `proptest` feature (the no-network build carries no
+//! proptest). This module keeps a seeded slice of the same validation
+//! matrix in the default `cargo test` run, fanned out over the instance
+//! grid with the shared [`mcs_model::par`] helper:
+//!
+//! * `optimal` (covering DP) == `exhaustive` == `statespace`
+//! * emitted schedules are feasible and re-account to their costs
+//! * `optimal <= greedy <= 2·optimal` (the paper's Eq. 7–8)
+
+use crate::exhaustive::exhaustive_optimal;
+use crate::statespace::statespace_optimal;
+use crate::{greedy::greedy, optimal::optimal};
+use mcs_model::par::par_map;
+use mcs_model::request::SingleItemTrace;
+use mcs_model::rng::Rng;
+use mcs_model::{approx_eq, approx_le, CostModel};
+
+fn random_trace(rng: &mut Rng) -> SingleItemTrace {
+    let m = rng.gen_range(1u32..=4);
+    let n = rng.gen_range(0usize..=9);
+    let mut ticks: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..=60)).collect();
+    ticks.sort_unstable();
+    ticks.dedup();
+    let pairs: Vec<(f64, u32)> = ticks
+        .iter()
+        .map(|&t| (t as f64 / 10.0, rng.gen_range(0u32..m)))
+        .collect();
+    SingleItemTrace::from_pairs(m, &pairs)
+}
+
+fn random_model(rng: &mut Rng) -> CostModel {
+    CostModel::new(
+        rng.gen_range(1u32..=50) as f64 / 10.0,
+        rng.gen_range(1u32..=50) as f64 / 10.0,
+        rng.gen_range(1u32..=10) as f64 / 10.0,
+    )
+    .expect("grid model is valid")
+}
+
+#[test]
+fn exact_solvers_agree_and_greedy_is_2_competitive() {
+    let cases: Vec<u64> = (0..96).collect();
+    let failures: Vec<String> = par_map(&cases, |&case| {
+        let mut rng = Rng::seed_from_u64(0xC0FFEE ^ (case << 8));
+        let trace = random_trace(&mut rng);
+        let model = random_model(&mut rng);
+
+        let out = optimal(&trace, &model);
+        let ex = exhaustive_optimal(&trace, &model);
+        let ss = statespace_optimal(&trace, &model);
+        let g = greedy(&trace, &model);
+
+        let mut errs = Vec::new();
+        if !approx_eq(out.cost, ex) {
+            errs.push(format!("case {case}: dp {} != exhaustive {ex}", out.cost));
+        }
+        if !approx_eq(out.cost, ss) {
+            errs.push(format!("case {case}: dp {} != statespace {ss}", out.cost));
+        }
+        if out.schedule.validate(&trace).is_err() {
+            errs.push(format!("case {case}: optimal schedule infeasible"));
+        }
+        let replayed = out.schedule.cost(model.mu(), model.lambda()).total;
+        if !approx_eq(replayed, out.cost) {
+            errs.push(format!(
+                "case {case}: replayed {replayed} != reported {}",
+                out.cost
+            ));
+        }
+        if !approx_le(out.cost, g.cost) || !approx_le(g.cost, 2.0 * out.cost) {
+            errs.push(format!(
+                "case {case}: greedy {} outside [1, 2]x optimal {}",
+                g.cost, out.cost
+            ));
+        }
+        errs.join("; ")
+    })
+    .into_iter()
+    .filter(|e| !e.is_empty())
+    .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}

@@ -63,3 +63,6 @@ pub use single_copy::{single_copy_optimal, SingleCopyOutcome};
 
 #[cfg(all(test, feature = "proptest"))]
 mod cross_validation;
+
+#[cfg(test)]
+mod cross_validation_det;

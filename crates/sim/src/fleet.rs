@@ -9,8 +9,11 @@
 //! through unchanged but reported separately.
 
 use dp_greedy::two_phase::DpGreedyReport;
+use mcs_engine::{CachingSolver, RunContext, Solution, SolutionPart};
 use mcs_model::fault::FaultPlan;
-use mcs_model::{CostModel, RequestSeq};
+use mcs_model::request::SingleItemTrace;
+use mcs_model::{CostModel, ItemId, RequestSeq};
+use mcs_obs::Subject;
 
 use crate::faults::chaos_replay;
 use crate::metrics::FaultReport;
@@ -205,6 +208,113 @@ pub fn chaos_dp_greedy(
     }
 }
 
+/// Solvers whose engine [`Solution`]s the generic chaos replay supports:
+/// every `Schedule` part must cover its subject's *full* trace (pair
+/// subjects over the pair's co- or union-requests, item subjects over
+/// the item's trace). The windowed and multi-item solvers slice or
+/// regroup traces, and the aggregate-only online solvers emit no
+/// schedules at all — none of them can be replayed generically.
+fn solution_is_replayable(solution: &Solution) -> bool {
+    !matches!(solution.algo, "windowed" | "multi")
+        && solution
+            .parts
+            .iter()
+            .any(|p| matches!(p, SolutionPart::Schedule { .. }))
+}
+
+fn part_trace(seq: &RequestSeq, algo: &str, subject: Subject) -> SingleItemTrace {
+    match subject {
+        // `package_served` packs over the union of the pair's requests;
+        // DP_Greedy's package DP runs over strict co-requests.
+        Subject::Pair(a, b) if algo == "package_served" => seq.union_trace(ItemId(a), ItemId(b)),
+        Subject::Pair(a, b) => seq.package_trace(ItemId(a), ItemId(b)),
+        Subject::Item(i) => seq.item_trace(ItemId(i)),
+    }
+}
+
+/// Replays every explicit schedule of an engine [`Solution`] through the
+/// degraded engine under `plan` — the solver-generic successor of
+/// [`chaos_dp_greedy`], which it reproduces bit-for-bit on `dp_greedy`
+/// solutions. Each schedule part is costed at its own recorded rates
+/// (`alpha` is carried over from `model` but unused by the replay).
+/// `Serve` and `Aggregate` parts carry no explicit schedule and are
+/// excluded from both sides of the ratio.
+///
+/// Returns `None` for solutions the generic replay cannot express (see
+/// `solution_is_replayable`): windowed/multi-item slicing, or purely
+/// aggregate online solvers.
+pub fn chaos_solution(
+    seq: &RequestSeq,
+    solution: &Solution,
+    model: &CostModel,
+    plan: &FaultPlan,
+) -> Option<FleetChaosReport> {
+    if !solution_is_replayable(solution) {
+        return None;
+    }
+    let mut commodities = Vec::new();
+    let mut fault_free_cost = 0.0;
+    let mut degraded_cost = 0.0;
+    let mut fault = FaultReport::new(0);
+
+    for part in &solution.parts {
+        let SolutionPart::Schedule {
+            subject,
+            schedule,
+            mu,
+            lambda,
+            ..
+        } = part
+        else {
+            continue;
+        };
+        let trace = part_trace(seq, solution.algo, *subject);
+        let part_model = CostModel::new(*mu, *lambda, model.alpha())
+            .expect("schedule parts carry valid positive rates");
+        let out = chaos_replay(schedule, &trace, plan, &part_model);
+        let label = match subject {
+            Subject::Pair(a, b) => format!("package({}, {})", ItemId(*a), ItemId(*b)),
+            Subject::Item(i) => format!("item {}", ItemId(*i)),
+        };
+        commodities.push(CommodityChaos {
+            label,
+            fault_free: out.fault_free_cost,
+            degraded: out.degraded_cost,
+            degradation_ratio: out.degradation_ratio,
+        });
+        fault_free_cost += out.fault_free_cost;
+        degraded_cost += out.degraded_cost;
+        fault.absorb(&out.report.fault);
+    }
+
+    let degradation_ratio = if fault_free_cost > 0.0 {
+        degraded_cost / fault_free_cost
+    } else {
+        1.0
+    };
+    fault.cost_inflation = degradation_ratio;
+    Some(FleetChaosReport {
+        commodities,
+        fault_free_cost,
+        degraded_cost,
+        degradation_ratio,
+        fault,
+    })
+}
+
+/// Convenience seam for the experiment runners: solves `seq` with any
+/// registered solver and pushes the resulting schedules through
+/// [`chaos_solution`]. Returns `None` when the solver's solutions are
+/// not generically replayable.
+pub fn chaos_solver(
+    seq: &RequestSeq,
+    solver: &dyn CachingSolver,
+    ctx: &RunContext,
+    plan: &FaultPlan,
+) -> Option<FleetChaosReport> {
+    chaos_solution(seq, &solver.solve(seq, ctx), &ctx.model, plan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +393,54 @@ mod tests {
         assert!(chaos.fault.intervals_skipped > 0);
         assert_eq!(chaos.fault.cost_inflation, chaos.degradation_ratio);
         assert!(chaos.fault.requests_total >= chaos.fault.requests_degraded);
+    }
+
+    #[test]
+    fn chaos_solution_reproduces_chaos_dp_greedy_bit_for_bit() {
+        let seq = paper_sequence();
+        let model = CostModel::paper_example();
+        let report = dp_greedy(&seq, &DpGreedyConfig::new(model).with_theta(0.4));
+        let plan = FaultPlan::random(11, seq.servers(), seq.horizon(), 0.2, 1.0, 0.2);
+        let legacy = chaos_dp_greedy(&seq, &report, &model, &plan);
+
+        let ctx = RunContext::new(model).with_theta(0.4);
+        let solver = mcs_engine::find("dp_greedy").unwrap();
+        let generic = chaos_solver(&seq, solver, &ctx, &plan).expect("dp_greedy is replayable");
+
+        assert_eq!(
+            generic.degraded_cost.to_bits(),
+            legacy.degraded_cost.to_bits()
+        );
+        assert_eq!(
+            generic.fault_free_cost.to_bits(),
+            legacy.fault_free_cost.to_bits()
+        );
+        assert_eq!(generic.commodities.len(), legacy.commodities.len());
+        assert_eq!(generic.fault.copies_lost, legacy.fault.copies_lost);
+        assert_eq!(generic.fault.retries, legacy.fault.retries);
+    }
+
+    #[test]
+    fn chaos_solution_covers_the_offline_registry_and_skips_the_rest() {
+        let seq = paper_sequence();
+        let model = CostModel::paper_example();
+        let ctx = RunContext::new(model).with_theta(0.4);
+        let plan = FaultPlan::none();
+        for solver in mcs_engine::solvers() {
+            let sol = solver.solve(&seq, &ctx);
+            let out = chaos_solution(&seq, &sol, &model, &plan);
+            match solver.name() {
+                "windowed" | "multi" | "online_dpg" | "resilient" => {
+                    assert!(out.is_none(), "{} should be unsupported", solver.name());
+                }
+                _ => {
+                    let fleet = out
+                        .unwrap_or_else(|| panic!("{} should replay generically", solver.name()));
+                    assert_eq!(fleet.degradation_ratio, 1.0, "{}", solver.name());
+                    assert!(fleet.fault_free_cost > 0.0, "{}", solver.name());
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub mod metrics;
 pub mod replay;
 
 pub use faults::{chaos_replay, degraded_replay, ChaosOutcome, DegradedReport};
-pub use fleet::{chaos_dp_greedy, replay_dp_greedy, CommodityChaos, FleetChaosReport, FleetReport};
+pub use fleet::{
+    chaos_dp_greedy, chaos_solution, chaos_solver, replay_dp_greedy, CommodityChaos,
+    FleetChaosReport, FleetReport,
+};
 pub use metrics::{FaultReport, ReplayMetrics};
 pub use replay::{replay, ReplayError, ReplayReport};

@@ -1,0 +1,139 @@
+//! Shared CLI plumbing: error taxonomy, usage text, flag parsing, and the
+//! `--metrics` summary printer. Subcommand logic lives in [`crate::commands`].
+
+use dp_greedy_suite::model::defaults::{DEFAULT_ALPHA, DEFAULT_LAMBDA, DEFAULT_MU, DEFAULT_THETA};
+use dp_greedy_suite::prelude::CostModel;
+
+/// A CLI failure, split by whose fault it is: [`CliError::Usage`] means
+/// the invocation itself was malformed (exit 2), [`CliError::Runtime`]
+/// means a well-formed invocation failed while running (exit 1).
+pub enum CliError {
+    /// Malformed invocation — exit 2.
+    Usage(String),
+    /// Well-formed invocation that failed while running — exit 1.
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+pub fn print_usage() {
+    eprintln!(
+        "usage:\n  dpg generate --out FILE [--seed N] [--steps N] [--taxis N]\n  \
+         dpg stats FILE\n  \
+         dpg solve FILE [--algo dpg|optimal|greedy|package|multi] \
+         [--mu X] [--lambda X] [--alpha X] [--theta X]\n  \
+         dpg algos [--json]\n  \
+         dpg run --algo NAME [FILE] [--mu X] [--lambda X] [--alpha X] [--theta X] [--json]\n  \
+         dpg svg FILE --out FILE.svg [--item N] [--mu X] [--lambda X]\n  \
+         dpg explain FILE [--a N --b N] [--mu X] [--lambda X] [--alpha X]\n  \
+         dpg trace solve FILE --out FILE.jsonl [--algo NAME] \
+         [--mu X] [--lambda X] [--alpha X] [--theta X]\n  \
+         dpg trace example --out FILE.jsonl\n  \
+         dpg chaos [--seed N] [--fault-rate X] [--mean-outage X] [--steps N] \
+         [--mu X] [--lambda X] [--alpha X] [--theta X] [--sweep]\n  \
+         dpg example\n  \
+         dpg version\n\
+         `dpg algos` lists the solver registry NAMEs; every subcommand also \
+         accepts --metrics (print the obs summary)"
+    );
+}
+
+/// Rejects flags the subcommand does not know. `value_flags` consume the
+/// following token; `bool_flags` stand alone. Positional arguments are
+/// ignored.
+pub fn check_flags(
+    cmd: &str,
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(), CliError> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if value_flags.contains(&a) {
+                i += 2;
+                continue;
+            }
+            if bool_flags.contains(&a) {
+                i += 1;
+                continue;
+            }
+            return Err(CliError::Usage(format!("unknown flag {a} for `dpg {cmd}`")));
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// First positional argument (the trace file). Usage error if absent or
+/// if a flag landed where the file was expected.
+pub fn trace_arg<'a>(cmd: &str, args: &'a [String]) -> Result<&'a String, CliError> {
+    match args.first() {
+        Some(a) if !a.starts_with("--") => Ok(a),
+        _ => Err(CliError::Usage(format!("{cmd} needs a trace file"))),
+    }
+}
+
+pub fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+) -> Option<Result<T, CliError>> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?
+            .parse::<T>()
+            .map_err(|_| CliError::Usage(format!("bad value for {flag}")))
+    })
+}
+
+/// Parses the shared `--mu/--lambda/--alpha/--theta` quartet, falling back
+/// to the workspace defaults ([`dp_greedy_suite::model::defaults`]).
+/// Returns the validated [`CostModel`] and θ.
+pub fn model_flags(args: &[String]) -> Result<(CostModel, f64), CliError> {
+    let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(DEFAULT_MU);
+    let lambda: f64 = parse_flag(args, "--lambda")
+        .transpose()?
+        .unwrap_or(DEFAULT_LAMBDA);
+    let alpha: f64 = parse_flag(args, "--alpha")
+        .transpose()?
+        .unwrap_or(DEFAULT_ALPHA);
+    let theta: f64 = parse_flag(args, "--theta")
+        .transpose()?
+        .unwrap_or(DEFAULT_THETA);
+    let model = CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok((model, theta))
+}
+
+/// Prints the `--metrics` summary: counters, then span/histogram stats,
+/// in deterministic name order.
+pub fn print_metrics() {
+    let s = dp_greedy_suite::obs::snapshot();
+    println!(
+        "\n-- metrics ({} counters, {} spans) --",
+        s.counters.len(),
+        s.hists.len()
+    );
+    for (name, v) in &s.counters {
+        println!("  {name:<28} {v}");
+    }
+    for (name, h) in &s.hists {
+        println!(
+            "  {name:<28} n={} total={:.6}s mean={:.6}s max={:.6}s",
+            h.count,
+            h.sum,
+            h.mean(),
+            h.max
+        );
+    }
+}

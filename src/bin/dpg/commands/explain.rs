@@ -1,0 +1,39 @@
+//! `dpg explain` — narrate the three-arm decision for one item pair.
+
+use crate::cli::{check_flags, parse_flag, trace_arg, CliError};
+use dp_greedy_suite::model::defaults::{DEFAULT_ALPHA, DEFAULT_LAMBDA, DEFAULT_MU};
+use dp_greedy_suite::prelude::*;
+use dp_greedy_suite::trace::io::TraceFile;
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    check_flags(
+        "explain",
+        args,
+        &["--a", "--b", "--mu", "--lambda", "--alpha"],
+        &[],
+    )?;
+    let path = trace_arg("explain", args)?;
+    let a: u32 = parse_flag(args, "--a").transpose()?.unwrap_or(0);
+    let b: u32 = parse_flag(args, "--b").transpose()?.unwrap_or(1);
+    let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(DEFAULT_MU);
+    let lambda: f64 = parse_flag(args, "--lambda")
+        .transpose()?
+        .unwrap_or(DEFAULT_LAMBDA);
+    let alpha: f64 = parse_flag(args, "--alpha")
+        .transpose()?
+        .unwrap_or(DEFAULT_ALPHA);
+
+    let file = TraceFile::load(path).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let model = CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
+    let config = DpGreedyConfig::new(model);
+    print!(
+        "{}",
+        dp_greedy_suite::dp_greedy::explain::explain_pair_text(
+            &file.sequence,
+            ItemId(a),
+            ItemId(b),
+            &config
+        )
+    );
+    Ok(())
+}

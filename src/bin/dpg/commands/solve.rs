@@ -1,0 +1,101 @@
+//! `dpg solve` — the legacy detailed solve report. Each algorithm keeps
+//! its bespoke per-pair/per-group output (which the generic registry
+//! `Solution` deliberately does not carry); for uniform, registry-driven
+//! runs use `dpg run --algo`.
+
+use crate::cli::{check_flags, model_flags, trace_arg, CliError};
+use dp_greedy_suite::dp_greedy::multi_item::{dp_greedy_multi, MultiItemConfig};
+use dp_greedy_suite::prelude::*;
+use dp_greedy_suite::trace::io::TraceFile;
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    check_flags(
+        "solve",
+        args,
+        &["--algo", "--mu", "--lambda", "--alpha", "--theta"],
+        &[],
+    )?;
+    let path = trace_arg("solve", args)?;
+    let file = TraceFile::load(path).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let seq = &file.sequence;
+
+    let (model, theta) = model_flags(args)?;
+    let algo: String = crate::cli::parse_flag(args, "--algo")
+        .transpose()?
+        .unwrap_or_else(|| "dpg".to_string());
+
+    println!(
+        "μ={} λ={} α={} θ={theta}  ({} requests)",
+        model.mu(),
+        model.lambda(),
+        model.alpha(),
+        seq.len()
+    );
+    match algo.as_str() {
+        "dpg" => {
+            let r = dp_greedy(seq, &DpGreedyConfig::new(model).with_theta(theta));
+            println!("packed pairs: {:?}", r.packing.pairs);
+            for p in &r.pairs {
+                println!(
+                    "  ({}, {}) J={:.3}: C12={:.2} C1'={:.2} C2'={:.2} (ave {:.4})",
+                    p.a,
+                    p.b,
+                    p.jaccard,
+                    p.package_cost,
+                    p.a_singleton_cost,
+                    p.b_singleton_cost,
+                    p.ave_cost()
+                );
+            }
+            println!(
+                "DP_Greedy total={:.2} ave_cost={:.4}",
+                r.total_cost,
+                r.ave_cost()
+            );
+        }
+        "optimal" => {
+            let r = optimal_non_packing(seq, &model);
+            println!(
+                "Optimal total={:.2} ave_cost={:.4}",
+                r.total_cost,
+                r.ave_cost()
+            );
+        }
+        "greedy" => {
+            let r = greedy_non_packing(seq, &model);
+            println!(
+                "Greedy total={:.2} ave_cost={:.4}",
+                r.total_cost,
+                r.ave_cost()
+            );
+        }
+        "package" => {
+            let r = package_served(seq, &model, theta);
+            println!(
+                "Package_Served total={:.2} ave_cost={:.4}",
+                r.total_cost,
+                r.ave_cost()
+            );
+        }
+        "multi" => {
+            let r = dp_greedy_multi(seq, &MultiItemConfig::new(model).with_theta(theta));
+            for g in &r.groups {
+                let items: Vec<String> = g.items.iter().map(|d| d.to_string()).collect();
+                println!(
+                    "  group [{}]: package={:.2} partial={:.2} ({} group deliveries)",
+                    items.join(", "),
+                    g.package_cost,
+                    g.partial_cost,
+                    g.group_deliveries
+                );
+            }
+            println!(
+                "Multi-item DP_Greedy total={:.2} ave_cost={:.4}",
+                r.total_cost,
+                r.ave_cost()
+            );
+        }
+        other => return Err(CliError::Usage(format!("unknown algorithm {other}"))),
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! `dpg stats` — summarize a trace file (sizes, hot zones, pair spectrum).
+
+use crate::cli::{check_flags, trace_arg, CliError};
+use dp_greedy_suite::trace::io::TraceFile;
+use dp_greedy_suite::trace::stats::{pair_spectrum, TraceStats};
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    check_flags("stats", args, &[], &[])?;
+    let path = trace_arg("stats", args)?;
+    let file = TraceFile::load(path).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let seq = &file.sequence;
+    let st = TraceStats::from_sequence(seq);
+    println!(
+        "{} requests, {} item accesses, {} servers, {} items, horizon t={:.2}",
+        st.requests,
+        st.item_accesses,
+        seq.servers(),
+        seq.items(),
+        st.horizon
+    );
+    if let Some((zone, count)) = st.hottest_zone() {
+        println!(
+            "hottest zone: {zone} with {count} requests; top-10 share {:.1}%",
+            100.0 * st.top_zone_share(10)
+        );
+    }
+    println!("\ntop pairs by Jaccard:");
+    for row in pair_spectrum(seq).iter().take(8) {
+        println!(
+            "  ({}, {})  freq={:<6} J={:.4}",
+            row.a, row.b, row.frequency, row.jaccard
+        );
+    }
+    Ok(())
+}

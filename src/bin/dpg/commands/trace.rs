@@ -1,0 +1,107 @@
+//! `dpg trace` — derive, verify, and export the decision ledger of a run.
+//!
+//! Both modes go through the engine: the registry solver produces a
+//! [`Solution`] and the generic [`Solution::ledger`] derivation replaces
+//! the former per-algorithm ledger builders. Any registered solver name
+//! (or alias) is accepted by `--algo`.
+
+use crate::cli::{check_flags, parse_flag, trace_arg, CliError};
+use dp_greedy_suite::dp_greedy::paper_example;
+use dp_greedy_suite::engine::{find, CachingSolver, RunContext, Solution};
+use dp_greedy_suite::trace::io::TraceFile;
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(sub) = args.first() else {
+        return Err(CliError::Usage(
+            "trace needs a subcommand: solve or example".to_string(),
+        ));
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "solve" => trace_solve(rest),
+        "example" => trace_example(rest),
+        other => Err(CliError::Usage(format!(
+            "unknown trace subcommand {other} (expected solve or example)"
+        ))),
+    }
+}
+
+/// The historical display names kept for the trace summary line.
+fn display_name(solver: &dyn CachingSolver) -> &'static str {
+    match solver.name() {
+        "dp_greedy" => "DP_Greedy",
+        "optimal" => "Optimal",
+        "greedy" => "Greedy",
+        other => other,
+    }
+}
+
+/// Derives `solution`'s ledger, checks it reconciles with the reported
+/// total, writes it to `out`, and prints the cost breakdown.
+fn emit_ledger(solution: &Solution, algo: &str, out: &str) -> Result<(), CliError> {
+    let ledger = solution.ledger();
+    let derived = ledger.total_cost();
+    if (derived - solution.total_cost).abs() > 1e-6 {
+        return Err(CliError::Runtime(format!(
+            "ledger does not reconcile: Σ event.cost = {derived} but {algo} reported {}",
+            solution.total_cost
+        )));
+    }
+    std::fs::write(out, ledger.to_jsonl_string()).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let b = ledger.breakdown();
+    println!(
+        "wrote {out}: {} events, total {:.4} (reconciles with {algo})",
+        ledger.len(),
+        derived
+    );
+    println!(
+        "breakdown: cache {:.4} + transfer {:.4} + package_delivery {:.4}",
+        b.cache, b.transfer, b.package_delivery
+    );
+    Ok(())
+}
+
+fn trace_solve(args: &[String]) -> Result<(), CliError> {
+    check_flags(
+        "trace solve",
+        args,
+        &["--algo", "--mu", "--lambda", "--alpha", "--theta", "--out"],
+        &[],
+    )?;
+    let path = trace_arg("trace solve", args)?;
+    let out: String = parse_flag(args, "--out").ok_or("--out FILE.jsonl is required")??;
+    let (model, theta) = crate::cli::model_flags(args)?;
+    let algo: String = parse_flag(args, "--algo")
+        .transpose()?
+        .unwrap_or_else(|| "dpg".to_string());
+    let Some(solver) = find(&algo) else {
+        return Err(CliError::Usage(format!(
+            "unknown algorithm {algo} for trace (see `dpg algos`)"
+        )));
+    };
+
+    let file = TraceFile::load(path).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let seq = &file.sequence;
+    if let Some(limit) = solver.request_limit() {
+        if seq.requests().len() > limit {
+            return Err(CliError::Runtime(format!(
+                "{} handles at most {limit} requests; this trace has {}",
+                solver.name(),
+                seq.requests().len()
+            )));
+        }
+    }
+    let solution = solver.solve(seq, &RunContext::new(model).with_theta(theta));
+    emit_ledger(&solution, display_name(solver), &out)
+}
+
+fn trace_example(args: &[String]) -> Result<(), CliError> {
+    check_flags("trace example", args, &["--out"], &[])?;
+    let out: String = parse_flag(args, "--out").ok_or("--out FILE.jsonl is required")??;
+    let solver = find("dp_greedy").expect("dp_greedy is registered");
+    let solution = solver.solve(
+        &paper_example::paper_sequence(),
+        &RunContext::paper_example(),
+    );
+    emit_ledger(&solution, display_name(solver), &out)
+}

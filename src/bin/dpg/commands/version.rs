@@ -1,0 +1,15 @@
+//! `dpg version` / `dpg --version` — crate version plus git-independent
+//! build information (everything comes from the Cargo environment, so the
+//! output is identical whether or not the source tree is a checkout).
+
+use crate::cli::CliError;
+
+pub fn run() -> Result<(), CliError> {
+    println!("dpg {}", env!("CARGO_PKG_VERSION"));
+    println!(
+        "{} — DP_Greedy (CLUSTER 2019) reproduction suite",
+        env!("CARGO_PKG_NAME")
+    );
+    println!("offline build: no external dependencies (see DESIGN.md)");
+    Ok(())
+}

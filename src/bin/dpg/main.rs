@@ -1,0 +1,89 @@
+//! `dpg` — command-line front end for the DP_Greedy reproduction.
+//!
+//! ```text
+//! dpg generate --out trace.json [--seed N] [--steps N] [--taxis N]
+//! dpg stats trace.json
+//! dpg solve trace.json [--algo dpg|optimal|greedy|package|multi]
+//!                      [--mu X] [--lambda X] [--alpha X] [--theta X]
+//! dpg algos [--json]
+//! dpg run --algo NAME [trace.json] [--mu X] [--lambda X] [--alpha X] [--theta X] [--json]
+//! dpg trace solve trace.json --out events.jsonl [--algo NAME] [...]
+//! dpg trace example --out events.jsonl
+//! dpg chaos [--seed N] [--fault-rate X] [--sweep]
+//! dpg example
+//! dpg version
+//! ```
+//!
+//! Traces are the JSON format of `mcs_trace::io` (generated here or
+//! imported from elsewhere).
+//!
+//! The binary is one thin dispatch layer per subcommand (see
+//! [`commands`]); everything that solves a whole request sequence goes
+//! through the `mcs-engine` solver registry, so `dpg algos` lists exactly
+//! what `dpg run --algo` and `dpg trace solve --algo` accept.
+//!
+//! Every subcommand additionally accepts `--metrics`, which prints the
+//! `mcs-obs` counter/span summary (phase timings and work counters) after
+//! the command completes. `dpg trace` derives the decision ledger of a
+//! run — one JSON-lines event per cache interval, transfer, and
+//! package-delivery choice — verifies it reconciles with the reported
+//! total cost, and writes it to `--out` (byte-deterministic for a given
+//! input; see the README's "Observability" section for the schema).
+//!
+//! Exit codes follow the usual convention: `0` on success, `1` on a
+//! runtime failure (unreadable trace, I/O error, ledger mismatch), `2` on
+//! a usage error (unknown command, unknown or malformed flag, missing
+//! argument).
+
+mod cli;
+mod commands;
+
+use std::process::ExitCode;
+
+use cli::{print_metrics, print_usage, CliError};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--metrics` is accepted by every subcommand: strip it before
+    // dispatch and print the obs summary after a successful run.
+    let metrics = args.iter().any(|a| a == "--metrics");
+    args.retain(|a| a != "--metrics");
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "generate" => commands::generate::run(rest),
+        "stats" => commands::stats::run(rest),
+        "solve" => commands::solve::run(rest),
+        "algos" => commands::algos::run(rest),
+        "run" => commands::run_algo::run(rest),
+        "svg" => commands::svg::run(rest),
+        "explain" => commands::explain::run(rest),
+        "trace" => commands::trace::run(rest),
+        "chaos" => commands::chaos::run(rest),
+        "example" => commands::example::run(rest),
+        "version" | "--version" | "-V" => commands::version::run(),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            return ExitCode::SUCCESS;
+        }
+        other => Err(CliError::Usage(format!("unknown command {other}"))),
+    };
+    if metrics && result.is_ok() {
+        print_metrics();
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}");
+            print_usage();
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

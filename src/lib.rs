@@ -19,6 +19,8 @@
 //! * [`offline`] — the optimal off-line substrate of \[6\] + baselines
 //! * [`dp_greedy`] — the paper's two-phase algorithm and baselines
 //! * [`online`] — on-line extension (ski-rental family)
+//! * [`engine`] — the solver registry: one `CachingSolver` trait over
+//!   every algorithm, plus the shared `RunContext`/`Solution` types
 //! * [`trace`] — synthetic Shenzhen-like taxi workloads
 //! * [`sim`] — event-driven schedule replay + fault injection
 //! * [`experiments`] — figure/table runners for the evaluation section
@@ -27,6 +29,7 @@
 
 pub use dp_greedy;
 pub use mcs_correlation as correlation;
+pub use mcs_engine as engine;
 pub use mcs_experiments as experiments;
 pub use mcs_model as model;
 pub use mcs_obs as obs;
@@ -42,6 +45,7 @@ pub mod prelude {
     };
     pub use dp_greedy::two_phase::{dp_greedy, dp_greedy_pair, DpGreedyConfig, DpGreedyReport};
     pub use mcs_correlation::{greedy_matching, CoOccurrence, JaccardMatrix, Packing};
+    pub use mcs_engine::{find, solvers, CachingSolver, RunContext, Solution};
     pub use mcs_model::{
         CostModel, CostModelBuilder, ItemId, Request, RequestSeq, RequestSeqBuilder, Schedule,
         ServerId,

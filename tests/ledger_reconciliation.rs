@@ -1,27 +1,27 @@
-//! Property test: on random workloads, every algorithm's decision ledger
-//! reconciles with its reported total cost.
+//! Property test: on random workloads, every registered solver's decision
+//! ledger reconciles with its reported total cost.
 //!
-//! The ledger (`dp_greedy::ledger`) is *derived* from algorithm outputs,
-//! so `Σ event.cost == total_cost` is a structural invariant of those
-//! outputs — intervals priced at `μ·len`, transfers at `λ`, serve events
-//! at the chosen arm's real cost — not a logging convention. This file
-//! fuzzes it across random sequences, cost models, and thresholds for
-//! DP_Greedy, the simple-greedy baseline, and the optimal yardstick.
+//! The ledger is *derived* from a solver's [`Solution`] by the engine's
+//! generic `Solution::ledger()`, so `Σ event.cost == total_cost` is a
+//! structural invariant of those outputs — intervals priced at `μ·len`,
+//! transfers at `λ`, serve events at the chosen arm's real cost — not a
+//! logging convention. This file fuzzes it across random sequences, cost
+//! models, and thresholds for the whole `mcs-engine` registry, so a
+//! newly registered solver is covered automatically.
 
-use dp_greedy::baselines::{greedy_non_packing, optimal_non_packing};
-use dp_greedy::ledger::{dp_greedy_ledger, greedy_ledger, optimal_ledger};
-use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig};
+use dp_greedy_suite::engine::{solvers, RunContext, SolverKind};
+use dp_greedy_suite::model::fault::FaultPlan;
 use mcs_model::rng::Rng;
 use mcs_model::{CostModel, RequestSeq, RequestSeqBuilder};
 
 const TOL: f64 = 1e-9;
 
-/// A random valid sequence: 3–6 servers, 2–6 items, 20–60 requests with
-/// strictly increasing times and 1–2 items each.
-fn random_sequence(rng: &mut Rng) -> RequestSeq {
+/// A random valid sequence: 3–6 servers, 2–6 items, `min_n`–`max_n`
+/// requests with strictly increasing times and 1–2 items each.
+fn random_sequence(rng: &mut Rng, min_n: usize, max_n: usize) -> RequestSeq {
     let servers = rng.gen_range(3u32..=6);
     let items = rng.gen_range(2u32..=6);
-    let n = rng.gen_range(20usize..=60);
+    let n = rng.gen_range(min_n..=max_n);
     let mut b = RequestSeqBuilder::new(servers, items);
     let mut t = 0.0;
     for _ in 0..n {
@@ -48,63 +48,81 @@ fn random_model(rng: &mut Rng) -> CostModel {
 }
 
 #[test]
-fn ledgers_reconcile_with_reports_on_random_workloads() {
+fn every_registered_solver_reconciles_on_random_workloads() {
     let mut rng = Rng::seed_from_u64(0x1ed6e7);
-    for case in 0..40 {
-        let seq = random_sequence(&mut rng);
+    // The tightest request_limit in the registry bounds the workload so
+    // no solver is silently skipped.
+    let cap = solvers()
+        .iter()
+        .filter_map(|s| s.request_limit())
+        .min()
+        .unwrap_or(usize::MAX)
+        .min(60);
+    for case in 0..25 {
+        let seq = random_sequence(&mut rng, 8, cap);
         let model = random_model(&mut rng);
         let theta = rng.gen_f64() * 0.8;
-        let config = DpGreedyConfig::new(model).with_theta(theta);
+        let ctx = RunContext::new(model)
+            .with_theta(theta)
+            .with_fault_plan(FaultPlan::random(
+                case as u64,
+                seq.servers(),
+                seq.horizon(),
+                0.1,
+                1.0,
+                0.1,
+            ));
 
-        let dpg = dp_greedy(&seq, &config);
-        let ledger = dp_greedy_ledger(&dpg, &model);
-        let diff = (ledger.total_cost() - dpg.total_cost).abs();
-        assert!(
-            diff < TOL,
-            "case {case}: dp_greedy ledger {} vs report {} (diff {diff:e})",
-            ledger.total_cost(),
-            dpg.total_cost
-        );
-        // The three-channel breakdown partitions the events completely.
-        let b = ledger.breakdown();
-        assert!(
-            (b.total() - ledger.total_cost()).abs() < TOL,
-            "case {case}: breakdown {} vs ledger {}",
-            b.total(),
-            ledger.total_cost()
-        );
-
-        let opt = optimal_non_packing(&seq, &model);
-        let opt_ledger = optimal_ledger(&seq, &model);
-        assert!(
-            (opt_ledger.total_cost() - opt.total_cost).abs() < TOL,
-            "case {case}: optimal ledger {} vs report {}",
-            opt_ledger.total_cost(),
-            opt.total_cost
-        );
-        // The non-packing baselines never use the package channel.
-        assert!(opt_ledger.breakdown().package_delivery == 0.0);
-
-        let gre = greedy_non_packing(&seq, &model);
-        let gre_ledger = greedy_ledger(&seq, &model);
-        assert!(
-            (gre_ledger.total_cost() - gre.total_cost).abs() < TOL,
-            "case {case}: greedy ledger {} vs report {}",
-            gre_ledger.total_cost(),
-            gre.total_cost
-        );
-        assert!(gre_ledger.breakdown().package_delivery == 0.0);
+        for solver in solvers() {
+            let sol = solver.solve(&seq, &ctx);
+            assert_eq!(sol.algo, solver.name());
+            let ledger = sol.ledger();
+            let diff = (ledger.total_cost() - sol.total_cost).abs();
+            assert!(
+                diff < TOL,
+                "case {case}: {} ledger {} vs report {} (diff {diff:e})",
+                solver.name(),
+                ledger.total_cost(),
+                sol.total_cost
+            );
+            // The three-channel breakdown partitions the events completely.
+            let b = ledger.breakdown();
+            assert!(
+                (b.total() - ledger.total_cost()).abs() < TOL,
+                "case {case}: {} breakdown {} vs ledger {}",
+                solver.name(),
+                b.total(),
+                ledger.total_cost()
+            );
+            // The off-line solvers account every item access of the input.
+            if solver.kind() == SolverKind::Offline {
+                assert_eq!(
+                    sol.total_accesses,
+                    seq.total_item_accesses(),
+                    "case {case}: {}",
+                    solver.name()
+                );
+            }
+            // The non-packing per-item baselines never use the package channel.
+            if matches!(
+                solver.name(),
+                "optimal" | "optimal_fast" | "greedy" | "exhaustive" | "ski_rental" | "resilient"
+            ) {
+                assert_eq!(b.package_delivery, 0.0, "case {case}: {}", solver.name());
+            }
+        }
     }
 }
 
 #[test]
 fn serve_events_always_pick_the_cheapest_feasible_arm() {
     let mut rng = Rng::seed_from_u64(0xa2b);
+    let solver = dp_greedy_suite::engine::find("dp_greedy").expect("registered");
     for _ in 0..10 {
-        let seq = random_sequence(&mut rng);
+        let seq = random_sequence(&mut rng, 20, 60);
         let model = random_model(&mut rng);
-        let config = DpGreedyConfig::new(model).with_theta(0.1);
-        let ledger = dp_greedy_ledger(&dp_greedy(&seq, &config), &model);
+        let ctx = RunContext::new(model).with_theta(0.1);
+        let ledger = solver.solve(&seq, &ctx).ledger();
         for e in ledger.events.iter().filter(|e| e.phase == "phase2.serve") {
             let min = e.option_costs.iter().cloned().fold(f64::INFINITY, f64::min);
             assert!(min.is_finite(), "at least one arm is always feasible");
