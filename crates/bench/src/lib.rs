@@ -36,6 +36,17 @@ pub fn bench_model() -> CostModel {
     mcs_model::defaults::default_model()
 }
 
+/// A paper-like workload with both the step count and the catalog size
+/// (`taxis` = items `k`) scaled — the input of the `bench_perf` scaling
+/// sweeps, where Phase 1's pair table grows with `k²` and Phase 2's
+/// work-unit count grows with `k`.
+pub fn perf_workload(steps: usize, taxis: usize) -> RequestSeq {
+    let mut cfg = WorkloadConfig::paper_like(BENCH_SEED);
+    cfg.steps = steps;
+    cfg.taxis = taxis;
+    generate(&cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

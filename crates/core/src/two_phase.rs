@@ -240,32 +240,35 @@ pub fn dp_greedy(seq: &RequestSeq, config: &DpGreedyConfig) -> DpGreedyReport {
     mcs_obs::counter_add("dpg.pairs_packed", packing.pairs.len() as u64);
     mcs_obs::counter_add("dpg.items_unpacked", packing.singletons.len() as u64);
 
-    // Phase 2.
-    let mut pairs = Vec::with_capacity(packing.pairs.len());
-    let mut total_cost = 0.0;
-    {
+    // Phase 2. Every packed pair's subsequence and every unpacked item's
+    // trace is independent, so both loops fan out over worker threads
+    // (`mcs_model::par::par_map`; `MCS_THREADS=1` forces serial).
+    // par_map preserves input order and the cost totals are summed in
+    // that same order afterwards, so the report — schedules, ledger
+    // events, and float totals — is bit-identical to a serial run.
+    let pairs = {
         let _span = mcs_obs::span("dpg.phase2.pairs");
-        for &(a, b) in &packing.pairs {
-            let report = dp_greedy_pair(seq, a, b, config);
-            total_cost += report.total();
-            pairs.push(report);
-        }
-    }
-
-    let mut singletons = Vec::with_capacity(packing.singletons.len());
-    {
+        mcs_model::par::par_map(&packing.pairs, |&(a, b)| dp_greedy_pair(seq, a, b, config))
+    };
+    let singletons = {
         let _span = mcs_obs::span("dpg.phase2.singletons");
-        for &item in &packing.singletons {
+        mcs_model::par::par_map(&packing.singletons, |&item| {
             let trace = seq.item_trace(item);
             let out = optimal(&trace, &config.model);
-            total_cost += out.cost;
-            singletons.push(SingletonReport {
+            SingletonReport {
                 item,
                 cost: out.cost,
                 accesses: trace.len(),
                 schedule: out.schedule,
-            });
-        }
+            }
+        })
+    };
+    let mut total_cost = 0.0;
+    for report in &pairs {
+        total_cost += report.total();
+    }
+    for s in &singletons {
+        total_cost += s.cost;
     }
 
     DpGreedyReport {

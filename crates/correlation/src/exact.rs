@@ -72,11 +72,7 @@ pub fn exact_matching(matrix: &JaccardMatrix, theta: f64) -> Packing {
         .map(ItemId)
         .filter(|it| !pairs.iter().any(|&(a, b)| a == *it || b == *it))
         .collect();
-    Packing {
-        pairs,
-        singletons,
-        theta,
-    }
+    Packing::new(pairs, singletons, theta)
 }
 
 /// Total packed similarity of a packing under a matrix (the objective the

@@ -42,27 +42,100 @@ fn tri_index(k: usize, i: usize, j: usize) -> usize {
     i * k - i * (i + 1) / 2 + (j - i - 1)
 }
 
+/// Request count above which [`CoOccurrence::from_sequence`] switches to
+/// the sharded parallel path (when more than one worker thread is
+/// available). Counting is pure integer addition, so the two paths are
+/// bit-identical; the threshold only avoids thread-spawn overhead on the
+/// small sequences that dominate tests and the paper example.
+pub const PARALLEL_THRESHOLD: usize = 4096;
+
 impl CoOccurrence {
-    /// Counts item and pair occurrences over a request sequence in a single
-    /// pass (`O(Σ|D_i|²)` — request item sets are tiny in practice).
+    /// Counts item and pair occurrences over a request sequence
+    /// (`O(Σ|D_i|²)` — request item sets are tiny in practice).
+    ///
+    /// Large sequences are counted in parallel: the request list is split
+    /// into contiguous shards, each shard counted independently, and the
+    /// per-shard counts summed. Integer addition is associative, so the
+    /// result is **bit-identical** to the serial single pass for any
+    /// shard count (asserted in tests); set `MCS_THREADS=1` to force the
+    /// serial path.
     pub fn from_sequence(seq: &RequestSeq) -> Self {
+        let threads = mcs_model::par::max_threads();
+        if threads > 1 && seq.len() >= PARALLEL_THRESHOLD {
+            Self::from_sequence_sharded(seq, threads)
+        } else {
+            Self::from_sequence_serial(seq)
+        }
+    }
+
+    /// The serial single-pass count (the reference the sharded path must
+    /// reproduce exactly).
+    pub fn from_sequence_serial(seq: &RequestSeq) -> Self {
         let k = seq.items() as usize;
-        let mut item_counts = vec![0usize; k];
-        let mut pair_counts = vec![0usize; k * (k.saturating_sub(1)) / 2];
-        for r in seq.requests() {
+        let mut co = CoOccurrence::empty(k);
+        co.count_requests(seq.requests());
+        co
+    }
+
+    /// Sharded count: splits the sequence into at most `shards`
+    /// contiguous ranges, counts each on its own worker thread
+    /// ([`mcs_model::par::par_map`]), and merges by summation.
+    pub fn from_sequence_sharded(seq: &RequestSeq, shards: usize) -> Self {
+        let k = seq.items() as usize;
+        let ranges = mcs_model::par::shard_ranges(seq.len(), shards);
+        if ranges.len() <= 1 {
+            return Self::from_sequence_serial(seq);
+        }
+        let partials = mcs_model::par::par_map(&ranges, |&(start, end)| {
+            let mut co = CoOccurrence::empty(k);
+            co.count_requests(&seq.requests()[start..end]);
+            co
+        });
+        let mut merged = CoOccurrence::empty(k);
+        for p in &partials {
+            merged.merge(p);
+        }
+        merged
+    }
+
+    fn empty(k: usize) -> Self {
+        CoOccurrence {
+            k,
+            item_counts: vec![0usize; k],
+            pair_counts: vec![0usize; k * (k.saturating_sub(1)) / 2],
+        }
+    }
+
+    fn count_requests(&mut self, requests: &[mcs_model::Request]) {
+        let k = self.k;
+        for r in requests {
             for (a_pos, &a) in r.items.iter().enumerate() {
-                item_counts[a.index()] += 1;
+                self.item_counts[a.index()] += 1;
                 for &b in &r.items[a_pos + 1..] {
                     // Builder guarantees sorted, duplicate-free item lists.
-                    pair_counts[tri_index(k, a.index(), b.index())] += 1;
+                    self.pair_counts[tri_index(k, a.index(), b.index())] += 1;
                 }
             }
         }
-        CoOccurrence {
-            k,
-            item_counts,
-            pair_counts,
+    }
+
+    /// Adds another shard's counts into `self` (shards partition the
+    /// request list, so plain summation merges them exactly).
+    fn merge(&mut self, other: &CoOccurrence) {
+        debug_assert_eq!(self.k, other.k);
+        for (a, b) in self.item_counts.iter_mut().zip(&other.item_counts) {
+            *a += b;
         }
+        for (a, b) in self.pair_counts.iter_mut().zip(&other.pair_counts) {
+            *a += b;
+        }
+    }
+
+    /// Bytes held by the dense upper-triangular pair table — the
+    /// `k·(k−1)/2` allocation the sparse path avoids (reported by
+    /// `bench_perf`).
+    pub fn pair_table_bytes(&self) -> usize {
+        self.pair_counts.len() * std::mem::size_of::<usize>()
     }
 
     /// Number of items `k`.
@@ -252,6 +325,72 @@ mod tests {
             co.pair_count(ItemId(1), ItemId(0)),
             seq.count_pair(ItemId(0), ItemId(1))
         );
+    }
+
+    #[test]
+    fn sharded_counts_are_bit_identical_to_serial() {
+        // A synthetic multi-item workload large enough for real shards.
+        let mut b = RequestSeqBuilder::new(3, 8);
+        let mut t = 0.0;
+        for i in 0..500u64 {
+            t += 0.5;
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let first = (h >> 7) as u32 % 8;
+            let mut items = vec![first];
+            if h % 3 != 0 {
+                items.push((first + 1 + (h >> 13) as u32 % 7) % 8);
+            }
+            if h % 5 == 0 {
+                let third = (first + 3) % 8;
+                if !items.contains(&third) {
+                    items.push(third);
+                }
+            }
+            b = b.push((h % 3) as u32, t, items);
+        }
+        let seq = b.build().unwrap();
+        let serial = CoOccurrence::from_sequence_serial(&seq);
+        for shards in [1, 2, 3, 7, 16, 499, 500, 1000] {
+            assert_eq!(
+                CoOccurrence::from_sequence_sharded(&seq, shards),
+                serial,
+                "shards = {shards}"
+            );
+        }
+        assert_eq!(CoOccurrence::from_sequence(&seq), serial);
+        assert!(serial.pair_table_bytes() >= 8 * 7 / 2 * std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn zero_item_universe_is_empty_but_valid() {
+        // k = 0: no requests can exist (every request needs a non-empty
+        // item set), but the statistics must still construct cleanly.
+        let seq = RequestSeqBuilder::new(2, 0).build().unwrap();
+        let co = CoOccurrence::from_sequence(&seq);
+        assert_eq!(co.items(), 0);
+        assert_eq!(co.pair_table_bytes(), 0);
+        let m = JaccardMatrix::from_cooccurrence(&co);
+        assert_eq!(m.items(), 0);
+        assert!(m.pairs().is_empty());
+    }
+
+    #[test]
+    fn single_item_universe_has_no_pairs() {
+        // k = 1: the pair triangle is empty; the diagonal is still 1.
+        let seq = RequestSeqBuilder::new(1, 1)
+            .push(0u32, 1.0, [0])
+            .push(0u32, 2.0, [0])
+            .build()
+            .unwrap();
+        let co = CoOccurrence::from_sequence(&seq);
+        assert_eq!(co.items(), 1);
+        assert_eq!(co.count(ItemId(0)), 2);
+        assert_eq!(co.pair_count(ItemId(0), ItemId(0)), 2);
+        assert_eq!(co.pair_table_bytes(), 0);
+        assert!(approx_eq(co.jaccard(ItemId(0), ItemId(0)), 1.0));
+        let m = JaccardMatrix::from_cooccurrence(&co);
+        assert!(m.pairs().is_empty());
+        assert!(approx_eq(m.get(ItemId(0), ItemId(0)), 1.0));
     }
 
     #[test]

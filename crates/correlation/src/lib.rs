@@ -13,6 +13,11 @@
 //!   items could be packed").
 //! * [`exact`] — exact maximum-weight matching by bitmask DP, quantifying
 //!   what the greedy matching loses (ablation `matching`).
+//!
+//! Scale paths: [`CoOccurrence::from_sequence`] shards large sequences
+//! across worker threads (bit-identical to the serial count), and
+//! [`sparse`] provides a hash-based [`SparseCoOccurrence`] that never
+//! allocates the dense `k·(k−1)/2` triangle — Phase 1 for large catalogs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -21,8 +26,10 @@ pub mod exact;
 pub mod grouping;
 pub mod jaccard;
 pub mod matching;
+pub mod sparse;
 pub mod streaming;
 
 pub use jaccard::{CoOccurrence, JaccardMatrix};
 pub use matching::{greedy_matching, Packing};
+pub use sparse::{greedy_matching_sparse, SparseCoOccurrence};
 pub use streaming::StreamingCooccurrence;

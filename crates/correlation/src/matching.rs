@@ -19,30 +19,52 @@ pub struct Packing {
     pub singletons: Vec<ItemId>,
     /// The threshold `θ` used.
     pub theta: f64,
+    /// Partner lookup indexed by item id, precomputed at construction so
+    /// the per-request [`Self::is_packed`]/[`Self::partner`] calls in
+    /// Phase 2 are O(1) instead of a scan over all packed pairs. Private:
+    /// derived from `pairs`, rebuilt by [`Packing::new`].
+    partner: Vec<Option<ItemId>>,
 }
 
 impl Packing {
+    /// Builds a packing from its pair and singleton lists, precomputing
+    /// the O(1) partner index. Pairs must be disjoint (each item in at
+    /// most one pair), as Phase 1 guarantees.
+    pub fn new(pairs: Vec<(ItemId, ItemId)>, singletons: Vec<ItemId>, theta: f64) -> Self {
+        let max_id = pairs
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .chain(singletons.iter().copied())
+            .map(|it| it.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut partner = vec![None; max_id];
+        for &(a, b) in &pairs {
+            debug_assert!(partner[a.index()].is_none() && partner[b.index()].is_none());
+            partner[a.index()] = Some(b);
+            partner[b.index()] = Some(a);
+        }
+        Packing {
+            pairs,
+            singletons,
+            theta,
+            partner,
+        }
+    }
+
     /// Total number of items covered (sanity: equals `k`).
     pub fn total_items(&self) -> usize {
         self.pairs.len() * 2 + self.singletons.len()
     }
 
-    /// True if `item` is part of some packed pair.
+    /// True if `item` is part of some packed pair. O(1).
     pub fn is_packed(&self, item: ItemId) -> bool {
-        self.pairs.iter().any(|&(a, b)| a == item || b == item)
+        self.partner(item).is_some()
     }
 
-    /// The partner of `item` if it is packed.
+    /// The partner of `item` if it is packed. O(1).
     pub fn partner(&self, item: ItemId) -> Option<ItemId> {
-        self.pairs.iter().find_map(|&(a, b)| {
-            if a == item {
-                Some(b)
-            } else if b == item {
-                Some(a)
-            } else {
-                None
-            }
-        })
+        self.partner.get(item.index()).copied().flatten()
     }
 }
 
@@ -63,13 +85,14 @@ pub fn greedy_matching_from_pairs(
     items: u32,
     theta: f64,
 ) -> Packing {
+    // NaN similarities (degenerate inputs, e.g. decayed counts gone
+    // non-finite) carry no ordering information and could land anywhere
+    // under a partial comparison, making the packing depend on the input
+    // permutation. They can never clear `J > θ` anyway, so drop them
+    // before sorting and use the total order for what remains.
+    pairs.retain(|p| !p.2.is_nan());
     // Descending similarity; ascending (i, j) on ties for determinism.
-    pairs.sort_by(|x, y| {
-        y.2.partial_cmp(&x.2)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(x.0.cmp(&y.0))
-            .then(x.1.cmp(&y.1))
-    });
+    pairs.sort_by(|x, y| y.2.total_cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
 
     let k = items as usize;
     let mut flagged = vec![false; k];
@@ -85,11 +108,7 @@ pub fn greedy_matching_from_pairs(
         .map(ItemId)
         .filter(|it| !flagged[it.index()])
         .collect();
-    Packing {
-        pairs: chosen,
-        singletons,
-        theta,
-    }
+    Packing::new(chosen, singletons, theta)
 }
 
 mcs_model::impl_to_json!(Packing {
@@ -197,6 +216,63 @@ mod tests {
             seen.sort();
             seen.dedup();
             assert_eq!(seen.len(), 4);
+        }
+    }
+
+    #[test]
+    fn nan_similarities_are_dropped_deterministically() {
+        // A NaN pair must never pack and must not perturb the ordering of
+        // the finite pairs, whatever position it arrives in.
+        let finite = vec![
+            (ItemId(0), ItemId(1), 0.9),
+            (ItemId(2), ItemId(3), 0.5),
+            (ItemId(4), ItemId(5), 0.7),
+        ];
+        let reference = greedy_matching_from_pairs(finite.clone(), 6, 0.1);
+        assert_eq!(
+            reference.pairs,
+            vec![
+                (ItemId(0), ItemId(1)),
+                (ItemId(4), ItemId(5)),
+                (ItemId(2), ItemId(3))
+            ]
+        );
+        for pos in 0..=finite.len() {
+            let mut with_nan = finite.clone();
+            with_nan.insert(pos, (ItemId(1), ItemId(2), f64::NAN));
+            let p = greedy_matching_from_pairs(with_nan, 6, 0.1);
+            assert_eq!(p, reference, "NaN at position {pos}");
+            assert!(!p.is_packed(ItemId(1)) || p.partner(ItemId(1)) == Some(ItemId(0)));
+        }
+    }
+
+    #[test]
+    fn partner_index_matches_the_pair_list() {
+        let p = greedy_matching_from_pairs(
+            vec![(ItemId(0), ItemId(3), 0.9), (ItemId(1), ItemId(2), 0.8)],
+            5,
+            0.1,
+        );
+        assert_eq!(p.partner(ItemId(0)), Some(ItemId(3)));
+        assert_eq!(p.partner(ItemId(3)), Some(ItemId(0)));
+        assert_eq!(p.partner(ItemId(1)), Some(ItemId(2)));
+        assert_eq!(p.partner(ItemId(2)), Some(ItemId(1)));
+        assert_eq!(p.partner(ItemId(4)), None);
+        // Out-of-range ids degrade to "not packed" rather than panicking.
+        assert_eq!(p.partner(ItemId(99)), None);
+        assert!(!p.is_packed(ItemId(99)));
+        // The constructor agrees with the slow scan on every id.
+        for id in 0..5u32 {
+            let scan = p.pairs.iter().find_map(|&(a, b)| {
+                if a == ItemId(id) {
+                    Some(b)
+                } else if b == ItemId(id) {
+                    Some(a)
+                } else {
+                    None
+                }
+            });
+            assert_eq!(p.partner(ItemId(id)), scan, "item {id}");
         }
     }
 

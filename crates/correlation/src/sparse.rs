@@ -1,0 +1,340 @@
+//! Sparse co-occurrence statistics for large catalogs.
+//!
+//! The dense [`crate::CoOccurrence`] allocates the full `k·(k−1)/2`
+//! upper triangle — at `k = 10⁵` that is ~40 GB of `usize`, almost all of
+//! it zeros: a request touches a handful of items, so the number of
+//! *observed* pairs is bounded by `Σ|D_i|²`, independent of `k`. This
+//! module keeps only the observed pairs in a hash table, counts shards of
+//! the sequence in parallel (merging by summation, which is exact for
+//! integers), and feeds Phase 1 through a deterministic top-P candidate
+//! list — so `greedy_matching` never materialises a `k²` structure.
+//!
+//! For any threshold `θ ≥ 0` the sparse path packs **exactly** the pairs
+//! the dense path packs: unobserved pairs have `J = 0`, which can never
+//! exceed a non-negative threshold, and the candidate ordering is the
+//! same (descending similarity, ascending ids) — asserted in tests.
+
+use std::collections::HashMap;
+
+use mcs_model::par::{par_map, shard_ranges};
+use mcs_model::{ItemId, Request, RequestSeq};
+
+use crate::matching::{greedy_matching_from_pairs, Packing};
+
+/// Co-occurrence statistics holding only observed pairs.
+///
+/// Per-item counts stay dense (`k` entries of `usize` — cheap); pair
+/// counts are keyed by `(i, j)` with `i < j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseCoOccurrence {
+    k: usize,
+    item_counts: Vec<usize>,
+    pair_counts: HashMap<(ItemId, ItemId), usize>,
+}
+
+impl SparseCoOccurrence {
+    /// Counts a request sequence, sharding across worker threads for
+    /// large inputs (bit-identical to the serial count — integer merge).
+    pub fn from_sequence(seq: &RequestSeq) -> Self {
+        let threads = mcs_model::par::max_threads();
+        if threads > 1 && seq.len() >= crate::jaccard::PARALLEL_THRESHOLD {
+            Self::from_sequence_sharded(seq, threads)
+        } else {
+            Self::from_sequence_serial(seq)
+        }
+    }
+
+    /// The serial reference count.
+    pub fn from_sequence_serial(seq: &RequestSeq) -> Self {
+        let mut co = Self::empty(seq.items() as usize);
+        co.count_requests(seq.requests());
+        co
+    }
+
+    /// Sharded parallel count over at most `shards` contiguous ranges.
+    pub fn from_sequence_sharded(seq: &RequestSeq, shards: usize) -> Self {
+        let k = seq.items() as usize;
+        let ranges = shard_ranges(seq.len(), shards);
+        if ranges.len() <= 1 {
+            return Self::from_sequence_serial(seq);
+        }
+        let partials = par_map(&ranges, |&(start, end)| {
+            let mut co = Self::empty(k);
+            co.count_requests(&seq.requests()[start..end]);
+            co
+        });
+        let mut merged = Self::empty(k);
+        for p in partials {
+            merged.merge(p);
+        }
+        merged
+    }
+
+    fn empty(k: usize) -> Self {
+        SparseCoOccurrence {
+            k,
+            item_counts: vec![0usize; k],
+            pair_counts: HashMap::new(),
+        }
+    }
+
+    fn count_requests(&mut self, requests: &[Request]) {
+        for r in requests {
+            for (a_pos, &a) in r.items.iter().enumerate() {
+                self.item_counts[a.index()] += 1;
+                for &b in &r.items[a_pos + 1..] {
+                    // Builder guarantees sorted item lists, so a < b.
+                    *self.pair_counts.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: SparseCoOccurrence) {
+        debug_assert_eq!(self.k, other.k);
+        for (a, b) in self.item_counts.iter_mut().zip(&other.item_counts) {
+            *a += b;
+        }
+        for (key, v) in other.pair_counts {
+            *self.pair_counts.entry(key).or_insert(0) += v;
+        }
+    }
+
+    /// Number of items `k`.
+    #[inline]
+    pub fn items(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct observed pairs.
+    #[inline]
+    pub fn observed_pairs(&self) -> usize {
+        self.pair_counts.len()
+    }
+
+    /// `|d_i|` — requests containing `item`.
+    #[inline]
+    pub fn count(&self, item: ItemId) -> usize {
+        self.item_counts[item.index()]
+    }
+
+    /// `|(d_i, d_j)|` — requests containing both items (symmetric;
+    /// `i == j` returns `|d_i|`; unobserved pairs return 0).
+    pub fn pair_count(&self, a: ItemId, b: ItemId) -> usize {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => self.pair_counts.get(&(a, b)).copied().unwrap_or(0),
+            std::cmp::Ordering::Greater => self.pair_counts.get(&(b, a)).copied().unwrap_or(0),
+            std::cmp::Ordering::Equal => self.item_counts[a.index()],
+        }
+    }
+
+    /// Jaccard similarity per Eq. (5) — identical to the dense
+    /// [`crate::CoOccurrence::jaccard`] on every pair.
+    pub fn jaccard(&self, a: ItemId, b: ItemId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let both = self.pair_count(a, b);
+        let union = self.count(a) + self.count(b) - both;
+        if union == 0 {
+            0.0
+        } else {
+            both as f64 / union as f64
+        }
+    }
+
+    /// All observed pairs with their similarity, sorted by descending
+    /// similarity then ascending ids — deterministic despite the hash
+    /// table underneath, and the exact candidate order
+    /// [`crate::matching::greedy_matching_from_pairs`] uses.
+    pub fn pairs(&self) -> Vec<(ItemId, ItemId, f64)> {
+        let mut out: Vec<(ItemId, ItemId, f64)> = self
+            .pair_counts
+            .keys()
+            .map(|&(a, b)| (a, b, self.jaccard(a, b)))
+            .collect();
+        out.sort_by(|x, y| y.2.total_cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+        out
+    }
+
+    /// The top `p` candidate pairs by similarity (all observed pairs when
+    /// `p >= observed_pairs()`). Greedy matching over the top-P list
+    /// equals matching over the full list whenever `p` is at least the
+    /// number of pairs clearing the threshold — a bound the caller can
+    /// enforce cheaply with [`Self::pairs_above`].
+    pub fn top_pairs(&self, p: usize) -> Vec<(ItemId, ItemId, f64)> {
+        let mut out = self.pairs();
+        out.truncate(p);
+        out
+    }
+
+    /// Number of observed pairs with similarity strictly above `theta` —
+    /// the safe lower bound for a lossless `top_pairs` truncation.
+    pub fn pairs_above(&self, theta: f64) -> usize {
+        self.pair_counts
+            .keys()
+            .filter(|&&(a, b)| self.jaccard(a, b) > theta)
+            .count()
+    }
+
+    /// Approximate bytes held by the sparse pair table (key + count per
+    /// observed pair, ignoring hash-table load factor), reported by
+    /// `bench_perf` against the dense `k·(k−1)/2 · 8` triangle.
+    pub fn pair_table_bytes(&self) -> usize {
+        self.pair_counts.len()
+            * (std::mem::size_of::<(ItemId, ItemId)>() + std::mem::size_of::<usize>())
+    }
+}
+
+/// Phase 1 over sparse statistics: greedy threshold matching on the
+/// observed-pair candidate list. Packs exactly what
+/// [`crate::greedy_matching`] packs for any `θ ≥ 0`, without ever
+/// allocating the dense matrix.
+pub fn greedy_matching_sparse(co: &SparseCoOccurrence, theta: f64) -> Packing {
+    greedy_matching_from_pairs(co.pairs(), co.items() as u32, theta)
+}
+
+/// [`greedy_matching_sparse`] restricted to the top `p` candidates —
+/// the bounded-memory variant for very large catalogs. Lossless when
+/// `p >= co.pairs_above(theta)`.
+pub fn greedy_matching_top_p(co: &SparseCoOccurrence, theta: f64, p: usize) -> Packing {
+    greedy_matching_from_pairs(co.top_pairs(p), co.items() as u32, theta)
+}
+
+mcs_model::impl_to_json!(SparseCoOccurrence { k, item_counts });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::{CoOccurrence, JaccardMatrix};
+    use crate::matching::greedy_matching;
+    use mcs_model::rng::Rng;
+    use mcs_model::{approx_eq, RequestSeqBuilder};
+
+    fn random_sequence(seed: u64, n: usize, k: u32) -> RequestSeq {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut b = RequestSeqBuilder::new(3, k);
+        let mut t = 0.0;
+        for _ in 0..n {
+            t += 0.1 + rng.gen_f64();
+            let first = rng.gen_range(0u32..k);
+            let mut items = vec![first];
+            if rng.gen_bool(0.6) {
+                let second = (first + rng.gen_range(1u32..k)) % k;
+                if !items.contains(&second) {
+                    items.push(second);
+                }
+            }
+            if rng.gen_bool(0.2) {
+                let third = (first + rng.gen_range(1u32..k)) % k;
+                if !items.contains(&third) {
+                    items.push(third);
+                }
+            }
+            b = b.push(rng.gen_range(0u32..3), t, items);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sparse_counts_match_dense() {
+        let seq = random_sequence(0xA11CE, 400, 12);
+        let dense = CoOccurrence::from_sequence_serial(&seq);
+        let sparse = SparseCoOccurrence::from_sequence_serial(&seq);
+        assert_eq!(sparse.items(), dense.items());
+        for i in 0..12u32 {
+            assert_eq!(sparse.count(ItemId(i)), dense.count(ItemId(i)));
+            for j in 0..12u32 {
+                assert_eq!(
+                    sparse.pair_count(ItemId(i), ItemId(j)),
+                    dense.pair_count(ItemId(i), ItemId(j)),
+                    "pair ({i}, {j})"
+                );
+                assert!(approx_eq(
+                    sparse.jaccard(ItemId(i), ItemId(j)),
+                    dense.jaccard(ItemId(i), ItemId(j))
+                ));
+            }
+        }
+        // Sparse stores at most the observed pairs, never the triangle.
+        assert!(sparse.observed_pairs() <= 12 * 11 / 2);
+    }
+
+    #[test]
+    fn sharded_sparse_is_identical_to_serial() {
+        let seq = random_sequence(0xBEEF, 600, 9);
+        let serial = SparseCoOccurrence::from_sequence_serial(&seq);
+        for shards in [2, 3, 8, 599, 600, 4096] {
+            assert_eq!(
+                SparseCoOccurrence::from_sequence_sharded(&seq, shards),
+                serial,
+                "shards = {shards}"
+            );
+        }
+        assert_eq!(SparseCoOccurrence::from_sequence(&seq), serial);
+    }
+
+    #[test]
+    fn sparse_matching_equals_dense_matching() {
+        for seed in 0..8u64 {
+            let seq = random_sequence(0xD15C0 + seed, 300, 10);
+            let dense = greedy_matching(&JaccardMatrix::from_sequence(&seq), 0.2);
+            let sparse = greedy_matching_sparse(&SparseCoOccurrence::from_sequence(&seq), 0.2);
+            assert_eq!(dense, sparse, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn top_p_is_lossless_above_the_threshold_count() {
+        let seq = random_sequence(0xCAFE, 300, 10);
+        let co = SparseCoOccurrence::from_sequence(&seq);
+        let theta = 0.15;
+        let full = greedy_matching_sparse(&co, theta);
+        let p = co.pairs_above(theta);
+        assert_eq!(greedy_matching_top_p(&co, theta, p), full);
+        assert_eq!(greedy_matching_top_p(&co, theta, co.observed_pairs()), full);
+        // Truncating below the packed-pair count loses packings.
+        if full.pairs.len() > 1 {
+            let lossy = greedy_matching_top_p(&co, theta, 1);
+            assert!(lossy.pairs.len() <= full.pairs.len());
+        }
+    }
+
+    #[test]
+    fn pair_table_is_small_for_sparse_workloads() {
+        // 2000 items, but only two of them ever co-occur: dense would
+        // allocate a ~2M-entry triangle, sparse stores one pair.
+        let seq = RequestSeqBuilder::new(1, 2000)
+            .push(0u32, 1.0, [0, 1])
+            .push(0u32, 2.0, [0, 1])
+            .push(0u32, 3.0, [1999])
+            .build()
+            .unwrap();
+        let co = SparseCoOccurrence::from_sequence(&seq);
+        assert_eq!(co.observed_pairs(), 1);
+        assert!(co.pair_table_bytes() < 64);
+        let packing = greedy_matching_sparse(&co, 0.3);
+        assert_eq!(packing.pairs, vec![(ItemId(0), ItemId(1))]);
+        assert_eq!(packing.singletons.len(), 1998);
+        assert!(approx_eq(co.jaccard(ItemId(0), ItemId(1)), 1.0));
+    }
+
+    #[test]
+    fn empty_and_tiny_universes() {
+        let seq = RequestSeqBuilder::new(1, 0).build().unwrap();
+        let co = SparseCoOccurrence::from_sequence(&seq);
+        assert_eq!(co.items(), 0);
+        assert_eq!(co.observed_pairs(), 0);
+        let p = greedy_matching_sparse(&co, 0.3);
+        assert!(p.pairs.is_empty() && p.singletons.is_empty());
+
+        let seq = RequestSeqBuilder::new(1, 1)
+            .push(0u32, 1.0, [0])
+            .build()
+            .unwrap();
+        let co = SparseCoOccurrence::from_sequence(&seq);
+        assert_eq!(co.pair_count(ItemId(0), ItemId(0)), 1);
+        let p = greedy_matching_sparse(&co, 0.3);
+        assert_eq!(p.singletons, vec![ItemId(0)]);
+    }
+}

@@ -89,7 +89,14 @@ impl StreamingCooccurrence {
         self.pair_counts.get(&key).copied().unwrap_or(0.0) * self.scale
     }
 
-    /// Decayed Jaccard similarity per Eq. (5).
+    /// Decayed Jaccard similarity per Eq. (5), clamped to `[0, 1]`.
+    ///
+    /// The clamp is a correctness guard, not cosmetics: the decayed
+    /// counts are float sums, and when an item almost always co-occurs
+    /// with its partner the union `|d_a| + |d_b| − |(d_a, d_b)|`
+    /// cancels almost to `both` — rounding can then leave
+    /// `union < both`, i.e. J > 1, which would spuriously pass any
+    /// `J > θ` gate in [`crate::matching::greedy_matching_from_pairs`].
     pub fn jaccard(&self, a: ItemId, b: ItemId) -> f64 {
         if a == b {
             return 1.0;
@@ -99,23 +106,22 @@ impl StreamingCooccurrence {
         if union <= 0.0 {
             0.0
         } else {
-            both / union
+            (both / union).clamp(0.0, 1.0)
         }
     }
 
-    /// All pairs with positive decayed co-occurrence, with similarities.
+    /// All pairs with positive decayed co-occurrence, with similarities,
+    /// sorted by descending similarity then ascending ids. Non-finite
+    /// similarities (possible only on degenerate float states) are
+    /// dropped so the ordering is total and deterministic.
     pub fn pairs(&self) -> Vec<(ItemId, ItemId, f64)> {
         let mut out: Vec<(ItemId, ItemId, f64)> = self
             .pair_counts
             .keys()
             .map(|&(a, b)| (a, b, self.jaccard(a, b)))
+            .filter(|p| !p.2.is_nan())
             .collect();
-        out.sort_by(|x, y| {
-            y.2.partial_cmp(&x.2)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(x.0.cmp(&y.0))
-                .then(x.1.cmp(&y.1))
-        });
+        out.sort_by(|x, y| y.2.total_cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
         out
     }
 }
@@ -207,6 +213,100 @@ mod tests {
             approx_eq(j, 1.0),
             "constant pair must stay at J = 1, got {j}"
         );
+    }
+
+    /// Property test: on random decayed streams every similarity must lie
+    /// in `[0, 1]`. Without the clamp in `jaccard` this fails — decayed
+    /// float counts can cancel so that `both > union` for pairs that
+    /// almost always co-occur.
+    #[test]
+    fn jaccard_stays_within_unit_interval_on_random_decayed_streams() {
+        use mcs_model::rng::Rng;
+        for case in 0..60u64 {
+            let mut rng = Rng::seed_from_u64(0x01AC_CA4D + case);
+            let decay = match case % 3 {
+                0 => 1.0,
+                1 => 0.5 + rng.gen_f64() * 0.5,
+                _ => 0.01 + rng.gen_f64() * 0.2,
+            };
+            let k = rng.gen_range(2u32..=6);
+            let n = rng.gen_range(20usize..=400);
+            let mut stream = StreamingCooccurrence::new(decay);
+            let mut b = RequestSeqBuilder::new(1, k);
+            let mut t = 0.0;
+            for _ in 0..n {
+                t += 0.25;
+                let first = rng.gen_range(0u32..k);
+                let mut items = vec![first];
+                // Heavily correlated partner to stress the cancellation.
+                if rng.gen_bool(0.9) {
+                    items.push((first + 1) % k);
+                }
+                b = b.push(0u32, t, items);
+            }
+            let seq = b.build().unwrap();
+            for r in seq.requests() {
+                stream.observe(r);
+            }
+            for i in 0..k {
+                for j in 0..k {
+                    let jac = stream.jaccard(ItemId(i), ItemId(j));
+                    assert!(
+                        (0.0..=1.0).contains(&jac),
+                        "case {case} (decay {decay}): J({i},{j}) = {jac}"
+                    );
+                }
+            }
+            for (a, b, jac) in stream.pairs() {
+                assert!(
+                    jac.is_finite() && (0.0..=1.0).contains(&jac),
+                    "case {case}: listed J({a:?},{b:?}) = {jac}"
+                );
+            }
+        }
+    }
+
+    /// Forces the `scale < 1e-200` renormalisation branch in `observe`
+    /// (decay 0.1 underflows the lazy scale after ~200 requests) and
+    /// checks the stored counts stay finite and equal the directly
+    /// computed decayed sums within tolerance.
+    #[test]
+    fn underflow_renormalisation_preserves_decayed_counts() {
+        let decay = 0.1;
+        let n = 520; // three renormalisations deep (0.1^520 vs 1e-200)
+        let mut b = RequestSeqBuilder::new(1, 3);
+        let mut t = 0.0;
+        for i in 0..n {
+            t += 1.0;
+            // Item 0 in every request; item 1 in every other; item 2 never.
+            if i % 2 == 0 {
+                b = b.push(0u32, t, [0u32, 1]);
+            } else {
+                b = b.push(0u32, t, [0u32]);
+            }
+        }
+        let seq = b.build().unwrap();
+        let mut stream = StreamingCooccurrence::new(decay);
+        // Reference decayed counts, computed eagerly (no lazy scale).
+        let (mut ref0, mut ref1, mut ref01) = (0.0f64, 0.0, 0.0);
+        for r in seq.requests() {
+            ref0 = ref0 * decay + 1.0;
+            let has1 = r.items.len() == 2;
+            ref1 = ref1 * decay + if has1 { 1.0 } else { 0.0 };
+            ref01 = ref01 * decay + if has1 { 1.0 } else { 0.0 };
+            stream.observe(r);
+        }
+        let c0 = stream.count(ItemId(0));
+        let c1 = stream.count(ItemId(1));
+        let p01 = stream.pair_count(ItemId(0), ItemId(1));
+        assert!(c0.is_finite() && c1.is_finite() && p01.is_finite());
+        assert!((c0 - ref0).abs() < 1e-9, "count0 {c0} vs {ref0}");
+        assert!((c1 - ref1).abs() < 1e-9, "count1 {c1} vs {ref1}");
+        assert!((p01 - ref01).abs() < 1e-9, "pair {p01} vs {ref01}");
+        assert_eq!(stream.count(ItemId(2)), 0.0);
+        let j = stream.jaccard(ItemId(0), ItemId(1));
+        assert!((0.0..=1.0).contains(&j), "J = {j}");
+        assert_eq!(stream.observed(), n);
     }
 
     #[test]

@@ -107,19 +107,25 @@ fn dp_greedy_parts(
 
 /// Per-item schedule parts for the non-packing baselines: runs `solve`
 /// on every item trace, summing costs. Returns (parts, total).
+///
+/// Items are independent, so the solves fan out over worker threads
+/// (`mcs_model::par::par_map`; `MCS_THREADS=1` forces serial). Order is
+/// preserved and costs are summed in item order afterwards, so parts and
+/// total are bit-identical to a sequential loop for any thread count.
 fn per_item_parts(
     seq: &RequestSeq,
     model: &CostModel,
-    mut solve: impl FnMut(&SingleItemTrace, &CostModel) -> (Schedule, f64),
+    phase: &'static str,
+    solve: impl Fn(&SingleItemTrace, &CostModel) -> (Schedule, f64) + Sync,
 ) -> (Vec<SolutionPart>, f64) {
-    let mut parts = Vec::new();
+    let items: Vec<ItemId> = (0..seq.items()).map(ItemId).collect();
+    let solved = mcs_model::par::par_map(&items, |&item| solve(&seq.item_trace(item), model));
+    let mut parts = Vec::with_capacity(solved.len());
     let mut total = 0.0;
-    for i in 0..seq.items() {
-        let item = ItemId(i);
-        let (schedule, cost) = solve(&seq.item_trace(item), model);
+    for (item, (schedule, cost)) in items.into_iter().zip(solved) {
         total += cost;
         parts.push(SolutionPart::Schedule {
-            phase: "offline",
+            phase,
             subject: Subject::Item(item.0),
             schedule,
             mu: model.mu(),
@@ -170,7 +176,7 @@ impl CachingSolver for OptimalSolver {
         "per-item optimal off-line caching (covering DP of [6]); no packing"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let (parts, total) = per_item_parts(seq, &ctx.model, |trace, model| {
+        let (parts, total) = per_item_parts(seq, &ctx.model, "offline", |trace, model| {
             let out = optimal(trace, model);
             (out.schedule, out.cost)
         });
@@ -200,11 +206,13 @@ impl CachingSolver for OptimalFastSolver {
         "fast per-item optimal (cost-only); ledger derived from the covering DP"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let mut total = 0.0;
-        let (parts, _) = per_item_parts(seq, &ctx.model, |trace, model| {
-            total += optimal_fast_cost(trace, model);
+        // The per-item closure returns (ledger schedule, fast cost): the
+        // schedule comes from the covering DP, the summed total from the
+        // fast recurrence — reconciliation then cross-validates them.
+        let (parts, total) = per_item_parts(seq, &ctx.model, "offline", |trace, model| {
+            let fast = optimal_fast_cost(trace, model);
             let out = optimal(trace, model);
-            (out.schedule, out.cost)
+            (out.schedule, fast)
         });
         Solution {
             algo: self.name(),
@@ -230,7 +238,7 @@ impl CachingSolver for GreedySolver {
         "per-item simple greedy of Fig. 4 (within 2x of optimal); no packing"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let (parts, total) = per_item_parts(seq, &ctx.model, |trace, model| {
+        let (parts, total) = per_item_parts(seq, &ctx.model, "offline", |trace, model| {
             let out = greedy(trace, model);
             (out.schedule, out.cost)
         });
@@ -265,11 +273,10 @@ impl CachingSolver for ExhaustiveSolver {
         Some(18)
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let mut total = 0.0;
-        let (parts, _) = per_item_parts(seq, &ctx.model, |trace, model| {
-            total += exhaustive_optimal(trace, model);
+        let (parts, total) = per_item_parts(seq, &ctx.model, "offline", |trace, model| {
+            let exact = exhaustive_optimal(trace, model);
             let out = optimal(trace, model);
-            (out.schedule, out.cost)
+            (out.schedule, exact)
         });
         Solution {
             algo: self.name(),
@@ -473,21 +480,10 @@ impl CachingSolver for SkiRentalSolver {
         "per-item on-line ski-rental (rent-or-buy; 3-competitive family)"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let model = &ctx.model;
-        let mut parts = Vec::new();
-        let mut total = 0.0;
-        for i in 0..seq.items() {
-            let item = ItemId(i);
-            let out = ski_rental(&seq.item_trace(item), model);
-            total += out.cost;
-            parts.push(SolutionPart::Schedule {
-                phase: "online",
-                subject: Subject::Item(item.0),
-                schedule: out.schedule,
-                mu: model.mu(),
-                lambda: model.lambda(),
-            });
-        }
+        let (parts, total) = per_item_parts(seq, &ctx.model, "online", |trace, model| {
+            let out = ski_rental(trace, model);
+            (out.schedule, out.cost)
+        });
         Solution {
             algo: self.name(),
             kind: self.kind(),

@@ -11,17 +11,57 @@
 //! layer — the off-line cross-validation sweeps, the bench harness, the
 //! engine registry, the experiment runners — can parallel-map without a
 //! new dependency edge.
+//!
+//! ## Thread-count knob
+//!
+//! The worker count defaults to `std::thread::available_parallelism()`
+//! and can be overridden with the `MCS_THREADS` environment variable
+//! (`MCS_THREADS=1` forces every parallel path in the workspace to run
+//! serially; larger values oversubscribe, which the perf bench uses to
+//! sweep thread counts on any machine). The variable is re-read on every
+//! call, so a process can change it between measurements.
+
+/// Name of the environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "MCS_THREADS";
+
+/// The number of worker threads parallel sections use: `MCS_THREADS` if
+/// set to a positive integer, otherwise `available_parallelism()`
+/// (falling back to 1). Never 0.
+pub fn max_threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
 
 /// Maps `f` over `items` in parallel, preserving order.
 ///
-/// Spawns at most `available_parallelism()` scoped threads; falls back to
-/// a plain sequential map for tiny inputs.
+/// Spawns at most [`max_threads`] scoped threads; falls back to a plain
+/// sequential map for tiny inputs. Because every output lands in its
+/// input position, the result is **identical** to `items.iter().map(f)`
+/// for any thread count — parallelism here never changes figures.
 pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    par_map_with_threads(items, max_threads(), f)
+}
+
+/// [`par_map`] with an explicit worker-thread cap (the perf bench sweeps
+/// this directly; everything else goes through the env-driven default).
+pub fn par_map_with_threads<T: Sync, U: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let threads = threads.max(1).min(n);
     if threads <= 1 {
         return items.iter().map(f).collect();
     }
@@ -48,6 +88,22 @@ pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U>
     par_map(&idx, |&i| f(i))
 }
 
+/// Splits `0..len` into at most `shards` contiguous `(start, end)` ranges
+/// of near-equal size, in order. Used by the sharded statistics counters:
+/// each shard is counted independently and the per-shard results merged.
+/// Returns an empty vector for `len == 0`.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    let chunk = len.div_ceil(shards);
+    (0..len)
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(len)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +125,35 @@ mod tests {
     #[test]
     fn range_variant_matches() {
         assert_eq!(par_map_range(5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let xs: Vec<u64> = (0..257).collect();
+        let want: Vec<u64> = xs.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map_with_threads(&xs, threads, |&x| x * x), want);
+        }
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly() {
+        assert!(shard_ranges(0, 4).is_empty());
+        for (len, shards) in [(1, 1), (1, 9), (10, 3), (100, 7), (5, 5), (8, 64)] {
+            let ranges = shard_ranges(len, shards);
+            assert!(ranges.len() <= shards.max(1));
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous at {w:?}");
+            }
+            let total: usize = ranges.iter().map(|(a, b)| b - a).sum();
+            assert_eq!(total, len);
+        }
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
     }
 }

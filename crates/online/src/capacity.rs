@@ -139,12 +139,19 @@ pub fn capacity_run(
     }
 
     // Settle residence to the horizon: edge caches and the origin copies.
-    for cache in caches.values() {
-        for slot in cache.values() {
-            cost += mu * (horizon - slot.since);
-        }
+    // Summed in (server, item) order so the floating-point total never
+    // depends on the hash maps' per-thread seeds.
+    let mut slots: Vec<(ServerId, ItemId, TimePoint)> = caches
+        .iter()
+        .flat_map(|(&s, cache)| cache.iter().map(move |(&d, slot)| (s, d, slot.since)))
+        .collect();
+    slots.sort_unstable_by_key(|&(s, d, _)| (s, d));
+    for (_, _, since) in slots {
+        cost += mu * (horizon - since);
     }
-    for (_, since) in origin_items.drain() {
+    let mut origin: Vec<(ItemId, TimePoint)> = origin_items.drain().collect();
+    origin.sort_unstable_by_key(|&(d, _)| d);
+    for (_, since) in origin {
         cost += mu * (horizon - since);
     }
 

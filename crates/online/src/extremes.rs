@@ -84,7 +84,11 @@ pub fn cache_everywhere(trace: &SingleItemTrace, model: &CostModel) -> OnlineOut
         last_server = p.server;
     }
     let horizon = trace.points.last().map_or(0.0, |p| p.time);
-    for (s, since) in first_touch {
+    // Server order, not hash order: keeps schedule emission and the float
+    // summation order of `cost` independent of the hasher seed.
+    let mut touched: Vec<_> = first_touch.into_iter().collect();
+    touched.sort_unstable_by_key(|&(s, _)| s);
+    for (s, since) in touched {
         if horizon > since {
             cost += mu * (horizon - since);
             schedule.cache(s, since, horizon);

@@ -134,12 +134,15 @@ pub fn online_dp_greedy(seq: &RequestSeq, config: &OnlineDpgConfig) -> OnlineDpg
     let mut hits = 0usize;
 
     let settle = |st: &mut ItemState, t: TimePoint, horizon: f64, cost: &mut f64| {
-        let expired: Vec<ServerId> = st
+        // Sorted so the float summation order never depends on the hash
+        // map's per-thread seed.
+        let mut expired: Vec<ServerId> = st
             .copies
             .iter()
             .filter(|(_, c)| c.deadline < t)
             .map(|(&s, _)| s)
             .collect();
+        expired.sort_unstable();
         for s in expired {
             let c = st.copies.remove(&s).expect("present");
             let end = c.deadline.min(horizon).max(c.since);
@@ -248,9 +251,12 @@ pub fn online_dp_greedy(seq: &RequestSeq, config: &OnlineDpgConfig) -> OnlineDpg
         }
     }
 
-    // Horizon clamp: settle every open epoch at its item's own horizon.
+    // Horizon clamp: settle every open epoch at its item's own horizon,
+    // in server order (seed-independent float summation).
     for (i, st) in items.iter_mut().enumerate() {
-        for (_, c) in st.copies.drain() {
+        let mut open: Vec<_> = st.copies.drain().collect();
+        open.sort_unstable_by_key(|&(s, _)| s);
+        for (_, c) in open {
             let end = c.deadline.min(item_horizon[i]).max(c.since);
             cost += mu * (end - c.since);
         }

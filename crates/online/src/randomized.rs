@@ -97,7 +97,11 @@ pub fn randomized_ski_rental(
         copies.get_mut(&p.server).expect("just ensured").deadline = f64::INFINITY;
     }
 
-    for (s, c) in copies {
+    // Horizon clamp in server order: hash-map iteration order depends on
+    // the per-thread hasher seed and must not leak into the output.
+    let mut open: Vec<_> = copies.into_iter().collect();
+    open.sort_unstable_by_key(|&(s, _)| s);
+    for (s, c) in open {
         let end = c.deadline.min(horizon).max(c.since);
         cost += mu * (end - c.since);
         if end > c.since {

@@ -184,8 +184,12 @@ pub fn resilient_ski_rental(
     }
 
     // Finite-horizon clamp, crash-aware: an epoch still open at the end
-    // pays rent up to its crash (if one struck) or the horizon.
-    for (s, c) in copies {
+    // pays rent up to its crash (if one struck) or the horizon. Sorted by
+    // server so schedule order and float summation order never depend on
+    // the hash map's per-thread seed.
+    let mut open: Vec<_> = copies.into_iter().collect();
+    open.sort_unstable_by_key(|&(s, _)| s);
+    for (s, c) in open {
         let crash_end = plan
             .first_crash_in(s, c.since, horizon + EPSILON)
             .unwrap_or(f64::INFINITY);

@@ -72,12 +72,15 @@ pub fn ski_rental(trace: &SingleItemTrace, model: &CostModel) -> OnlineOutcome {
     for p in &trace.points {
         let t = p.time;
         // Drop copies whose rent ran out strictly before now; their cache
-        // cost is settled at the actual drop instant.
-        let expired: Vec<ServerId> = copies
+        // cost is settled at the actual drop instant. Sorted by server so
+        // the emission order (and the floating-point summation order of
+        // `cost`) does not depend on the hash map's per-thread seed.
+        let mut expired: Vec<ServerId> = copies
             .iter()
             .filter(|(_, c)| c.deadline < t)
             .map(|(&s, _)| s)
             .collect();
+        expired.sort_unstable();
         for s in expired {
             let c = copies.remove(&s).expect("present");
             let end = c.deadline.min(horizon).max(c.since);
@@ -120,8 +123,11 @@ pub fn ski_rental(trace: &SingleItemTrace, model: &CostModel) -> OnlineOutcome {
         c.deadline = f64::INFINITY;
     }
 
-    // Finite-horizon clamp: settle every open epoch at the horizon.
-    for (s, c) in copies {
+    // Finite-horizon clamp: settle every open epoch at the horizon, in
+    // server order (same seed-independence argument as the drop loop).
+    let mut open: Vec<(ServerId, Copy)> = copies.into_iter().collect();
+    open.sort_unstable_by_key(|&(s, _)| s);
+    for (s, c) in open {
         let end = c.deadline.min(horizon).max(c.since);
         cost += mu * (end - c.since);
         if end > c.since {
@@ -235,5 +241,29 @@ mod tests {
                 off.cost
             );
         }
+    }
+
+    #[test]
+    fn output_is_identical_across_threads() {
+        // `std::collections::HashMap` seeds its hasher per thread; the
+        // policy must not leak iteration order into the schedule or into
+        // the floating-point summation order of the cost.
+        let model = unit_model();
+        let pts: Vec<(f64, u32)> = (1..=64)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (i as f64 * 0.9, ((h >> 33) % 6) as u32)
+            })
+            .collect();
+        let trace = SingleItemTrace::from_pairs(6, &pts);
+        let here = ski_rental(&trace, &model);
+        let elsewhere = std::thread::scope(|scope| {
+            scope
+                .spawn(|| ski_rental(&trace, &model))
+                .join()
+                .expect("worker")
+        });
+        assert_eq!(here.cost.to_bits(), elsewhere.cost.to_bits());
+        assert_eq!(here.schedule, elsewhere.schedule);
     }
 }
