@@ -32,4 +32,4 @@ pub mod streaming;
 pub use jaccard::{CoOccurrence, JaccardMatrix};
 pub use matching::{greedy_matching, Packing};
 pub use sparse::{greedy_matching_sparse, SparseCoOccurrence};
-pub use streaming::StreamingCooccurrence;
+pub use streaming::{StreamingCooccurrence, StreamingSnapshot};

@@ -14,6 +14,37 @@ use std::collections::HashMap;
 
 use mcs_model::{ItemId, Request};
 
+/// A deterministic, serializable image of a [`StreamingCooccurrence`].
+///
+/// Counts are listed in ascending id order (the `HashMap` iteration
+/// order never leaks), and every float is carried verbatim — restoring a
+/// snapshot reproduces the source instance *bit for bit*: `jaccard`,
+/// `count`, and `pair_count` return identical bits before and after a
+/// round-trip, including through the JSON layer (whose shortest-
+/// round-trip float writer is exact). This is what makes the serving
+/// daemon's checkpoint/recovery invariant possible (see `mcs-serve`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingSnapshot {
+    /// Per-request decay factor in `(0, 1]`.
+    pub decay: f64,
+    /// The lazy global scale at snapshot time.
+    pub scale: f64,
+    /// Requests observed.
+    pub observed: usize,
+    /// `(item, stored count)` ascending by item.
+    pub item_counts: Vec<(ItemId, f64)>,
+    /// `((a, b), stored count)` with `a <= b`, ascending by `(a, b)`.
+    pub pair_counts: Vec<(ItemId, ItemId, f64)>,
+}
+
+mcs_model::impl_json!(StreamingSnapshot {
+    decay,
+    scale,
+    observed,
+    item_counts,
+    pair_counts
+});
+
 /// Exponentially decayed co-occurrence statistics.
 #[derive(Debug, Clone)]
 pub struct StreamingCooccurrence {
@@ -50,6 +81,69 @@ impl StreamingCooccurrence {
     /// Number of requests observed.
     pub fn observed(&self) -> usize {
         self.observed
+    }
+
+    /// Captures the full state as a deterministic, serializable
+    /// [`StreamingSnapshot`]. Restoring it with [`Self::from_snapshot`]
+    /// yields an instance whose every query agrees bit for bit.
+    pub fn snapshot(&self) -> StreamingSnapshot {
+        let mut item_counts: Vec<(ItemId, f64)> =
+            self.item_counts.iter().map(|(&k, &v)| (k, v)).collect();
+        item_counts.sort_by_key(|&(k, _)| k);
+        let mut pair_counts: Vec<(ItemId, ItemId, f64)> = self
+            .pair_counts
+            .iter()
+            .map(|(&(a, b), &v)| (a, b, v))
+            .collect();
+        pair_counts.sort_by_key(|&(a, b, _)| (a, b));
+        StreamingSnapshot {
+            decay: self.decay,
+            scale: self.scale,
+            observed: self.observed,
+            item_counts,
+            pair_counts,
+        }
+    }
+
+    /// Rebuilds an instance from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots whose `decay` lies outside `(0, 1]`, whose
+    /// `scale` is not a positive finite number, or whose counts are
+    /// non-finite — the states [`Self::observe`] can never produce.
+    pub fn from_snapshot(snap: &StreamingSnapshot) -> Result<Self, String> {
+        if !(snap.decay > 0.0 && snap.decay <= 1.0) {
+            return Err(format!("decay must lie in (0, 1], got {}", snap.decay));
+        }
+        if !(snap.scale > 0.0 && snap.scale.is_finite()) {
+            return Err(format!(
+                "scale must be positive and finite, got {}",
+                snap.scale
+            ));
+        }
+        if let Some((item, c)) = snap
+            .item_counts
+            .iter()
+            .find(|(_, c)| !c.is_finite())
+            .copied()
+        {
+            return Err(format!("non-finite count {c} for {item}"));
+        }
+        if let Some(&(a, b, c)) = snap.pair_counts.iter().find(|(_, _, c)| !c.is_finite()) {
+            return Err(format!("non-finite count {c} for pair ({a}, {b})"));
+        }
+        Ok(StreamingCooccurrence {
+            decay: snap.decay,
+            scale: snap.scale,
+            item_counts: snap.item_counts.iter().copied().collect(),
+            pair_counts: snap
+                .pair_counts
+                .iter()
+                .map(|&(a, b, v)| ((a, b), v))
+                .collect(),
+            observed: snap.observed,
+        })
     }
 
     /// Feeds one request.
@@ -331,5 +425,110 @@ mod tests {
     #[should_panic(expected = "decay must lie")]
     fn zero_decay_is_rejected() {
         let _ = StreamingCooccurrence::new(0.0);
+    }
+
+    /// Property test (satellite of the serving-daemon PR): snapshot →
+    /// JSON → restore must reproduce the never-serialized instance *bit
+    /// for bit* on random decayed streams — the recovery invariant the
+    /// `mcs-serve` checkpoints rely on. Checked both at rest (every
+    /// `jaccard`/`count` identical to the last bit) and in motion (both
+    /// instances keep agreeing after observing a further shared suffix).
+    #[test]
+    fn checkpoint_round_trip_is_bit_identical_on_random_streams() {
+        use mcs_model::json::{parse, FromJson, ToJson};
+        use mcs_model::rng::Rng;
+        for case in 0..40u64 {
+            let mut rng = Rng::seed_from_u64(0xC4EC_4001 + case);
+            let decay = match case % 3 {
+                0 => 1.0,
+                1 => 0.5 + rng.gen_f64() * 0.5,
+                _ => 0.05 + rng.gen_f64() * 0.3, // deep decay exercises `scale`
+            };
+            let k = rng.gen_range(2u32..=8);
+            let n = rng.gen_range(10usize..=300);
+            let mut b = RequestSeqBuilder::new(1, k);
+            let mut t = 0.0;
+            for _ in 0..n + 20 {
+                t += 0.5;
+                let first = rng.gen_range(0u32..k);
+                let mut items = vec![first];
+                if rng.gen_bool(0.6) {
+                    items.push((first + 1 + rng.gen_range(0u32..k - 1)) % k);
+                    items.dedup();
+                }
+                b = b.push(0u32, t, items);
+            }
+            let seq = b.build().unwrap();
+            let (prefix, suffix) = seq.requests().split_at(n);
+
+            let mut live = StreamingCooccurrence::new(decay);
+            for r in prefix {
+                live.observe(r);
+            }
+            let text = live.snapshot().to_json().to_string_pretty();
+            let snap = StreamingSnapshot::from_json(&parse(&text).unwrap()).unwrap();
+            let mut restored = StreamingCooccurrence::from_snapshot(&snap).unwrap();
+
+            let assert_bitwise_equal =
+                |a: &StreamingCooccurrence, b: &StreamingCooccurrence, when: &str| {
+                    assert_eq!(a.observed(), b.observed(), "case {case} {when}");
+                    for i in 0..k {
+                        assert_eq!(
+                            a.count(ItemId(i)).to_bits(),
+                            b.count(ItemId(i)).to_bits(),
+                            "case {case} {when}: count({i})"
+                        );
+                        for j in 0..k {
+                            assert_eq!(
+                                a.jaccard(ItemId(i), ItemId(j)).to_bits(),
+                                b.jaccard(ItemId(i), ItemId(j)).to_bits(),
+                                "case {case} {when}: J({i},{j})"
+                            );
+                        }
+                    }
+                    assert_eq!(a.pairs(), b.pairs(), "case {case} {when}: pair listing");
+                };
+            assert_bitwise_equal(&live, &restored, "at rest");
+            for r in suffix {
+                live.observe(r);
+                restored.observe(r);
+            }
+            assert_bitwise_equal(&live, &restored, "after shared suffix");
+        }
+    }
+
+    #[test]
+    fn bad_snapshots_are_rejected() {
+        let good = StreamingCooccurrence::new(0.5).snapshot();
+        for (mutate, what) in [
+            (
+                Box::new(|s: &mut StreamingSnapshot| s.decay = 0.0)
+                    as Box<dyn Fn(&mut StreamingSnapshot)>,
+                "decay",
+            ),
+            (Box::new(|s: &mut StreamingSnapshot| s.decay = 1.5), "decay"),
+            (Box::new(|s: &mut StreamingSnapshot| s.scale = 0.0), "scale"),
+            (
+                Box::new(|s: &mut StreamingSnapshot| s.scale = f64::INFINITY),
+                "scale",
+            ),
+            (
+                Box::new(|s: &mut StreamingSnapshot| {
+                    s.item_counts.push((ItemId(0), f64::NAN));
+                }),
+                "count",
+            ),
+            (
+                Box::new(|s: &mut StreamingSnapshot| {
+                    s.pair_counts.push((ItemId(0), ItemId(1), f64::INFINITY));
+                }),
+                "count",
+            ),
+        ] {
+            let mut bad = good.clone();
+            mutate(&mut bad);
+            let err = StreamingCooccurrence::from_snapshot(&bad).unwrap_err();
+            assert!(err.contains(what), "{err}");
+        }
     }
 }

@@ -60,6 +60,22 @@ impl JsonError {
     }
 }
 
+/// 1-based `(line, column)` of byte offset `at` in `input`, for reporting
+/// parse positions in a form editors understand. Offsets past the end
+/// clamp to the final position; columns count bytes, which matches the
+/// ASCII trace/checkpoint files this workspace writes.
+#[must_use]
+pub fn line_col(input: &str, at: usize) -> (usize, usize) {
+    let at = at.min(input.len());
+    let prefix = &input.as_bytes()[..at];
+    let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
+    let line_start = prefix
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |p| p + 1);
+    (line, at - line_start + 1)
+}
+
 impl Json {
     /// Field lookup on an object.
     pub fn get(&self, key: &str) -> Option<&Json> {
@@ -396,7 +412,20 @@ pub trait FromJson: Sized {
     fn from_json(v: &Json) -> Result<Self, JsonError>;
 }
 
-macro_rules! impl_num_json {
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+            .ok_or_else(|| JsonError::conv("expected number for f64"))
+    }
+}
+
+macro_rules! impl_int_json {
     ($($t:ty),*) => {$(
         impl ToJson for $t {
             fn to_json(&self) -> Json {
@@ -404,17 +433,32 @@ macro_rules! impl_num_json {
             }
         }
         impl FromJson for $t {
+            /// Strict: rejects non-integers and values outside the target
+            /// range (in particular, negatives for the unsigned kinds)
+            /// instead of silently truncating through `as`.
             fn from_json(v: &Json) -> Result<Self, JsonError> {
                 let n = v
                     .as_f64()
                     .ok_or_else(|| JsonError::conv(concat!("expected number for ", stringify!($t))))?;
+                if !n.is_finite() || n.fract() != 0.0 {
+                    return Err(JsonError::conv(format!(
+                        concat!("expected integer for ", stringify!($t), ", got {}"),
+                        n
+                    )));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(JsonError::conv(format!(
+                        concat!("{} out of range for ", stringify!($t)),
+                        n
+                    )));
+                }
                 Ok(n as $t)
             }
         }
     )*};
 }
 
-impl_num_json!(f64, u32, u64, usize, i64, i32);
+impl_int_json!(u32, u64, usize, i64, i32);
 
 impl ToJson for bool {
     fn to_json(&self) -> Json {
@@ -494,6 +538,38 @@ impl<A: ToJson, B: ToJson> ToJson for (A, B) {
 impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
     fn to_json(&self) -> Json {
         Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+/// Fixed-arity array lookup shared by the tuple [`FromJson`] impls.
+fn tuple_elems<const N: usize>(v: &Json) -> Result<&[Json], JsonError> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| JsonError::conv(format!("expected {N}-element array")))?;
+    if arr.len() != N {
+        return Err(JsonError::conv(format!(
+            "expected {N}-element array, got {}",
+            arr.len()
+        )));
+    }
+    Ok(arr)
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let arr = tuple_elems::<2>(v)?;
+        Ok((A::from_json(&arr[0])?, B::from_json(&arr[1])?))
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let arr = tuple_elems::<3>(v)?;
+        Ok((
+            A::from_json(&arr[0])?,
+            B::from_json(&arr[1])?,
+            C::from_json(&arr[2])?,
+        ))
     }
 }
 
@@ -646,5 +722,33 @@ mod tests {
         let v = parse(r#"{"x": 1}"#).unwrap();
         let e = Demo::from_json(&v).unwrap_err();
         assert!(e.msg.contains('n'), "{e}");
+    }
+
+    /// The integer kinds must reject what `as` would silently mangle:
+    /// negatives into unsigned, fractions, and out-of-range magnitudes.
+    #[test]
+    fn integer_conversion_is_strict() {
+        assert_eq!(u32::from_json(&Json::Num(7.0)).unwrap(), 7);
+        assert_eq!(i32::from_json(&Json::Num(-7.0)).unwrap(), -7);
+        assert!(u32::from_json(&Json::Num(-1.0)).is_err());
+        assert!(u64::from_json(&Json::Num(-0.5)).is_err());
+        assert!(usize::from_json(&Json::Num(2.5)).is_err());
+        assert!(u32::from_json(&Json::Num(4.3e9)).is_err()); // > u32::MAX
+        assert!(i32::from_json(&Json::Num(-3.0e9)).is_err()); // < i32::MIN
+        assert!(u32::from_json(&Json::Num(f64::NAN)).is_err());
+        assert!(u32::from_json(&Json::Str("7".into())).is_err());
+        // f64 remains permissive: any number is a number.
+        assert_eq!(f64::from_json(&Json::Num(2.5)).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn line_col_locates_byte_offsets() {
+        let text = "ab\ncd\n\nefg";
+        assert_eq!(line_col(text, 0), (1, 1));
+        assert_eq!(line_col(text, 1), (1, 2));
+        assert_eq!(line_col(text, 3), (2, 1));
+        assert_eq!(line_col(text, 6), (3, 1));
+        assert_eq!(line_col(text, 9), (4, 3));
+        assert_eq!(line_col(text, 999), (4, 4)); // clamped past the end
     }
 }

@@ -28,11 +28,34 @@ crate::impl_json!(Request {
     time,
     items
 });
-crate::impl_json!(RequestSeq {
+crate::impl_to_json!(RequestSeq {
     servers,
     items,
     requests
 });
+
+/// Deserialisation runs through [`RequestSeqBuilder`], so a hand-edited or
+/// corrupted file cannot smuggle in a sequence violating the standing
+/// assumptions (ordered times, in-range ids, …). Violations are reported
+/// with the offending request's index via [`ModelError`].
+impl crate::json::FromJson for RequestSeq {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        use crate::json::JsonError;
+        let field = |name: &str| -> Result<_, JsonError> { v.field(name) };
+        let servers = u32::from_json(field("servers")?)
+            .map_err(|e| JsonError::conv(format!("field `servers`: {}", e.msg)))?;
+        let items = u32::from_json(field("items")?)
+            .map_err(|e| JsonError::conv(format!("field `items`: {}", e.msg)))?;
+        let requests = Vec::<Request>::from_json(field("requests")?)
+            .map_err(|e| JsonError::conv(format!("field `requests`: {}", e.msg)))?;
+        let mut b = RequestSeqBuilder::new(servers, items);
+        for r in requests {
+            b = b.push(r.server, r.time, r.items.iter().map(|i| i.0));
+        }
+        b.build()
+            .map_err(|e| JsonError::conv(format!("invalid request sequence: {e}")))
+    }
+}
 crate::impl_json!(TracePoint { time, server });
 crate::impl_json!(SingleItemTrace { servers, points });
 

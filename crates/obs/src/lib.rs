@@ -38,5 +38,7 @@ pub mod metrics;
 pub mod span;
 
 pub use ledger::{CostBreakdown, Ledger, LedgerEvent, Subject};
-pub use metrics::{counter_add, enabled, observe, reset, set_enabled, snapshot, MetricsSnapshot};
+pub use metrics::{
+    counter_add, enabled, gauge_set, observe, reset, set_enabled, snapshot, MetricsSnapshot,
+};
 pub use span::{span, time_phase, Span};

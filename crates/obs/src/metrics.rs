@@ -18,9 +18,38 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-/// Summary statistics of one histogram (we keep moments, not buckets:
-/// phase timers need count/total/mean/min/max, and a fixed-size summary
-/// keeps the hot path allocation-free).
+/// Number of power-of-two magnitude buckets kept per histogram (see
+/// [`HistSummary::quantile`]).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Bucket index of one observation: `floor(log2(v)) + 40`, clamped to
+/// the table. Bucket `i` therefore covers `[2^(i-40), 2^(i-39))`, which
+/// spans ~1 ns to ~2^23 s when observations are in seconds — far wider
+/// than any latency this workspace records.
+fn bucket_of(v: f64) -> usize {
+    if v <= 0.0 || !v.is_finite() {
+        // NaN also lands here: it fails `is_finite`.
+        return 0;
+    }
+    let e = v.log2().floor() + 40.0;
+    if e < 0.0 {
+        0
+    } else {
+        (e as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Upper bound of bucket `i` (the value reported for quantiles landing in
+/// that bucket).
+fn bucket_upper(i: usize) -> f64 {
+    2f64.powi(i as i32 - 39)
+}
+
+/// Summary statistics of one histogram: moments (count/total/mean/
+/// min/max, what phase timers need) plus a fixed table of power-of-two
+/// magnitude buckets so tail quantiles (p99 admission latency, say) can
+/// be estimated without keeping every observation. Fixed-size by design:
+/// the hot path stays allocation-free.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistSummary {
     /// Number of observations.
@@ -31,6 +60,8 @@ pub struct HistSummary {
     pub min: f64,
     /// Largest observation ([`f64::NEG_INFINITY`] when empty).
     pub max: f64,
+    /// Observation counts per power-of-two magnitude bucket.
+    pub buckets: [u64; HIST_BUCKETS],
 }
 
 impl HistSummary {
@@ -40,6 +71,7 @@ impl HistSummary {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            buckets: [0; HIST_BUCKETS],
         }
     }
 
@@ -48,6 +80,7 @@ impl HistSummary {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
     }
 
     fn merge(&mut self, other: &HistSummary) {
@@ -55,6 +88,9 @@ impl HistSummary {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
     }
 
     /// Mean observation, or 0 when empty.
@@ -64,6 +100,26 @@ impl HistSummary {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`), from the magnitude buckets:
+    /// the upper bound of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`, clamped to the observed `[min, max]` range. The
+    /// estimate is exact to within a factor of 2 (one bucket), which is
+    /// what a latency gate needs. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -93,6 +149,13 @@ static GLOBAL: Mutex<Registry> = Mutex::new(Registry {
     counters: BTreeMap::new(),
     hists: BTreeMap::new(),
 });
+
+/// Gauges are last-write-wins point-in-time values (queue depth, lag,
+/// WAL size). Unlike counters/histograms they cannot merge per-thread —
+/// "last write" needs a global order — so sets go straight to one global
+/// map. Gauge updates are rare (per epoch, not per request), so the lock
+/// is off every hot path.
+static GAUGES: Mutex<BTreeMap<&'static str, f64>> = Mutex::new(BTreeMap::new());
 
 /// Thread-local buffer; its [`Drop`] (at thread exit) folds the buffer
 /// into the global aggregate so worker-thread metrics are not lost.
@@ -151,6 +214,16 @@ pub fn observe(name: &'static str, value: f64) {
     });
 }
 
+/// Sets the named gauge to `value` (last write wins).
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    if let Ok(mut g) = GAUGES.lock() {
+        g.insert(name, value);
+    }
+}
+
 /// A point-in-time copy of the aggregated metrics, deterministically
 /// ordered by name.
 #[derive(Debug, Clone, Default)]
@@ -159,6 +232,8 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(&'static str, u64)>,
     /// Histogram summaries by name.
     pub hists: Vec<(&'static str, HistSummary)>,
+    /// Gauge values by name (last write wins).
+    pub gauges: Vec<(&'static str, f64)>,
 }
 
 impl MetricsSnapshot {
@@ -174,6 +249,14 @@ impl MetricsSnapshot {
     pub fn hist(&self, name: &str) -> Option<&HistSummary> {
         self.hists.iter().find(|(k, _)| *k == name).map(|(_, h)| h)
     }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 /// Drains the calling thread's buffer into the global aggregate and
@@ -187,14 +270,22 @@ pub fn snapshot() -> MetricsSnapshot {
     MetricsSnapshot {
         counters: global.counters.iter().map(|(&k, &v)| (k, v)).collect(),
         hists: global.hists.iter().map(|(&k, &h)| (k, h)).collect(),
+        gauges: GAUGES
+            .lock()
+            .map(|g| g.iter().map(|(&k, &v)| (k, v)).collect())
+            .unwrap_or_default(),
     }
 }
 
-/// Clears the global aggregate and the calling thread's buffer.
+/// Clears the global aggregate, the gauges, and the calling thread's
+/// buffer.
 pub fn reset() {
     let mut global = GLOBAL.lock().expect("obs metrics mutex");
     *global = Registry::default();
     LOCAL.with(|b| *b.0.borrow_mut() = Registry::default());
+    if let Ok(mut g) = GAUGES.lock() {
+        g.clear();
+    }
 }
 
 #[cfg(test)]
@@ -236,9 +327,52 @@ mod tests {
         set_enabled(false);
         counter_add("test.counter.disabled", 10);
         observe("test.hist.disabled", 1.0);
+        gauge_set("test.gauge.disabled", 3.0);
         set_enabled(true);
         let s = snapshot();
         assert_eq!(s.counter("test.counter.disabled"), None);
         assert!(s.hist("test.hist.disabled").is_none());
+        assert_eq!(s.gauge("test.gauge.disabled"), None);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        gauge_set("test.gauge.lag", 5.0);
+        gauge_set("test.gauge.lag", 2.0);
+        let s = snapshot();
+        assert_eq!(s.gauge("test.gauge.lag"), Some(2.0));
+        assert_eq!(s.gauge("test.gauge.nope"), None);
+    }
+
+    #[test]
+    fn quantiles_bound_the_tail_within_a_bucket() {
+        // 99 fast observations and one slow outlier: p50 must stay near
+        // the fast mass, p99+ must reach the outlier's bucket.
+        for _ in 0..99 {
+            observe("test.hist.quantile", 1e-4);
+        }
+        observe("test.hist.quantile", 1.0);
+        let s = snapshot();
+        let h = s.hist("test.hist.quantile").expect("hist recorded");
+        assert_eq!(h.count, 100);
+        let p50 = h.quantile(0.5);
+        assert!((1e-4..2e-4).contains(&p50), "p50 = {p50}");
+        // With exactly 1% of mass in the top bucket, p99's rank (99) still
+        // lands in the fast bucket and p100 reaches the outlier.
+        assert!(h.quantile(0.99) < 1e-3);
+        assert_eq!(h.quantile(1.0), 1.0); // clamped to max
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let s0 = HistSummary::new();
+        assert_eq!(s0.quantile(0.99), 0.0);
+        observe("test.hist.qedge", 0.0); // non-positive lands in bucket 0
+        observe("test.hist.qedge", f64::NAN); // and so do non-finite values
+        let s = snapshot();
+        let h = s.hist("test.hist.qedge").expect("hist recorded");
+        assert_eq!(h.buckets[0], 2);
+        // Quantiles stay within [min, max] by the clamp.
+        assert_eq!(h.quantile(0.5), 0.0);
     }
 }

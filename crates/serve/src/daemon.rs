@@ -1,0 +1,756 @@
+//! The serving daemon: WAL-ordered ingestion, deadline-bounded epoch
+//! settlement, and crash recovery.
+//!
+//! # Write ordering (the crash-safety argument)
+//!
+//! Every state transition is made durable *before* it is applied:
+//!
+//! 1. **Admission** — a validated request is appended to the epoch WAL
+//!    (and flushed) first, then fed to the streaming statistics and the
+//!    epoch buffer. A crash between the two replays the record; a crash
+//!    mid-append leaves a torn tail that was never applied, and the
+//!    resumable input source re-delivers the request.
+//! 2. **Settlement** — when the epoch buffer fills, the outcome
+//!    (`ok`/`deadline`/`panic` plus the settled cost as raw `f64` bits)
+//!    is appended to the WAL first, then applied: cost accumulators,
+//!    placement refresh, checkpoint (atomic tmp + rename), WAL rotation.
+//!    Recovery *replays the recorded outcome* instead of re-running the
+//!    solver, so deadline and panic nondeterminism cannot make a
+//!    recovered state diverge from the pre-crash one.
+//!
+//! With those two rules, `kill -9` at any instant recovers — checkpoint
+//! plus WAL tail — to a state byte-identical to the never-crashed run
+//! over the same input (enforced end-to-end by
+//! `tests/serve_crash_recovery.rs`). The single caveat: a crash landing
+//! *between* epoch-full and the settle append re-runs settlement on
+//! recovery, so the class of outcome (ok vs. deadline) is reproduced
+//! rather than replayed; the solvers are deterministic, so only a
+//! deadline set tighter than the solver's actual runtime can differ.
+//!
+//! # Bounded latency
+//!
+//! Per-request work is admission-validation, one WAL append, and an
+//! `O(|D|²)` streaming update with `|D|` capped by admission control
+//! ([`ServeConfig::max_items`]). Settlement runs on a worker thread
+//! under [`ServeConfig::settle_timeout`]; on deadline or solver panic
+//! (isolated by `catch_unwind`) the epoch settles *degraded*: last-good
+//! placement, conservative fallback pricing (packed co-requests at the
+//! package-delivery rate `2αλ`, everything else at `λ` per access), and
+//! the epoch is recorded in [`DaemonState::degraded_epochs`]. The
+//! ok-vs-degraded quality gap is surfaced as the degradation ratio
+//! (relative `ave_cost`, the chaos harness's cost-inflation metric).
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use mcs_correlation::{matching::greedy_matching_from_pairs, StreamingCooccurrence};
+use mcs_engine::{find, CachingSolver, RunContext};
+use mcs_model::defaults::{DEFAULT_SEED, DEFAULT_THETA};
+use mcs_model::{CostModel, ItemId, Request, RequestSeqBuilder, ServerId};
+
+use crate::checkpoint::{DaemonState, PendingReq};
+use crate::protocol::{parse_line, Frame};
+use crate::wal::{read_records, EpochStatus, Wal, WalRecord};
+
+/// Serving-run parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Durable state directory (checkpoint + WALs).
+    pub dir: PathBuf,
+    /// Cost model for settlement.
+    pub model: CostModel,
+    /// Packing threshold θ.
+    pub theta: f64,
+    /// Base seed; each epoch derives its own via [`RunContext::for_epoch`].
+    pub seed: u64,
+    /// Registry name of the settlement solver.
+    pub algo: String,
+    /// Requests per epoch.
+    pub epoch_len: usize,
+    /// Streaming decay factor in `(0, 1]`.
+    pub decay: f64,
+    /// Settlement deadline; missing it degrades the epoch.
+    pub settle_timeout: Duration,
+    /// Admission control: largest item set accepted per request.
+    pub max_items: usize,
+    /// Test hook: sleep this long per request frame (lets the crash
+    /// harness land `kill -9` mid-epoch deterministically).
+    pub throttle: Duration,
+    /// Test hook: panic inside settlement of this epoch.
+    pub inject_panic_epoch: Option<u64>,
+    /// Suppress per-event stderr notes.
+    pub quiet: bool,
+}
+
+impl ServeConfig {
+    /// Defaults for a serve directory: `dp_greedy` settlement, epochs of
+    /// 64 requests, no decay, a 2 s settlement deadline.
+    pub fn new(dir: PathBuf) -> Self {
+        ServeConfig {
+            dir,
+            model: mcs_model::defaults::default_model(),
+            theta: DEFAULT_THETA,
+            seed: DEFAULT_SEED,
+            algo: "dp_greedy".to_string(),
+            epoch_len: 64,
+            decay: 1.0,
+            settle_timeout: Duration::from_secs(2),
+            max_items: 64,
+            throttle: Duration::ZERO,
+            inject_panic_epoch: None,
+            quiet: false,
+        }
+    }
+}
+
+/// A daemon failure (as opposed to a rejected frame, which is counted
+/// and survived).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem/WAL failure.
+    Io(std::io::Error),
+    /// Inconsistent or unusable durable state, bad handshake, unknown
+    /// solver — anything that makes continuing unsound.
+    State(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve io: {e}"),
+            ServeError::State(m) => write!(f, "serve: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// End-of-run accounting (process-local; durable truth lives in
+/// [`DaemonState`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests admitted this run (excludes WAL-replayed ones).
+    pub admitted: u64,
+    /// Frames rejected by admission control.
+    pub rejected: u64,
+    /// Frames skipped because their time was already covered by the
+    /// recovered state (the resume path re-reading an input file).
+    pub stale: u64,
+    /// Unparsable input lines.
+    pub malformed: u64,
+    /// Requests replayed from the WAL during recovery.
+    pub replayed: u64,
+    /// Epochs settled this run.
+    pub epochs_settled: u64,
+}
+
+/// What admission decided about one `req` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// Logged, applied, and (possibly) settled.
+    Admitted,
+    /// Time not beyond the recovered/served horizon — skipped.
+    Stale,
+    /// Validation failure, with the reason.
+    Rejected(String),
+}
+
+/// A running serving daemon.
+pub struct Daemon {
+    cfg: ServeConfig,
+    solver: &'static dyn CachingSolver,
+    base_ctx: RunContext,
+    state: DaemonState,
+    stream: StreamingCooccurrence,
+    wal: Wal,
+    summary: ServeSummary,
+}
+
+impl Daemon {
+    fn resolve(cfg: &ServeConfig) -> Result<(&'static dyn CachingSolver, RunContext), ServeError> {
+        let solver = find(&cfg.algo)
+            .ok_or_else(|| ServeError::State(format!("unknown algorithm {}", cfg.algo)))?;
+        if cfg.epoch_len == 0 {
+            return Err(ServeError::State("epoch length must be positive".into()));
+        }
+        let ctx = RunContext::new(cfg.model)
+            .with_theta(cfg.theta)
+            .with_seed(cfg.seed);
+        Ok((solver, ctx))
+    }
+
+    /// Starts a fresh daemon for a `hello <servers> <items>` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or an unknown solver.
+    pub fn fresh(cfg: ServeConfig, servers: u32, items: u32) -> Result<Daemon, ServeError> {
+        let (solver, base_ctx) = Self::resolve(&cfg)?;
+        std::fs::create_dir_all(&cfg.dir)?;
+        let state = DaemonState::fresh(servers, items, cfg.decay);
+        let stream =
+            StreamingCooccurrence::from_snapshot(&state.streaming).map_err(ServeError::State)?;
+        // Persist the epoch-0 checkpoint immediately: without it, a crash
+        // before the first settlement would make recovery ignore the
+        // epoch-0 WAL and re-admit (duplicate) its requests.
+        state.save(&cfg.dir)?;
+        let wal = Wal::open(&cfg.dir, state.epoch)?;
+        Ok(Daemon {
+            cfg,
+            solver,
+            base_ctx,
+            state,
+            stream,
+            wal,
+            summary: ServeSummary::default(),
+        })
+    }
+
+    /// Recovers a daemon from the durable state in `cfg.dir`, replaying
+    /// the WAL tail on top of the checkpoint. Returns `Ok(None)` when the
+    /// directory holds no checkpoint (a fresh run).
+    ///
+    /// # Errors
+    ///
+    /// Fails on corrupt checkpoints, mid-log WAL corruption, or
+    /// filesystem errors. Torn WAL tails recover cleanly.
+    pub fn recover(cfg: ServeConfig) -> Result<Option<Daemon>, ServeError> {
+        let Some(state) = DaemonState::load(&cfg.dir).map_err(ServeError::State)? else {
+            return Ok(None);
+        };
+        let (solver, base_ctx) = Self::resolve(&cfg)?;
+        let stream = StreamingCooccurrence::from_snapshot(&state.streaming)
+            .map_err(|e| ServeError::State(format!("checkpoint streaming state: {e}")))?;
+        let mut daemon = Daemon {
+            wal: Wal::open(&cfg.dir, state.epoch)?,
+            cfg,
+            solver,
+            base_ctx,
+            state,
+            stream,
+            summary: ServeSummary::default(),
+        };
+        daemon.replay()?;
+        Ok(Some(daemon))
+    }
+
+    /// Replays `wal-<epoch>.log` (and any successors completed by a
+    /// settle record) on top of the checkpoint.
+    fn replay(&mut self) -> Result<(), ServeError> {
+        loop {
+            let contents = read_records(&self.cfg.dir, self.state.epoch)?;
+            let mut settled = false;
+            for record in contents.records {
+                match record {
+                    WalRecord::Req {
+                        time,
+                        server,
+                        items,
+                    } => {
+                        self.apply_request(time, server, items);
+                        self.summary.replayed += 1;
+                        mcs_obs::counter_add("serve.replayed", 1);
+                    }
+                    WalRecord::Settle { status, cost_bits } => {
+                        // Replay the *recorded* outcome — never re-run
+                        // the solver during recovery.
+                        self.apply_settlement(status, f64::from_bits(cost_bits))?;
+                        settled = true;
+                    }
+                }
+            }
+            if !settled {
+                break;
+            }
+            // The settle we just replayed advanced the epoch; its log may
+            // exist if the crash landed after rotation.
+        }
+        self.wal = Wal::open(&self.cfg.dir, self.state.epoch)?;
+        // The buffer may have filled with no settle record durable yet
+        // (crash inside settlement, before the outcome was logged):
+        // settle now, exactly as the pre-crash process was about to.
+        if self.state.pending.len() >= self.cfg.epoch_len {
+            self.settle_epoch()?;
+        }
+        Ok(())
+    }
+
+    /// Validates the handshake against recovered state.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the declared fleet/catalog sizes contradict the
+    /// checkpoint — serving a different universe on old state corrupts it.
+    pub fn hello(&self, servers: u32, items: u32) -> Result<(), ServeError> {
+        if servers != self.state.servers || items != self.state.items {
+            return Err(ServeError::State(format!(
+                "hello {servers} {items} does not match recovered state ({} servers, {} items)",
+                self.state.servers, self.state.items
+            )));
+        }
+        Ok(())
+    }
+
+    /// Admission control + durable logging + application for one frame.
+    ///
+    /// # Errors
+    ///
+    /// Only daemon failures (WAL/checkpoint IO) are errors; invalid
+    /// frames come back as [`Admission::Rejected`].
+    pub fn admit(
+        &mut self,
+        time: f64,
+        server: ServerId,
+        mut items: Vec<ItemId>,
+    ) -> Result<Admission, ServeError> {
+        if !time.is_finite() || time <= 0.0 {
+            self.summary.rejected += 1;
+            mcs_obs::counter_add("serve.rejected", 1);
+            return Ok(Admission::Rejected(format!("non-positive time {time}")));
+        }
+        if time <= self.state.last_time {
+            // Already covered by recovered/served history: the resume
+            // path re-reading its input, or an out-of-order source.
+            self.summary.stale += 1;
+            mcs_obs::counter_add("serve.stale", 1);
+            return Ok(Admission::Stale);
+        }
+        let reject = |what: String| Admission::Rejected(what);
+        if server.0 >= self.state.servers {
+            self.summary.rejected += 1;
+            mcs_obs::counter_add("serve.rejected", 1);
+            return Ok(reject(format!(
+                "server {} out of range (fleet is {})",
+                server.0, self.state.servers
+            )));
+        }
+        items.sort_unstable();
+        items.dedup();
+        if items.is_empty() {
+            self.summary.rejected += 1;
+            mcs_obs::counter_add("serve.rejected", 1);
+            return Ok(reject("empty item set".into()));
+        }
+        if items.len() > self.cfg.max_items {
+            // Backpressure: oversized requests would break the O(|D|²)
+            // per-request latency bound.
+            self.summary.rejected += 1;
+            mcs_obs::counter_add("serve.rejected", 1);
+            mcs_obs::counter_add("serve.backpressure_drops", 1);
+            return Ok(reject(format!(
+                "item set of {} exceeds the admission cap {}",
+                items.len(),
+                self.cfg.max_items
+            )));
+        }
+        if let Some(&max) = items.last() {
+            if max.0 >= self.state.items {
+                self.summary.rejected += 1;
+                mcs_obs::counter_add("serve.rejected", 1);
+                return Ok(reject(format!(
+                    "item {} out of range (catalog is {})",
+                    max.0, self.state.items
+                )));
+            }
+        }
+
+        // Durable before applied: WAL first.
+        self.wal.append(&WalRecord::Req {
+            time,
+            server,
+            items: items.clone(),
+        })?;
+        self.apply_request(time, server, items);
+        self.summary.admitted += 1;
+        mcs_obs::counter_add("serve.admitted", 1);
+
+        if self.state.pending.len() >= self.cfg.epoch_len {
+            self.settle_epoch()?;
+        }
+        mcs_obs::gauge_set(
+            "serve.backpressure",
+            self.state.pending.len() as f64 / self.cfg.epoch_len as f64,
+        );
+        Ok(Admission::Admitted)
+    }
+
+    /// Applies an admitted (or replayed) request to in-memory state.
+    fn apply_request(&mut self, time: f64, server: ServerId, items: Vec<ItemId>) {
+        self.stream.observe(&Request {
+            server,
+            time,
+            items: items.clone(),
+        });
+        self.state.pending.push(PendingReq {
+            time,
+            server: server.0,
+            items: items.into_iter().map(|i| i.0).collect(),
+        });
+        self.state.admitted += 1;
+        self.state.last_time = time;
+    }
+
+    /// Settles the open epoch: solver under deadline + panic isolation,
+    /// then the durable settle record, then application.
+    fn settle_epoch(&mut self) -> Result<(), ServeError> {
+        let epoch = self.state.epoch;
+        let (status, cost) = self.compute_outcome(epoch);
+        self.wal.append(&WalRecord::Settle {
+            status,
+            cost_bits: cost.to_bits(),
+        })?;
+        self.apply_settlement(status, cost)?;
+        self.summary.epochs_settled += 1;
+        if !self.cfg.quiet {
+            eprintln!(
+                "serve: epoch {epoch} settled {} cost={cost:.4} (cum={:.4})",
+                status.label(),
+                self.state.cum_cost
+            );
+        }
+        Ok(())
+    }
+
+    /// Runs the solver on a worker thread under the settlement deadline,
+    /// with panics isolated. Returns the outcome and the settled cost.
+    fn compute_outcome(&self, epoch: u64) -> (EpochStatus, f64) {
+        let timer = mcs_obs::span("serve.settle");
+        let mut b = RequestSeqBuilder::new(self.state.servers, self.state.items);
+        for r in &self.state.pending {
+            b = b.push(r.server, r.time, r.items.iter().copied());
+        }
+        let seq = match b.build() {
+            Ok(seq) => seq,
+            // Admission enforces the builder's invariants; if they broke
+            // anyway, fall back rather than crash the daemon.
+            Err(e) => {
+                drop(timer);
+                if !self.cfg.quiet {
+                    eprintln!("serve: epoch {epoch} buffer invalid ({e}); degrading");
+                }
+                return (EpochStatus::Panic, self.fallback_cost());
+            }
+        };
+        let ctx = self.base_ctx.for_epoch(epoch);
+        let solver = self.solver;
+        let inject = self.cfg.inject_panic_epoch == Some(epoch);
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                assert!(!inject, "injected settlement panic (test hook)");
+                solver.solve(&seq, &ctx)
+            }));
+            // The receiver may have timed out and moved on; ignore.
+            let _ = tx.send(result);
+        });
+        match rx.recv_timeout(self.cfg.settle_timeout) {
+            Ok(Ok(sol)) => (EpochStatus::Ok, sol.total_cost),
+            Ok(Err(_panic)) => {
+                mcs_obs::counter_add("serve.solver_panics", 1);
+                (EpochStatus::Panic, self.fallback_cost())
+            }
+            Err(_timeout) => {
+                mcs_obs::counter_add("serve.deadline_misses", 1);
+                (EpochStatus::Deadline, self.fallback_cost())
+            }
+        }
+    }
+
+    /// Conservative degraded pricing under the last-good placement: a
+    /// co-requested packed pair costs one package delivery (`2αλ`, both
+    /// accesses covered); every other access pays a full transfer `λ`.
+    /// No caching credit is claimed — this is an upper bound, which keeps
+    /// the degradation ratio honest.
+    fn fallback_cost(&self) -> f64 {
+        let pd = self.cfg.model.package_delivery_cost();
+        let lambda = self.cfg.model.lambda();
+        let partner: HashMap<u32, u32> = self
+            .state
+            .placement_pairs
+            .iter()
+            .flat_map(|&(a, b)| [(a.0, b.0), (b.0, a.0)])
+            .collect();
+        let mut cost = 0.0;
+        for req in &self.state.pending {
+            for &item in &req.items {
+                match partner.get(&item) {
+                    Some(&p) if req.items.binary_search(&p).is_ok() => {
+                        // Count each co-requested pair once, at its
+                        // lower-id member.
+                        if item < p {
+                            cost += pd;
+                        }
+                    }
+                    _ => cost += lambda,
+                }
+            }
+        }
+        cost
+    }
+
+    /// Applies a settlement outcome (live or WAL-replayed): accumulators,
+    /// placement refresh, checkpoint, WAL rotation.
+    fn apply_settlement(&mut self, status: EpochStatus, cost: f64) -> Result<(), ServeError> {
+        let epoch = self.state.epoch;
+        let accesses: u64 = self
+            .state
+            .pending
+            .iter()
+            .map(|r| r.items.len() as u64)
+            .sum();
+        self.state.cum_cost += cost;
+        if status.is_degraded() {
+            self.state.degraded_cost += cost;
+            self.state.degraded_accesses += accesses;
+            self.state.degraded_epochs.push(epoch);
+            mcs_obs::counter_add("serve.epochs_degraded", 1);
+        } else {
+            self.state.ok_cost += cost;
+            self.state.ok_accesses += accesses;
+            // Placement refresh only on trusted settlements; a degraded
+            // epoch keeps the last-good placement.
+            self.state.placement_pairs =
+                greedy_matching_from_pairs(self.stream.pairs(), self.state.items, self.cfg.theta)
+                    .pairs;
+            mcs_obs::counter_add("serve.epochs_ok", 1);
+        }
+        if let Some(ratio) = self.state.degradation_ratio() {
+            mcs_obs::gauge_set("serve.degradation_ratio", ratio);
+        }
+        self.state.pending.clear();
+        self.state.epoch = epoch + 1;
+        mcs_obs::gauge_set("serve.epoch", self.state.epoch as f64);
+        self.state.streaming = self.stream.snapshot();
+        self.state.save(&self.cfg.dir)?;
+        self.wal = Wal::open(&self.cfg.dir, self.state.epoch)?;
+        Ok(())
+    }
+
+    /// The current in-memory state, with the streaming snapshot
+    /// refreshed — [`DaemonState::canonical_json`] of this is the
+    /// byte-identity witness.
+    pub fn current_state(&self) -> DaemonState {
+        let mut state = self.state.clone();
+        state.streaming = self.stream.snapshot();
+        state
+    }
+
+    /// This run's process-local accounting.
+    pub fn summary(&self) -> ServeSummary {
+        self.summary
+    }
+}
+
+/// Drives a daemon over a line-framed input stream until EOF.
+///
+/// Recovers from `cfg.dir` if a checkpoint exists (validating the
+/// handshake against it), otherwise starts fresh on the first `hello`.
+/// Malformed lines and rejected frames are reported to stderr with their
+/// line numbers and survived; only daemon failures abort.
+///
+/// # Errors
+///
+/// Fails on daemon failures: unusable durable state, handshake
+/// mismatch, a `req` before `hello`, or filesystem errors.
+pub fn serve_stream<R: BufRead>(
+    cfg: ServeConfig,
+    input: R,
+) -> Result<(DaemonState, ServeSummary), ServeError> {
+    let quiet = cfg.quiet;
+    let throttle = cfg.throttle;
+    let mut daemon = Daemon::recover(cfg.clone())?;
+    if daemon.is_some() && !quiet {
+        eprintln!("serve: recovered state from {}", cfg.dir.display());
+    }
+    let mut malformed: u64 = 0;
+    for (idx, line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(ServeError::Io)?;
+        let frame = match parse_line(&line, lineno) {
+            Ok(None) => continue,
+            Ok(Some(f)) => f,
+            Err(e) => {
+                malformed += 1;
+                mcs_obs::counter_add("serve.malformed", 1);
+                if !quiet {
+                    eprintln!("serve: {e}");
+                }
+                continue;
+            }
+        };
+        match frame {
+            Frame::Hello { servers, items } => match &daemon {
+                Some(d) => d.hello(servers, items)?,
+                None => daemon = Some(Daemon::fresh(cfg.clone(), servers, items)?),
+            },
+            Frame::Req {
+                time,
+                server,
+                items,
+            } => {
+                let Some(d) = daemon.as_mut() else {
+                    return Err(ServeError::State(format!(
+                        "line {lineno}: req before hello"
+                    )));
+                };
+                if !throttle.is_zero() {
+                    std::thread::sleep(throttle);
+                }
+                let t0 = Instant::now();
+                let admission = d.admit(time, server, items)?;
+                mcs_obs::observe("serve.admit_seconds", t0.elapsed().as_secs_f64());
+                if let Admission::Rejected(reason) = admission {
+                    if !quiet {
+                        eprintln!("serve: line {lineno}: rejected: {reason}");
+                    }
+                }
+            }
+        }
+    }
+    let Some(daemon) = daemon else {
+        return Err(ServeError::State("input ended before hello".into()));
+    };
+    let mut summary = daemon.summary();
+    summary.malformed = malformed;
+    Ok((daemon.current_state(), summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dpg-daemon-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cfg(dir: &std::path::Path) -> ServeConfig {
+        let mut c = ServeConfig::new(dir.to_path_buf());
+        c.epoch_len = 4;
+        c.quiet = true;
+        c
+    }
+
+    /// A correlated workload: items 0 and 1 co-requested often enough to
+    /// pack, item 2 independent. Two full epochs plus a partial tail.
+    fn script() -> String {
+        let mut s = String::from("hello 3 4\n");
+        let mut t = 0.0;
+        for i in 0..10 {
+            t += 0.5;
+            let line = match i % 4 {
+                0 | 1 => format!("req {t:?} {} 0,1\n", i % 3),
+                2 => format!("req {t:?} {} 2\n", i % 3),
+                _ => format!("req {t:?} {} 0,1,2\n", i % 3),
+            };
+            s.push_str(&line);
+        }
+        s
+    }
+
+    #[test]
+    fn serves_epochs_and_accumulates_cost() {
+        let dir = tmp_dir("basic");
+        let (state, summary) = serve_stream(cfg(&dir), Cursor::new(script())).unwrap();
+        assert_eq!(summary.admitted, 10);
+        assert_eq!(summary.epochs_settled, 2);
+        assert_eq!(state.epoch, 2);
+        assert_eq!(state.pending.len(), 2);
+        assert!(state.cum_cost > 0.0);
+        assert_eq!(state.degraded_epochs, Vec::<u64>::new());
+        assert!(
+            state.placement_pairs.contains(&(ItemId(0), ItemId(1))),
+            "0/1 co-requests should pack: {:?}",
+            state.placement_pairs
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rerunning_the_same_input_resumes_idempotently() {
+        let dir = tmp_dir("resume");
+        let (first, _) = serve_stream(cfg(&dir), Cursor::new(script())).unwrap();
+        // Feed the whole stream again: everything is stale, nothing changes.
+        let (second, summary) = serve_stream(cfg(&dir), Cursor::new(script())).unwrap();
+        assert_eq!(summary.admitted, 0);
+        assert_eq!(summary.stale, 10);
+        assert_eq!(second.canonical_json(), first.canonical_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_panic_degrades_the_epoch_and_keeps_placement() {
+        let dir = tmp_dir("panic");
+        let mut c = cfg(&dir);
+        c.inject_panic_epoch = Some(1);
+        let (state, _) = serve_stream(c, Cursor::new(script())).unwrap();
+        assert_eq!(state.degraded_epochs, vec![1]);
+        assert!(state.degraded_cost > 0.0);
+        assert!(state.ok_cost > 0.0);
+        assert!(state.degradation_ratio().is_some());
+        // Epoch 0 settled ok, so a placement exists despite the panic.
+        assert!(state.placement_pairs.contains(&(ItemId(0), ItemId(1))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_and_survives_bad_frames() {
+        let dir = tmp_dir("reject");
+        let input = "hello 2 2\n\
+                     req 1.0 0 0,1\n\
+                     req 0.5 1 0\n\
+                     req 2.0 9 0\n\
+                     req 3.0 1 7\n\
+                     req 4.0 1 0,0,1\n\
+                     not a frame\n\
+                     req nope 1 0\n";
+        let (state, summary) = serve_stream(cfg(&dir), Cursor::new(input)).unwrap();
+        assert_eq!(summary.admitted, 2); // 1.0 and 4.0 (deduped items)
+        assert_eq!(summary.stale, 1); // 0.5 behind the horizon
+        assert_eq!(summary.rejected, 2); // bad server, bad item
+        assert_eq!(summary.malformed, 2);
+        assert_eq!(state.admitted, 2);
+        assert_eq!(state.pending[1].items, vec![0, 1]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn handshake_mismatch_and_req_before_hello_fail() {
+        let dir = tmp_dir("handshake");
+        serve_stream(cfg(&dir), Cursor::new(script())).unwrap();
+        let err = serve_stream(cfg(&dir), Cursor::new("hello 9 9\n")).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+        let dir2 = tmp_dir("nohello");
+        let err = serve_stream(cfg(&dir2), Cursor::new("req 1.0 0 0\n")).unwrap_err();
+        assert!(err.to_string().contains("req before hello"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn oversized_item_sets_hit_backpressure() {
+        let dir = tmp_dir("backpressure");
+        let mut c = cfg(&dir);
+        c.max_items = 2;
+        let input = "hello 2 8\nreq 1.0 0 0,1,2,3\nreq 2.0 0 4,5\n";
+        let (state, summary) = serve_stream(c, Cursor::new(input)).unwrap();
+        assert_eq!(summary.rejected, 1);
+        assert_eq!(summary.admitted, 1);
+        assert_eq!(state.admitted, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

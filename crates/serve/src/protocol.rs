@@ -1,0 +1,177 @@
+//! The line-framed request protocol of `dpg serve`.
+//!
+//! The daemon deliberately speaks newline-framed text over stdin (or a
+//! file) rather than a socket: the build carries no network or async
+//! dependencies, the frames are trivially recordable/replayable, and any
+//! transport that can deliver lines (netcat, a FIFO, `tail -f`) can front
+//! it. Three frame kinds:
+//!
+//! ```text
+//! hello <servers> <items>          # handshake: fleet and catalog size
+//! req <time> <server> <i1,i2,...>  # one request r = <s, t, D>
+//! # anything after '#' is comment; blank lines are ignored
+//! ```
+//!
+//! Parsing never panics: every malformed line is reported as a
+//! [`ProtocolError`] carrying its 1-based line number, so operators can
+//! find the offending frame in a multi-gigabyte stream.
+
+use mcs_model::{ItemId, ServerId};
+
+/// One parsed input frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Handshake: declares the fleet (`m`) and catalog (`k`) sizes.
+    Hello {
+        /// Number of cache servers `m`.
+        servers: u32,
+        /// Number of distinct data items `k`.
+        items: u32,
+    },
+    /// One request `r = <s, t, D>`.
+    Req {
+        /// Request time `t` (validated for monotonicity at admission).
+        time: f64,
+        /// Server the request is made at.
+        server: ServerId,
+        /// Accessed items, as sent (deduplicated/sorted at admission).
+        items: Vec<ItemId>,
+    },
+}
+
+/// A malformed frame, located by line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// 1-based line number of the offending frame.
+    pub line: usize,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn bad(line: usize, msg: impl Into<String>) -> ProtocolError {
+    ProtocolError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parses one input line. Returns `Ok(None)` for blank/comment lines.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] naming `lineno` for any malformed frame.
+pub fn parse_line(text: &str, lineno: usize) -> Result<Option<Frame>, ProtocolError> {
+    let text = text.split('#').next().unwrap_or("").trim();
+    if text.is_empty() {
+        return Ok(None);
+    }
+    let mut words = text.split_ascii_whitespace();
+    let verb = words.next().expect("non-empty after trim");
+    let frame = match verb {
+        "hello" => {
+            let servers = parse_u32(words.next(), "servers", lineno)?;
+            let items = parse_u32(words.next(), "items", lineno)?;
+            if servers == 0 || items == 0 {
+                return Err(bad(lineno, "hello needs positive servers and items"));
+            }
+            Frame::Hello { servers, items }
+        }
+        "req" => {
+            let time = words
+                .next()
+                .ok_or_else(|| bad(lineno, "req needs <time> <server> <items,csv>"))?
+                .parse::<f64>()
+                .map_err(|_| bad(lineno, "bad time (want a number)"))?;
+            let server = ServerId(parse_u32(words.next(), "server", lineno)?);
+            let items_csv = words
+                .next()
+                .ok_or_else(|| bad(lineno, "req is missing its item list"))?;
+            let items = items_csv
+                .split(',')
+                .map(|tok| {
+                    tok.parse::<u32>()
+                        .map(ItemId)
+                        .map_err(|_| bad(lineno, format!("bad item id `{tok}`")))
+                })
+                .collect::<Result<Vec<ItemId>, ProtocolError>>()?;
+            Frame::Req {
+                time,
+                server,
+                items,
+            }
+        }
+        other => return Err(bad(lineno, format!("unknown frame `{other}`"))),
+    };
+    if let Some(extra) = words.next() {
+        return Err(bad(lineno, format!("trailing token `{extra}`")));
+    }
+    Ok(Some(frame))
+}
+
+fn parse_u32(word: Option<&str>, what: &str, lineno: usize) -> Result<u32, ProtocolError> {
+    word.ok_or_else(|| bad(lineno, format!("missing {what}")))?
+        .parse::<u32>()
+        .map_err(|_| bad(lineno, format!("bad {what} (want a non-negative integer)")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_frame_shapes() {
+        assert_eq!(
+            parse_line("hello 4 16", 1).unwrap(),
+            Some(Frame::Hello {
+                servers: 4,
+                items: 16
+            })
+        );
+        assert_eq!(
+            parse_line("req 1.5 2 0,3,7", 2).unwrap(),
+            Some(Frame::Req {
+                time: 1.5,
+                server: ServerId(2),
+                items: vec![ItemId(0), ItemId(3), ItemId(7)],
+            })
+        );
+        assert_eq!(parse_line("", 3).unwrap(), None);
+        assert_eq!(parse_line("  # a comment", 4).unwrap(), None);
+        assert_eq!(
+            parse_line("req 2.0 0 1 # inline comment", 5).unwrap(),
+            Some(Frame::Req {
+                time: 2.0,
+                server: ServerId(0),
+                items: vec![ItemId(1)],
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_frames_name_their_line() {
+        for (text, needle) in [
+            ("frobnicate 1 2", "unknown frame"),
+            ("hello 4", "missing items"),
+            ("hello 0 5", "positive"),
+            ("hello x 5", "bad servers"),
+            ("req 1.0 2", "missing its item list"),
+            ("req abc 2 0", "bad time"),
+            ("req 1.0 2 0,x", "bad item id `x`"),
+            ("req 1.0 2 0 9", "trailing token `9`"),
+            ("req 1.0 -1 0", "bad server"),
+        ] {
+            let err = parse_line(text, 17).unwrap_err();
+            assert_eq!(err.line, 17, "{text}");
+            assert!(err.msg.contains(needle), "{text}: {err}");
+            assert!(err.to_string().starts_with("line 17: "), "{err}");
+        }
+    }
+}

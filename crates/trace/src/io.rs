@@ -43,8 +43,15 @@ mcs_model::impl_json!(TraceFile {
 pub enum TraceIoError {
     /// Filesystem failure.
     Io(std::io::Error),
-    /// JSON (de)serialisation failure.
-    Json(JsonError),
+    /// JSON (de)serialisation failure. `location` carries the 1-based
+    /// `(line, column)` of the failure when it is positional (a parse
+    /// error); conversion failures after a successful parse have none.
+    Json {
+        /// The underlying error.
+        error: JsonError,
+        /// 1-based `(line, column)` of a parse failure.
+        location: Option<(usize, usize)>,
+    },
     /// Version mismatch.
     Version {
         /// Version found in the file.
@@ -56,7 +63,14 @@ impl std::fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceIoError::Io(e) => write!(f, "trace io: {e}"),
-            TraceIoError::Json(e) => write!(f, "trace json: {e}"),
+            TraceIoError::Json {
+                error,
+                location: Some((line, col)),
+            } => write!(f, "trace json at line {line}, column {col}: {}", error.msg),
+            TraceIoError::Json {
+                error,
+                location: None,
+            } => write!(f, "trace json: {}", error.msg),
             TraceIoError::Version { found } => write!(
                 f,
                 "trace format version {found} unsupported (expected {FORMAT_VERSION})"
@@ -75,7 +89,10 @@ impl From<std::io::Error> for TraceIoError {
 
 impl From<JsonError> for TraceIoError {
     fn from(e: JsonError) -> Self {
-        TraceIoError::Json(e)
+        TraceIoError::Json {
+            error: e,
+            location: None,
+        }
     }
 }
 
@@ -108,7 +125,10 @@ impl TraceFile {
     pub fn read_from<R: Read>(mut r: R) -> Result<Self, TraceIoError> {
         let mut text = String::new();
         r.read_to_string(&mut text)?;
-        let value = json::parse(&text)?;
+        let value = json::parse(&text).map_err(|e| TraceIoError::Json {
+            location: Some(json::line_col(&text, e.at)),
+            error: e,
+        })?;
         // Check the version *before* decoding the body, so a future
         // format revision can change the shape freely.
         let found = u32::from_json(value.field("version")?)?;
@@ -187,7 +207,44 @@ mod tests {
     #[test]
     fn corrupt_json_is_an_error() {
         let err = TraceFile::read_from(&b"{not json"[..]).unwrap_err();
-        assert!(matches!(err, TraceIoError::Json(_)));
+        assert!(matches!(err, TraceIoError::Json { .. }));
         assert!(err.to_string().contains("json"));
+    }
+
+    /// Malformed trace files must point the user at the failing line.
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let text = b"{\n  \"version\": 1,\n  \"config\": null,\n  oops\n}";
+        let err = TraceFile::read_from(&text[..]).unwrap_err();
+        match err {
+            TraceIoError::Json {
+                location: Some((line, col)),
+                ..
+            } => {
+                assert_eq!(line, 4, "{err}");
+                assert_eq!(col, 3, "{err}");
+            }
+            other => panic!("expected positioned json error, got {other}"),
+        }
+        assert!(err.to_string().contains("line 4, column 3"), "{err}");
+    }
+
+    /// A structurally valid file whose sequence violates the model's
+    /// standing assumptions must be rejected by the builder on load —
+    /// with the offending request's index — not admitted unchecked.
+    #[test]
+    fn invalid_sequences_are_rejected_on_load_with_request_index() {
+        let cfg = WorkloadConfig::small(2);
+        let file = TraceFile::synthetic(cfg, generate(&WorkloadConfig::small(2)));
+        let mut text = file.to_json().to_string_pretty();
+        // Corrupt the first request's time to break monotonicity at #1.
+        let needle = "\"time\": ";
+        let at = text.find(needle).unwrap() + needle.len();
+        let end = text[at..].find(',').unwrap() + at;
+        text.replace_range(at..end, "1e300");
+        let err = TraceFile::read_from(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("invalid request sequence"), "{msg}");
+        assert!(msg.contains("#1"), "{msg}");
     }
 }

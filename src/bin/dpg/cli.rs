@@ -34,6 +34,8 @@ pub fn print_usage() {
          [--mu X] [--lambda X] [--alpha X] [--theta X]\n  \
          dpg algos [--json]\n  \
          dpg run --algo NAME [FILE] [--mu X] [--lambda X] [--alpha X] [--theta X] [--json]\n  \
+         dpg serve --dir DIR [--input FILE] [--algo NAME] [--epoch-len N] [--decay X] \
+         [--settle-timeout-ms N] [--max-items N] [--seed N] [--quiet] [--dump-state]\n  \
          dpg svg FILE --out FILE.svg [--item N] [--mu X] [--lambda X]\n  \
          dpg explain FILE [--a N --b N] [--mu X] [--lambda X] [--alpha X]\n  \
          dpg trace solve FILE --out FILE.jsonl [--algo NAME] \
@@ -115,24 +117,30 @@ pub fn model_flags(args: &[String]) -> Result<(CostModel, f64), CliError> {
     Ok((model, theta))
 }
 
-/// Prints the `--metrics` summary: counters, then span/histogram stats,
-/// in deterministic name order.
+/// Prints the `--metrics` summary: counters, then gauges, then
+/// span/histogram stats (with the bucketed p99 estimate), in
+/// deterministic name order.
 pub fn print_metrics() {
     let s = dp_greedy_suite::obs::snapshot();
     println!(
-        "\n-- metrics ({} counters, {} spans) --",
+        "\n-- metrics ({} counters, {} gauges, {} spans) --",
         s.counters.len(),
+        s.gauges.len(),
         s.hists.len()
     );
     for (name, v) in &s.counters {
         println!("  {name:<28} {v}");
     }
+    for (name, v) in &s.gauges {
+        println!("  {name:<28} {v}");
+    }
     for (name, h) in &s.hists {
         println!(
-            "  {name:<28} n={} total={:.6}s mean={:.6}s max={:.6}s",
+            "  {name:<28} n={} total={:.6}s mean={:.6}s p99={:.6}s max={:.6}s",
             h.count,
             h.sum,
             h.mean(),
+            h.quantile(0.99),
             h.max
         );
     }

@@ -10,6 +10,7 @@ pub mod example;
 pub mod explain;
 pub mod generate;
 pub mod run_algo;
+pub mod serve;
 pub mod solve;
 pub mod stats;
 pub mod svg;

@@ -75,6 +75,34 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let model = CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
     let ctx = RunContext::new(model).with_theta(theta);
 
+    // An empty trace is a degenerate but legal input: every solver's
+    // answer is the empty schedule at zero cost. Short-circuit uniformly
+    // instead of leaving each of the eleven solvers to its own edge case
+    // (pinned across the whole registry by `tests/cli_empty_trace.rs`).
+    if seq.requests().is_empty() {
+        eprintln!("warning: {source} contains no requests; emitting the zero-cost empty solution");
+        if args.iter().any(|a| a == "--json") {
+            let doc = Json::Obj(vec![
+                ("algo".into(), Json::Str(solver.name().into())),
+                ("kind".into(), Json::Str(solver.kind().label().into())),
+                ("source".into(), Json::Str(source)),
+                ("total_cost".into(), Json::Num(0.0)),
+                ("ave_cost".into(), Json::Num(0.0)),
+                ("total_accesses".into(), Json::Num(0.0)),
+                ("reconciliation_gap".into(), Json::Num(0.0)),
+            ]);
+            println!("{}", doc.to_string_pretty());
+        } else {
+            println!(
+                "{} ({}) on {source}: μ={mu} λ={lambda} α={alpha} θ={theta}",
+                solver.name(),
+                solver.kind().label()
+            );
+            println!("total=0.0000 ave_cost=0.000000 (0 item accesses, ledger gap 0.0e0)");
+        }
+        return Ok(());
+    }
+
     if let Some(limit) = solver.request_limit() {
         if seq.requests().len() > limit {
             return Err(CliError::Runtime(format!(

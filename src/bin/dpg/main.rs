@@ -7,6 +7,7 @@
 //!                      [--mu X] [--lambda X] [--alpha X] [--theta X]
 //! dpg algos [--json]
 //! dpg run --algo NAME [trace.json] [--mu X] [--lambda X] [--alpha X] [--theta X] [--json]
+//! dpg serve --dir DIR [--input FILE] [--algo NAME] [--epoch-len N] [--dump-state]
 //! dpg trace solve trace.json --out events.jsonl [--algo NAME] [...]
 //! dpg trace example --out events.jsonl
 //! dpg chaos [--seed N] [--fault-rate X] [--sweep]
@@ -59,6 +60,7 @@ fn main() -> ExitCode {
         "solve" => commands::solve::run(rest),
         "algos" => commands::algos::run(rest),
         "run" => commands::run_algo::run(rest),
+        "serve" => commands::serve::run(rest),
         "svg" => commands::svg::run(rest),
         "explain" => commands::explain::run(rest),
         "trace" => commands::trace::run(rest),

@@ -22,6 +22,7 @@
 //! * [`engine`] — the solver registry: one `CachingSolver` trait over
 //!   every algorithm, plus the shared `RunContext`/`Solution` types
 //! * [`trace`] — synthetic Shenzhen-like taxi workloads
+//! * [`serve`] — crash-safe serving daemon: WAL, checkpoints, degraded modes
 //! * [`sim`] — event-driven schedule replay + fault injection
 //! * [`experiments`] — figure/table runners for the evaluation section
 
@@ -35,6 +36,7 @@ pub use mcs_model as model;
 pub use mcs_obs as obs;
 pub use mcs_offline as offline;
 pub use mcs_online as online;
+pub use mcs_serve as serve;
 pub use mcs_sim as sim;
 pub use mcs_trace as trace;
 
