@@ -446,7 +446,20 @@ macro_rules! impl_int_json {
                         n
                     )));
                 }
-                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                // `MAX as f64` rounds *up* for the 64-bit kinds (2^63−1
+                // and 2^64−1 are not representable), so the upper bound
+                // must be exclusive there — otherwise exactly 2^63/2^64
+                // would pass and saturate through `as`. A round-trip
+                // check alone has the same blind spot: the saturated
+                // MAX rounds back to exactly 2^63/2^64. For the 32-bit
+                // kinds MAX is exact and inclusive is correct. MIN is
+                // exactly representable for every kind (0 or −2^63).
+                let in_range = if (<$t>::MAX as u128) < (1u128 << 53) {
+                    n >= <$t>::MIN as f64 && n <= <$t>::MAX as f64
+                } else {
+                    n >= <$t>::MIN as f64 && n < <$t>::MAX as f64
+                };
+                if !in_range {
                     return Err(JsonError::conv(format!(
                         concat!("{} out of range for ", stringify!($t)),
                         n
@@ -739,6 +752,35 @@ mod tests {
         assert!(u32::from_json(&Json::Str("7".into())).is_err());
         // f64 remains permissive: any number is a number.
         assert_eq!(f64::from_json(&Json::Num(2.5)).unwrap(), 2.5);
+    }
+
+    /// The 64-bit saturation boundary: exactly 2^63 (i64) and 2^64 (u64)
+    /// are what `MAX as f64` rounds up to, so a naive `n > MAX as f64`
+    /// check lets them slip through and saturate to MAX via `as`.
+    #[test]
+    fn integer_conversion_rejects_the_saturating_boundary() {
+        let two63 = 9_223_372_036_854_775_808.0_f64; // 2^63
+        let two64 = 18_446_744_073_709_551_616.0_f64; // 2^64
+        assert!(i64::from_json(&Json::Num(two63)).is_err());
+        assert!(u64::from_json(&Json::Num(two64)).is_err());
+        assert!(usize::from_json(&Json::Num(two64)).is_err());
+        assert!(u64::from_json(&Json::Num(two64 * 2.0)).is_err());
+        // The nearest valid values on either side still pass exactly.
+        assert_eq!(i64::from_json(&Json::Num(-two63)).unwrap(), i64::MIN);
+        assert_eq!(
+            i64::from_json(&Json::Num(9_223_372_036_854_774_784.0)).unwrap(),
+            9_223_372_036_854_774_784 // largest f64 below 2^63
+        );
+        assert_eq!(
+            u64::from_json(&Json::Num(18_446_744_073_709_549_568.0)).unwrap(),
+            18_446_744_073_709_549_568 // largest f64 below 2^64
+        );
+        // 32-bit MAX is exactly representable and must stay accepted.
+        assert_eq!(
+            u32::from_json(&Json::Num(4_294_967_295.0)).unwrap(),
+            u32::MAX
+        );
+        assert!(u32::from_json(&Json::Num(4_294_967_296.0)).is_err());
     }
 
     #[test]

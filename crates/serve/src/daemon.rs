@@ -36,9 +36,14 @@
 //! (isolated by `catch_unwind`) the epoch settles *degraded*: last-good
 //! placement, conservative fallback pricing (packed co-requests at the
 //! package-delivery rate `2αλ`, everything else at `λ` per access), and
-//! the epoch is recorded in [`DaemonState::degraded_epochs`]. The
-//! ok-vs-degraded quality gap is surfaced as the degradation ratio
-//! (relative `ave_cost`, the chaos harness's cost-inflation metric).
+//! the epoch is recorded in [`DaemonState::degraded_epochs`]. A worker
+//! that missed its deadline keeps running, but at most one such
+//! *straggler* exists: until it finishes, later epochs settle degraded
+//! immediately instead of spawning alongside it — so a consistently
+//! slow solver costs one extra thread, not one per epoch, and solver
+//! calls never run concurrently. The ok-vs-degraded quality gap is
+//! surfaced as the degradation ratio (relative `ave_cost`, the chaos
+//! harness's cost-inflation metric).
 
 use std::collections::HashMap;
 use std::io::BufRead;
@@ -48,13 +53,13 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use mcs_correlation::{matching::greedy_matching_from_pairs, StreamingCooccurrence};
-use mcs_engine::{find, CachingSolver, RunContext};
+use mcs_engine::{find, CachingSolver, RunContext, Solution};
 use mcs_model::defaults::{DEFAULT_SEED, DEFAULT_THETA};
 use mcs_model::{CostModel, ItemId, Request, RequestSeqBuilder, ServerId};
 
 use crate::checkpoint::{DaemonState, PendingReq};
 use crate::protocol::{parse_line, Frame};
-use crate::wal::{read_records, EpochStatus, Wal, WalRecord};
+use crate::wal::{read_records, truncate_torn, EpochStatus, Wal, WalContents, WalRecord};
 
 /// Serving-run parameters.
 #[derive(Debug, Clone)]
@@ -82,6 +87,9 @@ pub struct ServeConfig {
     pub throttle: Duration,
     /// Test hook: panic inside settlement of this epoch.
     pub inject_panic_epoch: Option<u64>,
+    /// Test hook: sleep this long inside settlement of this epoch before
+    /// solving (exercises the deadline and straggler paths).
+    pub inject_slow_epoch: Option<(u64, Duration)>,
     /// Suppress per-event stderr notes.
     pub quiet: bool,
 }
@@ -102,6 +110,7 @@ impl ServeConfig {
             max_items: 64,
             throttle: Duration::ZERO,
             inject_panic_epoch: None,
+            inject_slow_epoch: None,
             quiet: false,
         }
     }
@@ -174,6 +183,11 @@ pub struct Daemon {
     stream: StreamingCooccurrence,
     wal: Wal,
     summary: ServeSummary,
+    /// The receiver of a settlement worker that missed its deadline and
+    /// is still running. At most one exists; no new worker spawns until
+    /// it finishes, so solver calls never run concurrently and a slow
+    /// solver leaks a single bounded thread, not one per epoch.
+    straggler: Option<mpsc::Receiver<std::thread::Result<Solution>>>,
 }
 
 impl Daemon {
@@ -213,6 +227,7 @@ impl Daemon {
             stream,
             wal,
             summary: ServeSummary::default(),
+            straggler: None,
         })
     }
 
@@ -239,6 +254,7 @@ impl Daemon {
             state,
             stream,
             summary: ServeSummary::default(),
+            straggler: None,
         };
         daemon.replay()?;
         Ok(Some(daemon))
@@ -248,9 +264,13 @@ impl Daemon {
     /// settle record) on top of the checkpoint.
     fn replay(&mut self) -> Result<(), ServeError> {
         loop {
-            let contents = read_records(&self.cfg.dir, self.state.epoch)?;
+            let WalContents {
+                records,
+                torn,
+                valid_len,
+            } = read_records(&self.cfg.dir, self.state.epoch)?;
             let mut settled = false;
-            for record in contents.records {
+            for record in records {
                 match record {
                     WalRecord::Req {
                         time,
@@ -270,6 +290,15 @@ impl Daemon {
                 }
             }
             if !settled {
+                if torn {
+                    // This epoch's log is about to be reopened for
+                    // append; physically drop the torn fragment so the
+                    // next record cannot merge with it into a malformed
+                    // line that a later recovery would read as mid-log
+                    // corruption.
+                    truncate_torn(&self.cfg.dir, self.state.epoch, valid_len)?;
+                    mcs_obs::counter_add("serve.torn_tails", 1);
+                }
                 break;
             }
             // The settle we just replayed advanced the epoch; its log may
@@ -423,7 +452,22 @@ impl Daemon {
 
     /// Runs the solver on a worker thread under the settlement deadline,
     /// with panics isolated. Returns the outcome and the settled cost.
-    fn compute_outcome(&self, epoch: u64) -> (EpochStatus, f64) {
+    fn compute_outcome(&mut self, epoch: u64) -> (EpochStatus, f64) {
+        // Never run two solver calls concurrently: a worker that missed
+        // its deadline keeps running until it finishes on its own. While
+        // one is still out there, this epoch degrades immediately
+        // (deadline class) instead of spawning alongside it.
+        if let Some(rx) = &self.straggler {
+            match rx.try_recv() {
+                Err(mpsc::TryRecvError::Empty) => {
+                    mcs_obs::counter_add("serve.settle_busy", 1);
+                    return (EpochStatus::Deadline, self.fallback_cost());
+                }
+                // Finished (its epoch already settled degraded, so the
+                // late result is discarded) or died — either way gone.
+                Ok(_) | Err(mpsc::TryRecvError::Disconnected) => self.straggler = None,
+            }
+        }
         let timer = mcs_obs::span("serve.settle");
         let mut b = RequestSeqBuilder::new(self.state.servers, self.state.items);
         for r in &self.state.pending {
@@ -444,9 +488,16 @@ impl Daemon {
         let ctx = self.base_ctx.for_epoch(epoch);
         let solver = self.solver;
         let inject = self.cfg.inject_panic_epoch == Some(epoch);
+        let slow = match self.cfg.inject_slow_epoch {
+            Some((e, d)) if e == epoch => d,
+            _ => Duration::ZERO,
+        };
         let (tx, rx) = mpsc::channel();
         std::thread::spawn(move || {
             let result = catch_unwind(AssertUnwindSafe(|| {
+                if !slow.is_zero() {
+                    std::thread::sleep(slow);
+                }
                 assert!(!inject, "injected settlement panic (test hook)");
                 solver.solve(&seq, &ctx)
             }));
@@ -461,6 +512,9 @@ impl Daemon {
             }
             Err(_timeout) => {
                 mcs_obs::counter_add("serve.deadline_misses", 1);
+                // The worker is now a straggler; remember it so no new
+                // settlement spawns until it finishes.
+                self.straggler = Some(rx);
                 (EpochStatus::Deadline, self.fallback_cost())
             }
         }
@@ -739,6 +793,68 @@ mod tests {
         assert!(err.to_string().contains("req before hello"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_before_reuse() {
+        let dir = tmp_dir("truncate");
+        // 10 requests → epoch 2 open with 2 records in wal-2.log.
+        serve_stream(cfg(&dir), Cursor::new(script())).unwrap();
+        // Simulate kill -9 mid-append: a half-written record at the tail.
+        let path = crate::wal::wal_path(&dir, 2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"req 99.0 0 0,");
+        std::fs::write(&path, &bytes).unwrap();
+        // Recovery must truncate the fragment, so the next admitted
+        // record starts on a fresh line.
+        {
+            let mut d = Daemon::recover(cfg(&dir)).unwrap().unwrap();
+            assert_eq!(d.summary().replayed, 2);
+            assert_eq!(
+                d.admit(6.0, ServerId(0), vec![ItemId(2)]).unwrap(),
+                Admission::Admitted
+            );
+        }
+        // Without the truncation this second recovery would either fail
+        // with InvalidData on the merged malformed line or silently drop
+        // the admitted record as a "torn" tail.
+        let d = Daemon::recover(cfg(&dir)).unwrap().unwrap();
+        assert_eq!(d.summary().replayed, 3);
+        assert_eq!(d.current_state().pending.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slow_settlement_leaves_one_straggler_and_degrades_while_busy() {
+        let dir = tmp_dir("straggler");
+        let mut c = cfg(&dir); // epoch_len 4
+        c.settle_timeout = Duration::from_millis(20);
+        c.inject_slow_epoch = Some((0, Duration::from_millis(500)));
+        let mut d = Daemon::fresh(c, 3, 4).unwrap();
+        let mut t = 0.0;
+        let feed = |d: &mut Daemon, n: usize, t: &mut f64| {
+            for _ in 0..n {
+                *t += 0.5;
+                assert_eq!(
+                    d.admit(*t, ServerId(0), vec![ItemId(0), ItemId(1)])
+                        .unwrap(),
+                    Admission::Admitted
+                );
+            }
+        };
+        // Epoch 0 misses its deadline; its worker keeps running through
+        // epoch 1's settlement, which must settle degraded immediately
+        // (busy) instead of spawning a second concurrent solver call.
+        feed(&mut d, 8, &mut t);
+        assert_eq!(d.current_state().degraded_epochs, vec![0, 1]);
+        // Once the straggler finishes, settlement returns to normal.
+        std::thread::sleep(Duration::from_millis(600));
+        feed(&mut d, 4, &mut t);
+        let state = d.current_state();
+        assert_eq!(state.epoch, 3);
+        assert_eq!(state.degraded_epochs, vec![0, 1]);
+        assert!(state.ok_cost > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! final line without its newline (or an unparsable fragment), which
 //! [`read_records`] discards — the half-written record was by
 //! construction never applied, so dropping it is the correct recovery.
+//! Recovery then physically truncates the fragment ([`truncate_torn`])
+//! before reopening the log for append, so the next record cannot be
+//! concatenated onto the torn bytes into one malformed merged line.
 //! Corruption *before* the tail is structural damage and is reported as
 //! an error instead of silently skipped.
 
@@ -183,6 +186,10 @@ pub struct WalContents {
     pub records: Vec<WalRecord>,
     /// True if a half-written final line was discarded.
     pub torn: bool,
+    /// Byte length of the parsed prefix — the file offset right after the
+    /// last complete record. When `torn`, everything past this offset is
+    /// the discarded fragment; [`truncate_torn`] cuts the file here.
+    pub valid_len: u64,
 }
 
 /// Reads the log of `epoch`, tolerating a torn tail. A missing file is an
@@ -201,24 +208,34 @@ pub fn read_records(dir: &Path, epoch: u64) -> std::io::Result<WalContents> {
             return Ok(WalContents {
                 records: Vec::new(),
                 torn: false,
+                valid_len: 0,
             })
         }
         Err(e) => return Err(e),
     };
     // Lossy: a torn multi-byte write can leave invalid UTF-8 in the tail;
     // the replacement characters then simply fail the final-line parse.
+    // Every parsed record line is pure ASCII, so replacement expansion can
+    // only happen *after* the valid prefix — text offsets within it equal
+    // file offsets, which is what makes `valid_len` a file truncation point.
     let text = String::from_utf8_lossy(&bytes);
     let complete_len = text.rfind('\n').map_or(0, |p| p + 1);
     let mut torn = complete_len < text.len();
     let mut records = Vec::new();
-    let lines: Vec<&str> = text[..complete_len].lines().collect();
-    for (i, line) in lines.iter().enumerate() {
+    let mut valid_len = 0usize;
+    let complete = &text[..complete_len];
+    let n_lines = complete.split_inclusive('\n').count();
+    for (i, raw) in complete.split_inclusive('\n').enumerate() {
+        let line = raw.strip_suffix('\n').unwrap_or(raw);
         match WalRecord::parse(line) {
-            Some(r) => records.push(r),
+            Some(r) => {
+                records.push(r);
+                valid_len += raw.len();
+            }
             // A malformed *final* complete line is still a torn tail
             // (e.g. the crash landed inside the line and the next run's
             // bytes were never written); anything earlier is corruption.
-            None if i + 1 == lines.len() => torn = true,
+            None if i + 1 == n_lines => torn = true,
             None => {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
@@ -231,7 +248,26 @@ pub fn read_records(dir: &Path, epoch: u64) -> std::io::Result<WalContents> {
             }
         }
     }
-    Ok(WalContents { records, torn })
+    Ok(WalContents {
+        records,
+        torn,
+        valid_len: valid_len as u64,
+    })
+}
+
+/// Truncates the log of `epoch` to its valid prefix (the `valid_len`
+/// reported by [`read_records`]), physically dropping a torn tail.
+/// Recovery calls this before reopening the log for append: without it
+/// the next record would be concatenated onto the fragment, producing a
+/// malformed merged line that a later recovery reads as mid-log
+/// corruption (or silently drops if it happens to be the final line).
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn truncate_torn(dir: &Path, epoch: u64, valid_len: u64) -> std::io::Result<()> {
+    let file = OpenOptions::new().write(true).open(wal_path(dir, epoch))?;
+    file.set_len(valid_len)
 }
 
 #[cfg(test)]
@@ -294,12 +330,14 @@ mod tests {
         drop(wal);
         // Simulate kill -9 mid-append: a record missing its newline…
         let path = wal_path(&dir, 5);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(b"req 3.0 1 0,");
         std::fs::write(&path, &bytes).unwrap();
         let back = read_records(&dir, 5).unwrap();
         assert!(back.torn);
         assert_eq!(back.records.len(), 2);
+        assert_eq!(back.valid_len, clean_len);
         // …and a complete-but-garbled final line.
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.truncate(bytes.len() - b"req 3.0 1 0,".len());
@@ -308,6 +346,32 @@ mod tests {
         let back = read_records(&dir, 5).unwrap();
         assert!(back.torn);
         assert_eq!(back.records.len(), 2);
+        assert_eq!(back.valid_len, clean_len);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_makes_a_torn_log_appendable_again() {
+        let dir = tmp_dir("truncate");
+        let mut wal = Wal::open(&dir, 9).unwrap();
+        let recs = sample_records();
+        wal.append(&recs[0]).unwrap();
+        drop(wal);
+        let path = wal_path(&dir, 9);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"req 3.0 1 0,");
+        std::fs::write(&path, &bytes).unwrap();
+        let back = read_records(&dir, 9).unwrap();
+        assert!(back.torn);
+        truncate_torn(&dir, 9, back.valid_len).unwrap();
+        // An append after truncation starts on a fresh line — the merged
+        // malformed record the untruncated log would have produced.
+        let mut wal = Wal::open(&dir, 9).unwrap();
+        wal.append(&recs[1]).unwrap();
+        drop(wal);
+        let back = read_records(&dir, 9).unwrap();
+        assert!(!back.torn);
+        assert_eq!(back.records, recs[..2]);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -333,7 +397,8 @@ mod tests {
             back,
             WalContents {
                 records: vec![],
-                torn: false
+                torn: false,
+                valid_len: 0
             }
         );
         std::fs::remove_dir_all(&dir).ok();

@@ -6,8 +6,13 @@
 //! `--epoch-len` admitted requests. All durable state lives in `--dir`:
 //! an atomically-replaced checkpoint plus per-epoch write-ahead logs,
 //! so `kill -9` at any instant recovers byte-identically (see
-//! `crates/serve`). `--dump-state` prints the recovered canonical state
-//! and exits — the crash harness and CI diff exactly that output.
+//! `crates/serve`). `--dump-state` runs full recovery, prints the
+//! recovered canonical state, and exits — the crash harness and CI diff
+//! exactly that output. Recovery is not read-only: like any restart it
+//! persists the recovered checkpoint, truncates torn WAL tails, and (if
+//! the recovered pending buffer is already full) settles that epoch, so
+//! it may invoke the solver; all of this is deterministic and
+//! idempotent, so dumping never changes what a subsequent restart sees.
 
 use std::io::BufReader;
 use std::path::PathBuf;
@@ -94,6 +99,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     }
 
     if args.iter().any(|a| a == "--dump-state") {
+        // Not read-only: recovery persists the checkpoint, truncates
+        // torn WAL tails, and settles a full pending buffer — all
+        // deterministic and idempotent (see the module doc).
         let dir = cfg.dir.clone();
         let daemon = Daemon::recover(cfg)
             .map_err(runtime)?
