@@ -1,0 +1,114 @@
+//! The fixed log₂ bucket grid shared by histograms and their exporters.
+//!
+//! Every bucketed histogram in the workspace uses the *same* fixed
+//! boundaries: bucket `i` covers `[2^(i-40), 2^(i-39))`, so with
+//! observations in seconds the grid spans ~1 ns to ~2^23 s. Fixed (rather
+//! than adaptive) boundaries are what make the buckets exportable: two
+//! scrapes of the same histogram, or two histograms from different
+//! processes, can be merged or compared bucket-by-bucket, and a
+//! Prometheus-style consumer can aggregate `le` series across instances.
+//!
+//! Quantile estimates read off this grid are exact to within one bucket
+//! width (a factor of 2), which is what latency gates and live dashboards
+//! need — without retaining a single sample.
+
+/// Number of buckets in the grid.
+pub const BUCKETS: usize = 64;
+
+/// Exponent offset: bucket `i` has lower bound `2^(i - OFFSET)`.
+const OFFSET: i32 = 40;
+
+/// Bucket index of one observation: `floor(log2(v)) + 40`, clamped to
+/// the table. Non-positive and non-finite values (including NaN) land in
+/// bucket 0.
+pub fn index_of(v: f64) -> usize {
+    if v <= 0.0 || !v.is_finite() {
+        // NaN also lands here: it fails `is_finite`.
+        return 0;
+    }
+    let e = v.log2().floor() + OFFSET as f64;
+    if e < 0.0 {
+        0
+    } else {
+        (e as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Upper (exclusive) bound of bucket `i` — the value reported for
+/// quantiles landing in that bucket, and the `le` label of its
+/// Prometheus-style cumulative series.
+pub fn upper_bound(i: usize) -> f64 {
+    2f64.powi(i as i32 - (OFFSET - 1))
+}
+
+/// Cumulative (≤ upper bound) counts for a bucket table — the form the
+/// Prometheus exposition emits.
+pub fn cumulative(buckets: &[u64; BUCKETS]) -> [u64; BUCKETS] {
+    let mut out = [0u64; BUCKETS];
+    let mut seen = 0u64;
+    for (o, &c) in out.iter_mut().zip(buckets.iter()) {
+        seen += c;
+        *o = seen;
+    }
+    out
+}
+
+/// Estimated `q`-quantile (`0 < q <= 1`) from a bucket table: the upper
+/// bound of the first bucket whose cumulative count reaches
+/// `ceil(q * count)`, clamped to the observed `[min, max]` range. Exact
+/// to within one bucket width. Returns 0 when `count` is 0.
+pub fn quantile(buckets: &[u64; BUCKETS], count: u64, q: f64, min: f64, max: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return upper_bound(i).clamp(min, max);
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_a_fixed_power_of_two_grid() {
+        // Bucket i covers [2^(i-40), 2^(i-39)).
+        for i in 0..BUCKETS {
+            let lo = 2f64.powi(i as i32 - OFFSET);
+            assert_eq!(index_of(lo), i);
+            assert_eq!(upper_bound(i), 2.0 * lo);
+            // Just below the upper bound stays in the bucket.
+            assert_eq!(index_of(upper_bound(i) * 0.999), i);
+        }
+        // The last bucket absorbs everything above the grid.
+        assert_eq!(index_of(1e30), BUCKETS - 1);
+    }
+
+    #[test]
+    fn degenerate_observations_land_in_bucket_zero() {
+        assert_eq!(index_of(0.0), 0);
+        assert_eq!(index_of(-1.0), 0);
+        assert_eq!(index_of(f64::NAN), 0);
+        assert_eq!(index_of(f64::INFINITY), 0);
+        assert_eq!(index_of(1e-300), 0); // below the grid
+    }
+
+    #[test]
+    fn cumulative_is_a_prefix_sum() {
+        let mut b = [0u64; BUCKETS];
+        b[3] = 2;
+        b[10] = 5;
+        let c = cumulative(&b);
+        assert_eq!(c[2], 0);
+        assert_eq!(c[3], 2);
+        assert_eq!(c[9], 2);
+        assert_eq!(c[10], 7);
+        assert_eq!(c[BUCKETS - 1], 7);
+    }
+}

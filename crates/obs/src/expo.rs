@@ -1,0 +1,181 @@
+//! Zero-dependency Prometheus text-format (exposition format 0.0.4)
+//! encoder for [`MetricsSnapshot`].
+//!
+//! Determinism contract: the same snapshot always renders to the same
+//! bytes. Families are emitted counters first (integer and float
+//! counters unified), then gauges, then histograms, each section sorted
+//! by exposed name; floats use Rust's shortest-round-trip `Display`.
+//! The encoder itself is pure — any nondeterminism in an exposition
+//! (latency-valued histograms, `*_t_mono` gauges) enters through the
+//! snapshot's *values*, never through the encoding.
+//!
+//! Naming: dotted registry names map to Prometheus names by replacing
+//! every character outside `[a-zA-Z0-9_:]` with `_`
+//! (`serve.admit_seconds` → `serve_admit_seconds`); counters gain the
+//! conventional `_total` suffix. Distinct registry names that collide
+//! after sanitisation would merge in the eyes of a scraper — the
+//! workspace's literal names are chosen not to.
+//!
+//! Histograms are exported with the fixed log₂ grid of
+//! [`crate::buckets`] as cumulative `_bucket{le="…"}` series. Empty
+//! buckets are elided (the series is cumulative, so an absent `le` is
+//! recoverable as the previous bound's value); the `le="+Inf"` bucket,
+//! `_sum` and `_count` are always present.
+
+use std::fmt::Write as _;
+
+use crate::buckets;
+use crate::metrics::MetricsSnapshot;
+
+/// Maps a registry metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_`, and a
+/// leading digit is prefixed with `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders one `f64` sample value. Prometheus accepts `NaN`, `+Inf` and
+/// `-Inf` as literals, unlike JSON.
+fn push_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Encodes a snapshot as Prometheus text exposition (version 0.0.4):
+/// one `# TYPE` line per family, deterministic section and name order.
+pub fn prometheus_text(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    // Counters: u64 and f64 counters form one section, sorted by the
+    // exposed (sanitised, `_total`-suffixed) name.
+    let mut counters: Vec<(String, String)> = Vec::new();
+    for &(name, v) in &s.counters {
+        counters.push((format!("{}_total", sanitize(name)), v.to_string()));
+    }
+    for &(name, v) in &s.fcounters {
+        let mut val = String::new();
+        push_value(&mut val, v);
+        counters.push((format!("{}_total", sanitize(name)), val));
+    }
+    counters.sort();
+    for (name, val) in &counters {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {val}");
+    }
+
+    let mut gauges: Vec<(String, f64)> = s
+        .gauges
+        .iter()
+        .map(|&(name, v)| (sanitize(name), v))
+        .collect();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, v) in &gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        out.push_str(name);
+        out.push(' ');
+        push_value(&mut out, *v);
+        out.push('\n');
+    }
+
+    let mut hists: Vec<(String, &crate::metrics::HistSummary)> = s
+        .hists
+        .iter()
+        .map(|(name, h)| (sanitize(name), h))
+        .collect();
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, h) in &hists {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let cum = buckets::cumulative(&h.buckets);
+        for (i, &c) in cum.iter().enumerate() {
+            if h.buckets[i] == 0 {
+                continue; // elided: cumulative series, empty bucket
+            }
+            let _ = write!(out, "{name}_bucket{{le=\"");
+            push_value(&mut out, buckets::upper_bound(i));
+            let _ = writeln!(out, "\"}} {c}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        out.push_str(name);
+        out.push_str("_sum ");
+        push_value(&mut out, h.sum);
+        out.push('\n');
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistSummary;
+
+    #[test]
+    fn names_are_sanitized_onto_the_prometheus_grammar() {
+        assert_eq!(sanitize("serve.admit_seconds"), "serve_admit_seconds");
+        assert_eq!(sanitize("dpg.phase1.jaccard"), "dpg_phase1_jaccard");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("ok:name_1"), "ok:name_1");
+    }
+
+    #[test]
+    fn sample_values_use_prometheus_literals_for_non_finite() {
+        let mut s = String::new();
+        push_value(&mut s, f64::NAN);
+        s.push(' ');
+        push_value(&mut s, f64::INFINITY);
+        s.push(' ');
+        push_value(&mut s, f64::NEG_INFINITY);
+        s.push(' ');
+        push_value(&mut s, 2.5);
+        assert_eq!(s, "NaN +Inf -Inf 2.5");
+    }
+
+    #[test]
+    fn exposition_is_deterministically_ordered_and_typed() {
+        let mut h = HistSummary::new();
+        h.observe(0.25);
+        let snap = crate::metrics::MetricsSnapshot {
+            counters: vec![("b.count", 2), ("a.count", 1)],
+            fcounters: vec![("a.cost", 1.5)],
+            gauges: vec![("z.gauge", 0.5)],
+            hists: vec![("lat.seconds", h)],
+        };
+        let text = prometheus_text(&snap);
+        let expected = "\
+# TYPE a_cost_total counter
+a_cost_total 1.5
+# TYPE a_count_total counter
+a_count_total 1
+# TYPE b_count_total counter
+b_count_total 2
+# TYPE z_gauge gauge
+z_gauge 0.5
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le=\"0.5\"} 1
+lat_seconds_bucket{le=\"+Inf\"} 1
+lat_seconds_sum 0.25
+lat_seconds_count 1
+";
+        assert_eq!(text, expected);
+        // Pure function: same snapshot, same bytes.
+        assert_eq!(prometheus_text(&snap), text);
+    }
+}

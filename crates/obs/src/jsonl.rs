@@ -62,4 +62,33 @@ mod tests {
         push_num(&mut s, f64::NAN);
         assert_eq!(s, "1.5 3 null null");
     }
+
+    /// Regression: every non-finite `f64` must render as `null` — `NaN`,
+    /// `inf` and `-inf` are not JSON tokens, and a single such fragment
+    /// would make a whole journal/ledger line unparsable downstream.
+    #[test]
+    fn every_non_finite_value_is_null_and_finite_edges_stay_numbers() {
+        for v in [
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX * 2.0, // overflows to +inf
+        ] {
+            let mut s = String::new();
+            push_num(&mut s, v);
+            assert_eq!(s, "null", "non-finite {v} must encode as null");
+        }
+        // Finite extremes stay valid JSON numbers (no inf/exponent-free
+        // surprises from the shortest-round-trip writer).
+        for v in [f64::MAX, f64::MIN_POSITIVE, 5e-324, -0.0] {
+            let mut s = String::new();
+            push_num(&mut s, v);
+            assert_ne!(s, "null");
+            assert!(
+                s.parse::<f64>().is_ok() && !s.contains("inf") && !s.contains("NaN"),
+                "{v} rendered as {s}"
+            );
+        }
+    }
 }

@@ -23,6 +23,18 @@
 //!   `total_cost` (property-tested in `tests/ledger_reconciliation.rs`).
 //! * [`jsonl`] — a deterministic JSON-lines sink: the same run always
 //!   produces byte-identical output (enforced by the `obs-smoke` CI job).
+//! * [`buckets`] — the fixed log₂ bucket grid shared by every histogram,
+//!   so p50/p99 are exportable without retaining samples and bucket
+//!   tables from different scrapes/processes merge cleanly.
+//! * [`expo`] — a zero-dependency Prometheus text-format encoder for
+//!   [`MetricsSnapshot`] (counters/gauges/histograms with `# TYPE`
+//!   lines, deterministic name order).
+//! * [`journal`] — a bounded ring-buffer **event journal** of structured
+//!   lifecycle events `{seq, t_mono, kind, epoch, fields…}` with a
+//!   deterministic JSONL encoding; wall-clock nondeterminism is isolated
+//!   to the designated `t_mono` key. This is what turns the crate from a
+//!   batch profiler into a live observability plane (`dpg serve
+//!   --telemetry-addr` + `dpg top`).
 //!
 //! The ledger is *derived* from algorithm outputs (explicit schedules and
 //! recorded arm choices) rather than logged inline, so event emission is
@@ -32,13 +44,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod buckets;
+pub mod expo;
+pub mod journal;
 pub mod jsonl;
 pub mod ledger;
 pub mod metrics;
 pub mod span;
 
+pub use expo::prometheus_text;
 pub use ledger::{CostBreakdown, Ledger, LedgerEvent, Subject};
 pub use metrics::{
-    counter_add, enabled, gauge_set, observe, reset, set_enabled, snapshot, MetricsSnapshot,
+    counter_add, enabled, fcounter_add, flush_local, gauge_set, observe, reset, set_enabled,
+    snapshot, MetricsSnapshot,
 };
 pub use span::{span, time_phase, Span};

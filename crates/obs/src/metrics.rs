@@ -18,32 +18,12 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-/// Number of power-of-two magnitude buckets kept per histogram (see
-/// [`HistSummary::quantile`]).
-pub const HIST_BUCKETS: usize = 64;
+use crate::buckets;
 
-/// Bucket index of one observation: `floor(log2(v)) + 40`, clamped to
-/// the table. Bucket `i` therefore covers `[2^(i-40), 2^(i-39))`, which
-/// spans ~1 ns to ~2^23 s when observations are in seconds — far wider
-/// than any latency this workspace records.
-fn bucket_of(v: f64) -> usize {
-    if v <= 0.0 || !v.is_finite() {
-        // NaN also lands here: it fails `is_finite`.
-        return 0;
-    }
-    let e = v.log2().floor() + 40.0;
-    if e < 0.0 {
-        0
-    } else {
-        (e as usize).min(HIST_BUCKETS - 1)
-    }
-}
-
-/// Upper bound of bucket `i` (the value reported for quantiles landing in
-/// that bucket).
-fn bucket_upper(i: usize) -> f64 {
-    2f64.powi(i as i32 - 39)
-}
+/// Number of power-of-two magnitude buckets kept per histogram — the
+/// fixed grid of [`crate::buckets`] (bucket `i` covers
+/// `[2^(i-40), 2^(i-39))`, ~1 ns to ~2^23 s in seconds).
+pub const HIST_BUCKETS: usize = buckets::BUCKETS;
 
 /// Summary statistics of one histogram: moments (count/total/mean/
 /// min/max, what phase timers need) plus a fixed table of power-of-two
@@ -65,7 +45,9 @@ pub struct HistSummary {
 }
 
 impl HistSummary {
-    fn new() -> Self {
+    /// An empty summary. Public so standalone consumers (tests, exporters,
+    /// offline analysis) can build histograms outside the registry.
+    pub fn new() -> Self {
         HistSummary {
             count: 0,
             sum: 0.0,
@@ -75,12 +57,13 @@ impl HistSummary {
         }
     }
 
-    fn observe(&mut self, v: f64) {
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
-        self.buckets[bucket_of(v)] += 1;
+        self.buckets[buckets::index_of(v)] += 1;
     }
 
     fn merge(&mut self, other: &HistSummary) {
@@ -108,24 +91,20 @@ impl HistSummary {
     /// estimate is exact to within a factor of 2 (one bucket), which is
     /// what a latency gate needs. Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_upper(i).clamp(self.min, self.max);
-            }
-        }
-        self.max
+        buckets::quantile(&self.buckets, self.count, q, self.min, self.max)
+    }
+}
+
+impl Default for HistSummary {
+    fn default() -> Self {
+        HistSummary::new()
     }
 }
 
 #[derive(Debug, Default)]
 struct Registry {
     counters: BTreeMap<&'static str, u64>,
+    fcounters: BTreeMap<&'static str, f64>,
     hists: BTreeMap<&'static str, HistSummary>,
 }
 
@@ -134,11 +113,14 @@ impl Registry {
         for (k, v) in std::mem::take(&mut self.counters) {
             *target.counters.entry(k).or_insert(0) += v;
         }
+        for (k, v) in std::mem::take(&mut self.fcounters) {
+            *target.fcounters.entry(k).or_insert(0.0) += v;
+        }
         for (k, h) in std::mem::take(&mut self.hists) {
             target
                 .hists
                 .entry(k)
-                .or_insert_with(HistSummary::new)
+                .or_default()
                 .merge(&h);
         }
     }
@@ -147,6 +129,7 @@ impl Registry {
 static ENABLED: AtomicBool = AtomicBool::new(true);
 static GLOBAL: Mutex<Registry> = Mutex::new(Registry {
     counters: BTreeMap::new(),
+    fcounters: BTreeMap::new(),
     hists: BTreeMap::new(),
 });
 
@@ -198,6 +181,22 @@ pub fn counter_add(name: &'static str, delta: u64) {
     });
 }
 
+/// Adds `delta` to the named *float* counter — a monotone accumulator of
+/// a real-valued quantity (settled cost, say), exported as a Prometheus
+/// counter so rates are derivable from scrapes. Per-thread partials merge
+/// by float addition in thread-exit order; call sites that need
+/// bit-deterministic totals (the serving daemon does) must record from a
+/// single thread.
+#[inline]
+pub fn fcounter_add(name: &'static str, delta: f64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|b| {
+        *b.0.borrow_mut().fcounters.entry(name).or_insert(0.0) += delta;
+    });
+}
+
 /// Records one observation into the named histogram (for spans the unit
 /// is seconds; counters of work per call use their natural unit).
 #[inline]
@@ -209,7 +208,7 @@ pub fn observe(name: &'static str, value: f64) {
         b.0.borrow_mut()
             .hists
             .entry(name)
-            .or_insert_with(HistSummary::new)
+            .or_default()
             .observe(value);
     });
 }
@@ -230,6 +229,8 @@ pub fn gauge_set(name: &'static str, value: f64) {
 pub struct MetricsSnapshot {
     /// Counter values by name.
     pub counters: Vec<(&'static str, u64)>,
+    /// Float-counter values by name (monotone real-valued accumulators).
+    pub fcounters: Vec<(&'static str, f64)>,
     /// Histogram summaries by name.
     pub hists: Vec<(&'static str, HistSummary)>,
     /// Gauge values by name (last write wins).
@@ -240,6 +241,14 @@ impl MetricsSnapshot {
     /// Looks up a counter by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a float counter by name.
+    pub fn fcounter(&self, name: &str) -> Option<f64> {
+        self.fcounters
             .iter()
             .find(|(k, _)| *k == name)
             .map(|&(_, v)| v)
@@ -259,6 +268,16 @@ impl MetricsSnapshot {
     }
 }
 
+/// Drains the calling thread's buffer into the global aggregate without
+/// copying the aggregate out. Threads that record but never snapshot —
+/// the serving daemon's ingest thread, say — call this at natural
+/// boundaries (epoch settlement) so concurrent readers on *other*
+/// threads (the telemetry scrape endpoint) see their recordings.
+pub fn flush_local() {
+    let mut global = GLOBAL.lock().expect("obs metrics mutex");
+    LOCAL.with(|b| b.0.borrow_mut().merge_into(&mut global));
+}
+
 /// Drains the calling thread's buffer into the global aggregate and
 /// returns a copy of the aggregate. (Other *live* threads' buffers merge
 /// when they exit; the scoped-thread pattern used across the workspace
@@ -269,6 +288,7 @@ pub fn snapshot() -> MetricsSnapshot {
     LOCAL.with(|b| b.0.borrow_mut().merge_into(&mut global));
     MetricsSnapshot {
         counters: global.counters.iter().map(|(&k, &v)| (k, v)).collect(),
+        fcounters: global.fcounters.iter().map(|(&k, &v)| (k, v)).collect(),
         hists: global.hists.iter().map(|(&k, &h)| (k, h)).collect(),
         gauges: GAUGES
             .lock()
@@ -326,13 +346,27 @@ mod tests {
     fn disabled_recording_is_dropped() {
         set_enabled(false);
         counter_add("test.counter.disabled", 10);
+        fcounter_add("test.fcounter.disabled", 1.0);
         observe("test.hist.disabled", 1.0);
         gauge_set("test.gauge.disabled", 3.0);
         set_enabled(true);
         let s = snapshot();
         assert_eq!(s.counter("test.counter.disabled"), None);
+        assert_eq!(s.fcounter("test.fcounter.disabled"), None);
         assert!(s.hist("test.hist.disabled").is_none());
         assert_eq!(s.gauge("test.gauge.disabled"), None);
+    }
+
+    #[test]
+    fn float_counters_accumulate_across_threads() {
+        fcounter_add("test.fcounter.cost", 1.5);
+        fcounter_add("test.fcounter.cost", 0.25);
+        std::thread::scope(|s| {
+            s.spawn(|| fcounter_add("test.fcounter.cost", 0.5));
+        });
+        let s = snapshot();
+        assert_eq!(s.fcounter("test.fcounter.cost"), Some(2.25));
+        assert_eq!(s.fcounter("test.fcounter.nope"), None);
     }
 
     #[test]

@@ -56,6 +56,7 @@ use mcs_correlation::{matching::greedy_matching_from_pairs, StreamingCooccurrenc
 use mcs_engine::{find, CachingSolver, RunContext, Solution};
 use mcs_model::defaults::{DEFAULT_SEED, DEFAULT_THETA};
 use mcs_model::{CostModel, ItemId, Request, RequestSeqBuilder, ServerId};
+use mcs_obs::journal::{self, Value};
 
 use crate::checkpoint::{DaemonState, PendingReq};
 use crate::protocol::{parse_line, Frame};
@@ -92,6 +93,10 @@ pub struct ServeConfig {
     pub inject_slow_epoch: Option<(u64, Duration)>,
     /// Suppress per-event stderr notes.
     pub quiet: bool,
+    /// Atomically publish the Prometheus exposition here at every epoch
+    /// boundary (`--telemetry-file`; socketless environments). Publish
+    /// failures are reported and survived, never fatal.
+    pub telemetry_file: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -112,6 +117,7 @@ impl ServeConfig {
             inject_panic_epoch: None,
             inject_slow_epoch: None,
             quiet: false,
+            telemetry_file: None,
         }
     }
 }
@@ -218,8 +224,11 @@ impl Daemon {
         // before the first settlement would make recovery ignore the
         // epoch-0 WAL and re-admit (duplicate) its requests.
         state.save(&cfg.dir)?;
+        journal::record("checkpoint-write", Some(0), vec![]);
+        mcs_obs::gauge_set("serve.last_checkpoint_t_mono", journal::now_t_mono());
+        journal::record("epoch-open", Some(0), vec![]);
         let wal = Wal::open(&cfg.dir, state.epoch)?;
-        Ok(Daemon {
+        let daemon = Daemon {
             cfg,
             solver,
             base_ctx,
@@ -228,7 +237,9 @@ impl Daemon {
             wal,
             summary: ServeSummary::default(),
             straggler: None,
-        })
+        };
+        daemon.publish_telemetry();
+        Ok(daemon)
     }
 
     /// Recovers a daemon from the durable state in `cfg.dir`, replaying
@@ -257,6 +268,7 @@ impl Daemon {
             straggler: None,
         };
         daemon.replay()?;
+        daemon.publish_telemetry();
         Ok(Some(daemon))
     }
 
@@ -298,12 +310,22 @@ impl Daemon {
                     // corruption.
                     truncate_torn(&self.cfg.dir, self.state.epoch, valid_len)?;
                     mcs_obs::counter_add("serve.torn_tails", 1);
+                    journal::record(
+                        "wal-torn",
+                        Some(self.state.epoch),
+                        vec![("valid_len", Value::U64(valid_len))],
+                    );
                 }
                 break;
             }
             // The settle we just replayed advanced the epoch; its log may
             // exist if the crash landed after rotation.
         }
+        journal::record(
+            "recovery-replay",
+            Some(self.state.epoch),
+            vec![("replayed", Value::U64(self.summary.replayed))],
+        );
         self.wal = Wal::open(&self.cfg.dir, self.state.epoch)?;
         // The buffer may have filled with no settle record durable yet
         // (crash inside settlement, before the outcome was logged):
@@ -343,9 +365,7 @@ impl Daemon {
         mut items: Vec<ItemId>,
     ) -> Result<Admission, ServeError> {
         if !time.is_finite() || time <= 0.0 {
-            self.summary.rejected += 1;
-            mcs_obs::counter_add("serve.rejected", 1);
-            return Ok(Admission::Rejected(format!("non-positive time {time}")));
+            return Ok(self.reject(format!("non-positive time {time}")));
         }
         if time <= self.state.last_time {
             // Already covered by recovered/served history: the resume
@@ -354,11 +374,8 @@ impl Daemon {
             mcs_obs::counter_add("serve.stale", 1);
             return Ok(Admission::Stale);
         }
-        let reject = |what: String| Admission::Rejected(what);
         if server.0 >= self.state.servers {
-            self.summary.rejected += 1;
-            mcs_obs::counter_add("serve.rejected", 1);
-            return Ok(reject(format!(
+            return Ok(self.reject(format!(
                 "server {} out of range (fleet is {})",
                 server.0, self.state.servers
             )));
@@ -366,17 +383,13 @@ impl Daemon {
         items.sort_unstable();
         items.dedup();
         if items.is_empty() {
-            self.summary.rejected += 1;
-            mcs_obs::counter_add("serve.rejected", 1);
-            return Ok(reject("empty item set".into()));
+            return Ok(self.reject("empty item set".into()));
         }
         if items.len() > self.cfg.max_items {
             // Backpressure: oversized requests would break the O(|D|²)
             // per-request latency bound.
-            self.summary.rejected += 1;
-            mcs_obs::counter_add("serve.rejected", 1);
             mcs_obs::counter_add("serve.backpressure_drops", 1);
-            return Ok(reject(format!(
+            return Ok(self.reject(format!(
                 "item set of {} exceeds the admission cap {}",
                 items.len(),
                 self.cfg.max_items
@@ -384,9 +397,7 @@ impl Daemon {
         }
         if let Some(&max) = items.last() {
             if max.0 >= self.state.items {
-                self.summary.rejected += 1;
-                mcs_obs::counter_add("serve.rejected", 1);
-                return Ok(reject(format!(
+                return Ok(self.reject(format!(
                     "item {} out of range (catalog is {})",
                     max.0, self.state.items
                 )));
@@ -413,6 +424,18 @@ impl Daemon {
         Ok(Admission::Admitted)
     }
 
+    /// Counts and journals one admission rejection.
+    fn reject(&mut self, reason: String) -> Admission {
+        self.summary.rejected += 1;
+        mcs_obs::counter_add("serve.rejected", 1);
+        journal::record(
+            "admit-reject",
+            Some(self.state.epoch),
+            vec![("reason", Value::Str(reason.clone()))],
+        );
+        Admission::Rejected(reason)
+    }
+
     /// Applies an admitted (or replayed) request to in-memory state.
     fn apply_request(&mut self, time: f64, server: ServerId, items: Vec<ItemId>) {
         self.stream.observe(&Request {
@@ -433,6 +456,11 @@ impl Daemon {
     /// then the durable settle record, then application.
     fn settle_epoch(&mut self) -> Result<(), ServeError> {
         let epoch = self.state.epoch;
+        journal::record(
+            "settle-start",
+            Some(epoch),
+            vec![("requests", Value::U64(self.state.pending.len() as u64))],
+        );
         let (status, cost) = self.compute_outcome(epoch);
         self.wal.append(&WalRecord::Settle {
             status,
@@ -461,6 +489,7 @@ impl Daemon {
             match rx.try_recv() {
                 Err(mpsc::TryRecvError::Empty) => {
                     mcs_obs::counter_add("serve.settle_busy", 1);
+                    journal::record("settle-busy", Some(epoch), vec![]);
                     return (EpochStatus::Deadline, self.fallback_cost());
                 }
                 // Finished (its epoch already settled degraded, so the
@@ -568,6 +597,15 @@ impl Daemon {
             self.state.degraded_accesses += accesses;
             self.state.degraded_epochs.push(epoch);
             mcs_obs::counter_add("serve.epochs_degraded", 1);
+            mcs_obs::fcounter_add("serve.degraded_cost", cost);
+            journal::record(
+                "settle-degraded",
+                Some(epoch),
+                vec![
+                    ("status", Value::Str(status.label().to_string())),
+                    ("cost", Value::F64(cost)),
+                ],
+            );
         } else {
             self.state.ok_cost += cost;
             self.state.ok_accesses += accesses;
@@ -577,17 +615,43 @@ impl Daemon {
                 greedy_matching_from_pairs(self.stream.pairs(), self.state.items, self.cfg.theta)
                     .pairs;
             mcs_obs::counter_add("serve.epochs_ok", 1);
+            mcs_obs::fcounter_add("serve.ok_cost", cost);
+            journal::record("settle-ok", Some(epoch), vec![("cost", Value::F64(cost))]);
         }
-        if let Some(ratio) = self.state.degradation_ratio() {
-            mcs_obs::gauge_set("serve.degradation_ratio", ratio);
-        }
+        // 1.0 (no inflation) until a degraded epoch exists, so scrapes
+        // always see the gauge once an epoch has settled.
+        mcs_obs::gauge_set(
+            "serve.degradation_ratio",
+            self.state.degradation_ratio().unwrap_or(1.0),
+        );
         self.state.pending.clear();
         self.state.epoch = epoch + 1;
         mcs_obs::gauge_set("serve.epoch", self.state.epoch as f64);
         self.state.streaming = self.stream.snapshot();
         self.state.save(&self.cfg.dir)?;
+        journal::record("checkpoint-write", Some(self.state.epoch), vec![]);
+        mcs_obs::gauge_set("serve.last_checkpoint_t_mono", journal::now_t_mono());
         self.wal = Wal::open(&self.cfg.dir, self.state.epoch)?;
+        journal::record("wal-rotate", Some(self.state.epoch), vec![]);
+        journal::record("epoch-open", Some(self.state.epoch), vec![]);
+        self.publish_telemetry();
         Ok(())
+    }
+
+    /// Epoch-boundary telemetry publication: drains this thread's metric
+    /// buffer into the global aggregate (so the scrape thread sees it),
+    /// then atomically rewrites the exposition file, if configured.
+    /// Telemetry must never take the daemon down: failures are reported
+    /// and survived.
+    fn publish_telemetry(&self) {
+        mcs_obs::flush_local();
+        if let Some(path) = &self.cfg.telemetry_file {
+            if let Err(e) = crate::telemetry::publish_file(path) {
+                if !self.cfg.quiet {
+                    eprintln!("serve: telemetry publish to {} failed: {e}", path.display());
+                }
+            }
+        }
     }
 
     /// The current in-memory state, with the streaming snapshot

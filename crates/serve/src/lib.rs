@@ -24,17 +24,24 @@
 //!   conservative pricing) when settlement cannot be trusted.
 //!
 //! Everything is observable through [`mcs_obs`]: admission latency and
-//! settlement histograms, backpressure and degradation-ratio gauges, and
-//! counters for every rejection class.
+//! settlement histograms, backpressure and degradation-ratio gauges,
+//! counters for every rejection class, cost accumulators split by
+//! settlement outcome, and a journal event for every epoch lifecycle
+//! transition. The [`telemetry`] module exposes all of it *live*: a
+//! std-only TCP control endpoint (`GET /metrics` Prometheus text, `GET
+//! /journal?n=K` JSONL tail) plus an atomic epoch-boundary file
+//! publisher — what `dpg top` polls and renders.
 
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod daemon;
 pub mod protocol;
+pub mod telemetry;
 pub mod wal;
 
 pub use checkpoint::{DaemonState, PendingReq, CHECKPOINT_VERSION};
 pub use daemon::{serve_stream, Admission, Daemon, ServeConfig, ServeError, ServeSummary};
 pub use protocol::{Frame, ProtocolError};
+pub use telemetry::TelemetryServer;
 pub use wal::{EpochStatus, Wal, WalRecord};

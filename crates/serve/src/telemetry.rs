@@ -1,0 +1,263 @@
+//! The live telemetry plane: Prometheus-style exposition and the journal
+//! tail, served over a std-only TCP control endpoint or published to a
+//! file at epoch boundaries.
+//!
+//! The daemon's request path stays untouched: a scrape snapshots the
+//! process-global `mcs_obs` registry and journal from the listener
+//! thread, so serving telemetry costs the serving loop nothing. The
+//! endpoint is a hand-rolled minimal HTTP/1.0 responder — the build
+//! carries no network or async dependencies (DESIGN §6), and two routes
+//! don't need a framework:
+//!
+//! ```text
+//! GET /metrics        → Prometheus text exposition (format 0.0.4)
+//! GET /journal?n=K    → last K journal events as JSONL (default 32)
+//! ```
+//!
+//! Determinism: the exposition encoder and journal encoding are pure
+//! (see `mcs_obs::expo` / `mcs_obs::journal`). The renderer appends one
+//! scrape-time gauge, `serve_scrape_t_mono` — together with
+//! `serve_last_checkpoint_t_mono` and the latency-valued `*_seconds`
+//! histograms these are the *designated wall-clock keys* (DESIGN §12);
+//! every other line is determined by the request stream and epoch
+//! boundaries.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Journal events returned by `GET /journal` when no `?n=` is given.
+pub const DEFAULT_JOURNAL_TAIL: usize = 32;
+
+/// Renders the current metrics as Prometheus text exposition, with the
+/// designated scrape-time gauge `serve_scrape_t_mono` (monotonic seconds
+/// since process start, same clock as the journal's `t_mono`) appended
+/// so consumers can compute ages and rates without a local clock.
+pub fn metrics_text() -> String {
+    let mut out = mcs_obs::prometheus_text(&mcs_obs::snapshot());
+    out.push_str("# TYPE serve_scrape_t_mono gauge\n");
+    out.push_str(&format!(
+        "serve_scrape_t_mono {}\n",
+        mcs_obs::journal::now_t_mono()
+    ));
+    out
+}
+
+/// Renders the last `n` journal events as JSONL.
+pub fn journal_text(n: usize) -> String {
+    mcs_obs::journal::tail_jsonl(n)
+}
+
+/// Atomically publishes the current exposition to `path` — temporary
+/// file then rename, like the checkpoint — for socketless environments.
+/// The daemon calls this at every epoch boundary.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn publish_file(path: &Path) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, metrics_text())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// The TCP control endpoint: one listener thread serving `/metrics` and
+/// `/journal`, shut down (and joined) on drop.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `spec` (`HOST:PORT`; port 0 picks a free one) and starts
+    /// the listener thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(spec: &str) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(spec)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dpg-telemetry".into())
+            .spawn(move || serve_loop(listener, stop2))?;
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; if the
+        // connect fails the listener is already gone.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Scrapes are rare operator traffic: handling them inline on the
+        // listener thread bounds resource use at one connection.
+        let _ = handle_conn(stream);
+    }
+}
+
+/// Reads one request head (bounded), routes it, writes one response.
+fn handle_conn(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 256];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 4096 {
+                    break;
+                }
+            }
+            Err(_) => break, // timeout or reset: respond to what we have
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut words = request_line.split_ascii_whitespace();
+    let (method, target) = (words.next().unwrap_or(""), words.next().unwrap_or(""));
+    let (status, content_type, body) = route(method, target);
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+fn route(method: &str, target: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return ("405 Method Not Allowed", "text/plain", "GET only\n".into());
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics_text(),
+        ),
+        "/journal" => {
+            let n = match query {
+                None | Some("") => Some(DEFAULT_JOURNAL_TAIL),
+                Some(q) => q
+                    .strip_prefix("n=")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0),
+            };
+            match n {
+                Some(n) => ("200 OK", "application/jsonl", journal_text(n)),
+                None => (
+                    "400 Bad Request",
+                    "text/plain",
+                    "journal takes ?n=K with positive integer K\n".into(),
+                ),
+            }
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            "routes: /metrics, /journal?n=K\n".into(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn endpoint_serves_metrics_and_journal_and_404s_the_rest() {
+        mcs_obs::counter_add("serve.test_telemetry_endpoint", 3);
+        // The scrape runs on the listener thread; drain this thread's
+        // buffer so it can see the counter (what the daemon does at
+        // every epoch boundary).
+        mcs_obs::flush_local();
+        mcs_obs::journal::record(
+            "test-telemetry-endpoint",
+            Some(9),
+            vec![("tag", mcs_obs::journal::Value::U64(1))],
+        );
+        let server = TelemetryServer::spawn("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("serve_test_telemetry_endpoint_total 3"));
+        assert!(body.contains("serve_scrape_t_mono "));
+
+        let (head, body) = http_get(addr, "/journal?n=1000");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(
+            body.lines()
+                .any(|l| l.contains("\"kind\":\"test-telemetry-endpoint\",\"epoch\":9,\"tag\":1")),
+            "{body}"
+        );
+
+        let (head, _) = http_get(addr, "/journal?n=zero");
+        assert!(head.starts_with("HTTP/1.0 400"), "{head}");
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+        drop(server); // joins the listener thread
+    }
+
+    #[test]
+    fn file_publication_is_atomic_and_readable() {
+        let path =
+            std::env::temp_dir().join(format!("dpg-telemetry-test-{}.prom", std::process::id()));
+        mcs_obs::counter_add("serve.test_telemetry_file", 1);
+        mcs_obs::flush_local();
+        publish_file(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("serve_test_telemetry_file_total 1"));
+        assert!(!path.with_extension("prom.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

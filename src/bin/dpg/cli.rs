@@ -35,7 +35,10 @@ pub fn print_usage() {
          dpg algos [--json]\n  \
          dpg run --algo NAME [FILE] [--mu X] [--lambda X] [--alpha X] [--theta X] [--json]\n  \
          dpg serve --dir DIR [--input FILE] [--algo NAME] [--epoch-len N] [--decay X] \
-         [--settle-timeout-ms N] [--max-items N] [--seed N] [--quiet] [--dump-state]\n  \
+         [--settle-timeout-ms N] [--max-items N] [--seed N] [--quiet] [--dump-state] \
+         [--telemetry-addr HOST:PORT] [--telemetry-file PATH] [--dump-journal]\n  \
+         dpg top (--addr HOST:PORT | --file PATH) [--interval-ms N] [--journal N] \
+         [--raw metrics|journal] [--once]\n  \
          dpg svg FILE --out FILE.svg [--item N] [--mu X] [--lambda X]\n  \
          dpg explain FILE [--a N --b N] [--mu X] [--lambda X] [--alpha X]\n  \
          dpg trace solve FILE --out FILE.jsonl [--algo NAME] \
@@ -117,18 +120,21 @@ pub fn model_flags(args: &[String]) -> Result<(CostModel, f64), CliError> {
     Ok((model, theta))
 }
 
-/// Prints the `--metrics` summary: counters, then gauges, then
-/// span/histogram stats (with the bucketed p99 estimate), in
-/// deterministic name order.
+/// Prints the `--metrics` summary: counters (integer then float), then
+/// gauges, then span/histogram stats (with the bucketed p99 estimate),
+/// in deterministic name order.
 pub fn print_metrics() {
     let s = dp_greedy_suite::obs::snapshot();
     println!(
         "\n-- metrics ({} counters, {} gauges, {} spans) --",
-        s.counters.len(),
+        s.counters.len() + s.fcounters.len(),
         s.gauges.len(),
         s.hists.len()
     );
     for (name, v) in &s.counters {
+        println!("  {name:<28} {v}");
+    }
+    for (name, v) in &s.fcounters {
         println!("  {name:<28} {v}");
     }
     for (name, v) in &s.gauges {

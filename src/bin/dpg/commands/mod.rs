@@ -14,5 +14,6 @@ pub mod serve;
 pub mod solve;
 pub mod stats;
 pub mod svg;
+pub mod top;
 pub mod trace;
 pub mod version;

@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use crate::cli::{check_flags, model_flags, parse_flag, CliError};
 use dp_greedy_suite::engine::find;
-use dp_greedy_suite::serve::{serve_stream, Daemon, ServeConfig, ServeError};
+use dp_greedy_suite::serve::{serve_stream, Daemon, ServeConfig, ServeError, TelemetryServer};
 
 fn runtime(e: ServeError) -> CliError {
     CliError::Runtime(e.to_string())
@@ -41,12 +41,14 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "--throttle-us",
             "--inject-panic-epoch",
             "--seed",
+            "--telemetry-addr",
+            "--telemetry-file",
             "--mu",
             "--lambda",
             "--alpha",
             "--theta",
         ],
-        &["--quiet", "--dump-state"],
+        &["--quiet", "--dump-state", "--dump-journal"],
     )?;
     let dir: String =
         parse_flag(args, "--dir").ok_or("serve needs --dir DIR (durable state directory)")??;
@@ -97,6 +99,20 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     if let Some(seed) = parse_flag::<u64>(args, "--seed").transpose()? {
         cfg.seed = seed;
     }
+    if let Some(path) = parse_flag::<String>(args, "--telemetry-file").transpose()? {
+        cfg.telemetry_file = Some(PathBuf::from(path));
+    }
+
+    if args.iter().any(|a| a == "--dump-journal") {
+        // Like --dump-state: run full (deterministic, idempotent)
+        // recovery, then print every journal event it produced.
+        let dir = cfg.dir.clone();
+        Daemon::recover(cfg)
+            .map_err(runtime)?
+            .ok_or_else(|| CliError::Runtime(format!("no serving state in {}", dir.display())))?;
+        print!("{}", dp_greedy_suite::obs::journal::tail_jsonl(usize::MAX));
+        return Ok(());
+    }
 
     if args.iter().any(|a| a == "--dump-state") {
         // Not read-only: recovery persists the checkpoint, truncates
@@ -108,6 +124,19 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             .ok_or_else(|| CliError::Runtime(format!("no serving state in {}", dir.display())))?;
         print!("{}", daemon.current_state().canonical_json());
         return Ok(());
+    }
+
+    // The control endpoint lives on its own listener thread for the
+    // whole run and is shut down (joined) when this guard drops.
+    let telemetry = parse_flag::<String>(args, "--telemetry-addr")
+        .transpose()?
+        .map(|spec| {
+            TelemetryServer::spawn(&spec)
+                .map_err(|e| CliError::Runtime(format!("cannot bind telemetry {spec}: {e}")))
+        })
+        .transpose()?;
+    if let (Some(server), false) = (&telemetry, cfg.quiet) {
+        eprintln!("serve: telemetry on http://{}", server.addr());
     }
 
     let input = parse_flag::<String>(args, "--input").transpose()?;

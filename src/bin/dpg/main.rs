@@ -8,6 +8,9 @@
 //! dpg algos [--json]
 //! dpg run --algo NAME [trace.json] [--mu X] [--lambda X] [--alpha X] [--theta X] [--json]
 //! dpg serve --dir DIR [--input FILE] [--algo NAME] [--epoch-len N] [--dump-state]
+//!           [--telemetry-addr HOST:PORT] [--telemetry-file PATH] [--dump-journal]
+//! dpg top (--addr HOST:PORT | --file PATH) [--interval-ms N] [--journal N]
+//!         [--raw metrics|journal] [--once]
 //! dpg trace solve trace.json --out events.jsonl [--algo NAME] [...]
 //! dpg trace example --out events.jsonl
 //! dpg chaos [--seed N] [--fault-rate X] [--sweep]
@@ -61,6 +64,7 @@ fn main() -> ExitCode {
         "algos" => commands::algos::run(rest),
         "run" => commands::run_algo::run(rest),
         "serve" => commands::serve::run(rest),
+        "top" => commands::top::run(rest),
         "svg" => commands::svg::run(rest),
         "explain" => commands::explain::run(rest),
         "trace" => commands::trace::run(rest),
