@@ -21,8 +21,8 @@
 
 use std::collections::HashMap;
 
-use mcs_correlation::grouping::{agglomerative_grouping, Grouping};
-use mcs_correlation::JaccardMatrix;
+use mcs_correlation::{agglomerative_grouping, JaccardMatrix, PackageSet};
+use mcs_model::par::par_map;
 use mcs_model::{CostModel, ItemId, RequestSeq, Schedule, ServerId, TimePoint};
 use mcs_offline::optimal;
 
@@ -88,9 +88,9 @@ impl GroupReport {
 /// Full multi-item report.
 #[derive(Debug, Clone)]
 pub struct MultiItemReport {
-    /// Phase 1 grouping.
-    pub grouping: Grouping,
-    /// Reports for groups of size ≥ 2.
+    /// The unified Phase-1 outcome the costs were computed under.
+    pub packages: PackageSet,
+    /// Reports for packages of size ≥ 2.
     pub groups: Vec<GroupReport>,
     /// Per-unpacked-item optimal costs.
     pub singletons: Vec<(ItemId, f64)>,
@@ -114,9 +114,8 @@ impl MultiItemReport {
 /// Serves one group's requests (Phase 2, group-generalised).
 fn serve_group(seq: &RequestSeq, group: &[ItemId], model: &CostModel) -> GroupReport {
     let g = group.len() as u32;
-    let group_rate_mu = model.cache_rate_package(g);
-    let group_rate_la = model.transfer_cost_package(g);
-    let delivery = group_rate_la; // α·g·λ per shipment
+    let group_model = model.scaled_for_package_k(g);
+    let delivery = group_model.lambda(); // α·g·λ per shipment
     let mu = model.mu();
     let lambda = model.lambda();
 
@@ -134,8 +133,6 @@ fn serve_group(seq: &RequestSeq, group: &[ItemId], model: &CostModel) -> GroupRe
             .map(|&(time, server)| mcs_model::request::TracePoint { time, server })
             .collect(),
     };
-    let group_model = CostModel::new(group_rate_mu, group_rate_la, model.alpha())
-        .expect("scaled rates stay valid");
     let pkg = optimal(&co_trace, &group_model);
     let package_available = !co_trace.is_empty();
 
@@ -195,34 +192,37 @@ fn serve_group(seq: &RequestSeq, group: &[ItemId], model: &CostModel) -> GroupRe
     }
 }
 
-/// Runs the multi-item DP_Greedy.
-pub fn dp_greedy_multi(seq: &RequestSeq, config: &MultiItemConfig) -> MultiItemReport {
-    let matrix = JaccardMatrix::from_sequence(seq);
-    let grouping = agglomerative_grouping(&matrix, config.theta, config.max_group);
-
-    let mut groups = Vec::new();
-    let mut singletons = Vec::new();
-    let mut total_cost = 0.0;
-    for g in &grouping.groups {
-        if g.len() >= 2 {
-            let report = serve_group(seq, g, &config.model);
-            total_cost += report.total();
-            groups.push(report);
-        } else {
-            let item = g[0];
-            let c = optimal(&seq.item_trace(item), &config.model).cost;
-            total_cost += c;
-            singletons.push((item, c));
-        }
-    }
-
+/// Phase 2 over an already-computed [`PackageSet`] — the package-generic
+/// serving core shared by [`dp_greedy_multi`] and the engine's `dpg_k`
+/// solver. Packages and singletons are each served independently across
+/// worker threads via [`par_map`] (order-preserving, so reports and the
+/// in-order cost sums are deterministic for any `MCS_THREADS`).
+pub fn dp_greedy_packages(
+    seq: &RequestSeq,
+    packages: &PackageSet,
+    model: &CostModel,
+) -> MultiItemReport {
+    let groups: Vec<GroupReport> = par_map(&packages.packages, |g| serve_group(seq, g, model));
+    let singletons: Vec<(ItemId, f64)> = par_map(&packages.singletons, |&item| {
+        (item, optimal(&seq.item_trace(item), model).cost)
+    });
+    let total_cost = groups.iter().map(GroupReport::total).sum::<f64>()
+        + singletons.iter().map(|&(_, c)| c).sum::<f64>();
     MultiItemReport {
-        grouping,
+        packages: packages.clone(),
         groups,
         singletons,
         total_cost,
         total_accesses: seq.total_item_accesses(),
     }
+}
+
+/// Runs the multi-item DP_Greedy: dense agglomerative Phase 1 followed by
+/// the package-generic Phase 2.
+pub fn dp_greedy_multi(seq: &RequestSeq, config: &MultiItemConfig) -> MultiItemReport {
+    let matrix = JaccardMatrix::from_sequence(seq);
+    let packages = agglomerative_grouping(&matrix, config.theta, config.max_group);
+    dp_greedy_packages(seq, &packages, &config.model)
 }
 
 mcs_model::impl_to_json!(GroupReport {
@@ -234,7 +234,7 @@ mcs_model::impl_to_json!(GroupReport {
     package_schedule
 });
 mcs_model::impl_to_json!(MultiItemReport {
-    grouping,
+    packages,
     groups,
     singletons,
     total_cost,

@@ -1,101 +1,206 @@
-//! Multi-item package grouping — the paper's future-work extension.
+//! K-package matching — agglomerative merging under average linkage.
 //!
 //! "Although as a proof of concept, the proposed algorithm only considers
 //! to pack two correlative data items, it can be naturally extended to the
 //! case where multiple data items could be packed." This module provides
-//! that extension: greedy agglomerative grouping under *average-linkage*
-//! Jaccard similarity, i.e. two groups merge while the mean pairwise
-//! similarity across the cut stays above the threshold.
+//! that extension as the crate's real K path: greedy agglomerative
+//! grouping under *average-linkage* Jaccard similarity — two groups merge
+//! while the mean pairwise similarity across the cut strictly exceeds the
+//! threshold — generic over the similarity backend via
+//! [`PairwiseSimilarity`], so the dense [`JaccardMatrix`] and the sparse
+//! [`SparseCoOccurrence`] (memory independent of `k²`) drive the *same*
+//! merge loop and tie-breaking. The per-round candidate scan fans out
+//! over worker threads with [`mcs_model::par::par_map`], reduced in row
+//! order so the outcome is bit-identical to the serial scan for any
+//! thread count.
+//!
+//! The result is a [`PackageSet`] — the unified Phase-1 outcome shared
+//! with the pairwise matcher ([`crate::matching`]).
 
 use crate::jaccard::JaccardMatrix;
+use crate::package_set::PackageSet;
+use crate::sparse::SparseCoOccurrence;
+use mcs_model::par::par_map;
 use mcs_model::ItemId;
 
-/// A grouping of items into packages of size ≥ 1.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Grouping {
-    /// Item groups; each inner vector is sorted ascending. Groups of size 1
-    /// are served individually.
-    pub groups: Vec<Vec<ItemId>>,
-    /// The threshold used.
-    pub theta: f64,
+/// A symmetric pairwise similarity oracle over items `0..items()` — the
+/// seam that lets the agglomerative matcher run identically over the
+/// dense matrix and the sparse hash table.
+pub trait PairwiseSimilarity {
+    /// Number of items `k`.
+    fn items(&self) -> usize;
+    /// Similarity of `a` and `b` (symmetric; `1.0` on the diagonal).
+    fn similarity(&self, a: ItemId, b: ItemId) -> f64;
 }
 
-impl Grouping {
-    /// Number of groups with at least two members.
-    pub fn package_count(&self) -> usize {
-        self.groups.iter().filter(|g| g.len() >= 2).count()
+impl PairwiseSimilarity for JaccardMatrix {
+    fn items(&self) -> usize {
+        JaccardMatrix::items(self)
     }
+    fn similarity(&self, a: ItemId, b: ItemId) -> f64 {
+        self.get(a, b)
+    }
+}
 
-    /// Total items across all groups.
-    pub fn total_items(&self) -> usize {
-        self.groups.iter().map(Vec::len).sum()
+impl PairwiseSimilarity for SparseCoOccurrence {
+    fn items(&self) -> usize {
+        SparseCoOccurrence::items(self)
+    }
+    fn similarity(&self, a: ItemId, b: ItemId) -> f64 {
+        self.jaccard(a, b)
     }
 }
 
 /// Mean pairwise similarity across two groups.
-fn average_linkage(matrix: &JaccardMatrix, a: &[ItemId], b: &[ItemId]) -> f64 {
+fn average_linkage<S: PairwiseSimilarity + ?Sized>(sim: &S, a: &[ItemId], b: &[ItemId]) -> f64 {
     let mut total = 0.0;
     for &x in a {
         for &y in b {
-            total += matrix.get(x, y);
+            total += sim.similarity(x, y);
         }
     }
     total / (a.len() * b.len()) as f64
 }
 
-/// Greedy agglomerative grouping: repeatedly merge the two groups with the
-/// highest average-linkage similarity while it exceeds `theta`.
-/// `max_group` caps package size (`usize::MAX` for unbounded; the paper's
-/// algorithm corresponds to `max_group = 2`).
-pub fn agglomerative_grouping(matrix: &JaccardMatrix, theta: f64, max_group: usize) -> Grouping {
-    let k = matrix.items();
+/// Below this many live groups the per-round candidate scan stays serial
+/// (thread fan-out costs more than it saves); above it, rows fan out via
+/// `par_map`. Either path produces the identical best candidate.
+const PAR_SCAN_MIN_GROUPS: usize = 64;
+
+/// Best merge candidate of one round: the `(i, j, w)` with the highest
+/// average linkage `w > theta`, ties broken toward the smallest `(i, j)`
+/// scan position (first found wins, exactly like the serial double loop).
+fn best_candidate<S: PairwiseSimilarity + Sync + ?Sized>(
+    sim: &S,
+    groups: &[Vec<ItemId>],
+    theta: f64,
+    max_group: usize,
+) -> Option<(usize, usize, f64)> {
+    // One row's best partner: scan j > i ascending, keep strictly-greater
+    // linkage — identical to the inner loop of the serial scan.
+    let row_best = |i: usize| -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for j in (i + 1)..groups.len() {
+            if groups[i].len() + groups[j].len() > max_group {
+                continue;
+            }
+            let w = average_linkage(sim, &groups[i], &groups[j]);
+            let better = match best {
+                None => w > theta,
+                Some((_, bw)) => w > theta && w > bw,
+            };
+            if better {
+                best = Some((j, w));
+            }
+        }
+        best
+    };
+    let per_row: Vec<Option<(usize, f64)>> = if groups.len() >= PAR_SCAN_MIN_GROUPS {
+        let rows: Vec<usize> = (0..groups.len()).collect();
+        par_map(&rows, |&i| row_best(i))
+    } else {
+        (0..groups.len()).map(row_best).collect()
+    };
+    // Cross-row reduction in row order with a strict comparison keeps the
+    // serial first-found tie-break: an equal-linkage later row never
+    // displaces an earlier one.
+    let mut best: Option<(usize, usize, f64)> = None;
+    for (i, rb) in per_row.into_iter().enumerate() {
+        if let Some((j, w)) = rb {
+            if best.is_none_or(|(_, _, bw)| w > bw) {
+                best = Some((i, j, w));
+            }
+        }
+    }
+    best
+}
+
+/// Greedy agglomerative K-matching over any similarity backend:
+/// repeatedly merge the two groups with the highest average-linkage
+/// similarity while it strictly exceeds `theta`. `max_group` caps the
+/// package size (`usize::MAX` for unbounded; the paper's pairwise shape
+/// corresponds to `max_group = 2`).
+///
+/// Packages are returned fully sorted (members ascending, packages in
+/// ascending lexicographic order) so the outcome is independent of the
+/// merge history's internal list order.
+pub fn agglomerative_packages<S: PairwiseSimilarity + Sync + ?Sized>(
+    sim: &S,
+    theta: f64,
+    max_group: usize,
+) -> PackageSet {
+    let k = sim.items();
     let mut groups: Vec<Vec<ItemId>> = (0..k as u32).map(|i| vec![ItemId(i)]).collect();
 
-    loop {
-        let mut best: Option<(usize, usize, f64)> = None;
-        for i in 0..groups.len() {
-            for j in (i + 1)..groups.len() {
-                if groups[i].len() + groups[j].len() > max_group {
-                    continue;
-                }
-                let w = average_linkage(matrix, &groups[i], &groups[j]);
-                let better = match best {
-                    None => w > theta,
-                    Some((_, _, bw)) => w > theta && w > bw,
-                };
-                if better {
-                    best = Some((i, j, w));
-                }
-            }
-        }
-        match best {
-            Some((i, j, _)) => {
-                let mut merged = groups.swap_remove(j);
-                merged.append(&mut groups[i]);
-                merged.sort();
-                groups[i] = merged;
-            }
-            None => break,
-        }
+    while let Some((i, j, _)) = best_candidate(sim, &groups, theta, max_group) {
+        let mut merged = groups.swap_remove(j);
+        merged.append(&mut groups[i]);
+        merged.sort();
+        groups[i] = merged;
     }
 
     for g in &mut groups {
         g.sort();
     }
     groups.sort();
-    Grouping { groups, theta }
+    let (packages, singles): (Vec<_>, Vec<_>) = groups.into_iter().partition(|g| g.len() >= 2);
+    let singletons = singles.into_iter().map(|g| g[0]).collect();
+    PackageSet::new(packages, singletons, theta)
 }
 
-mcs_model::impl_to_json!(Grouping { groups, theta });
+/// Agglomerative K-matching over the dense Jaccard matrix — the historical
+/// entry point, now returning the unified [`PackageSet`].
+pub fn agglomerative_grouping(matrix: &JaccardMatrix, theta: f64, max_group: usize) -> PackageSet {
+    agglomerative_packages(matrix, theta, max_group)
+}
+
+/// Agglomerative K-matching over sparse statistics: the greedy hypergraph
+/// matcher for large catalogs, memory independent of `k²`. For any
+/// `θ ≥ 0` it packs **exactly** what [`agglomerative_grouping`] packs on
+/// the same sequence — unobserved pairs have `J = 0`, which both backends
+/// report identically — a property the workspace tests pin on random
+/// traces.
+pub fn k_packages_sparse(co: &SparseCoOccurrence, theta: f64, max_group: usize) -> PackageSet {
+    agglomerative_packages(co, theta, max_group)
+}
+
+/// Picks the packing threshold `θ` per trace from the prescan's observed
+/// co-request density — the *adaptive* mode of the K-package solver.
+///
+/// Let `δ` be the fraction of item accesses arriving as part of an
+/// observed co-requested pair (each counted pair contributes two
+/// accesses, clamped to 1). The rule is
+///
+/// ```text
+/// θ(δ, α) = clamp( (0.15 + 0.5·max(0, α − 0.5)) · (1 − δ), 0.02, 0.95 )
+/// ```
+///
+/// * the **base** grows with `α`: a weak package discount (α near 1)
+///   demands stronger correlation evidence before packing pays;
+/// * the `(1 − δ)` factor relaxes the threshold on co-access-dense
+///   traces, where packages amortise well;
+/// * at the paper's `α = 0.8` on a trace with vanishing co-request
+///   density the rule reduces to the workspace default `θ = 0.3`.
+///
+/// Deterministic: a pure function of the prescan counts and `α`.
+pub fn adaptive_theta(co: &SparseCoOccurrence, alpha: f64) -> f64 {
+    let accesses = co.total_item_accesses();
+    if accesses == 0 {
+        return mcs_model::defaults::DEFAULT_THETA;
+    }
+    let density = ((2 * co.total_pair_cooccurrences()) as f64 / accesses as f64).min(1.0);
+    let base = 0.15 + 0.5 * (alpha - 0.5).max(0.0);
+    (base * (1.0 - density)).clamp(0.02, 0.95)
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::jaccard::CoOccurrence;
-    use mcs_model::RequestSeqBuilder;
+    use mcs_model::{approx_eq, RequestSeq, RequestSeqBuilder};
 
     /// Three items that always co-occur, plus an unrelated fourth.
-    fn trio_matrix() -> JaccardMatrix {
+    fn trio_sequence() -> RequestSeq {
         let mut b = RequestSeqBuilder::new(1, 4);
         let mut t = 0.0;
         for _ in 0..5 {
@@ -104,7 +209,11 @@ mod tests {
         }
         t += 1.0;
         b = b.push(0u32, t, [3]);
-        JaccardMatrix::from_cooccurrence(&CoOccurrence::from_sequence(&b.build().unwrap()))
+        b.build().unwrap()
+    }
+
+    fn trio_matrix() -> JaccardMatrix {
+        JaccardMatrix::from_cooccurrence(&CoOccurrence::from_sequence(&trio_sequence()))
     }
 
     #[test]
@@ -112,8 +221,9 @@ mod tests {
         let g = agglomerative_grouping(&trio_matrix(), 0.3, usize::MAX);
         assert_eq!(g.package_count(), 1);
         assert_eq!(g.total_items(), 4);
-        assert!(g.groups.contains(&vec![ItemId(0), ItemId(1), ItemId(2)]));
-        assert!(g.groups.contains(&vec![ItemId(3)]));
+        assert_eq!(g.packages, vec![vec![ItemId(0), ItemId(1), ItemId(2)]]);
+        assert_eq!(g.singletons, vec![ItemId(3)]);
+        assert_eq!(g.package_of(ItemId(1)).unwrap().len(), 3);
     }
 
     #[test]
@@ -121,15 +231,64 @@ mod tests {
         let g = agglomerative_grouping(&trio_matrix(), 0.3, 2);
         // Only a pair can form out of the trio; the third stays single.
         assert_eq!(g.package_count(), 1);
-        let pair = g.groups.iter().find(|x| x.len() == 2).unwrap();
-        assert_eq!(pair.len(), 2);
-        assert_eq!(g.groups.iter().filter(|x| x.len() == 1).count(), 2);
+        assert_eq!(g.packages[0].len(), 2);
+        assert_eq!(g.singletons.len(), 2);
+        assert!(g.partner(g.packages[0][0]) == Some(g.packages[0][1]));
     }
 
     #[test]
     fn threshold_blocks_all_merging() {
         let g = agglomerative_grouping(&trio_matrix(), 1.1, usize::MAX);
         assert_eq!(g.package_count(), 0);
-        assert_eq!(g.groups.len(), 4);
+        assert_eq!(g.singletons.len(), 4);
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_on_the_trio() {
+        let seq = trio_sequence();
+        let co = SparseCoOccurrence::from_sequence(&seq);
+        for max_group in [2usize, 3, usize::MAX] {
+            for theta in [0.0, 0.3, 0.6] {
+                assert_eq!(
+                    k_packages_sparse(&co, theta, max_group),
+                    agglomerative_grouping(&trio_matrix(), theta, max_group),
+                    "theta = {theta}, max_group = {max_group}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_theta_anchors() {
+        // Co-request-free trace: the rule reduces to the workspace
+        // default θ = 0.3 at the paper's α = 0.8.
+        let lonely = RequestSeqBuilder::new(1, 2)
+            .push(0u32, 1.0, [0])
+            .push(0u32, 2.0, [1])
+            .build()
+            .unwrap();
+        let co = SparseCoOccurrence::from_sequence(&lonely);
+        assert!(approx_eq(adaptive_theta(&co, 0.8), 0.3));
+        // Stronger discount → lower base.
+        assert!(adaptive_theta(&co, 0.4) < adaptive_theta(&co, 0.9));
+
+        // Fully co-requested trace: density 1 → floor.
+        let dense = SparseCoOccurrence::from_sequence(&trio_sequence());
+        let t = adaptive_theta(&dense, 0.8);
+        assert!(t < 0.3, "dense co-access must relax θ, got {t}");
+        assert!(t >= 0.02);
+
+        // Empty prescan falls back to the default.
+        let empty =
+            SparseCoOccurrence::from_sequence(&RequestSeqBuilder::new(1, 0).build().unwrap());
+        assert!(approx_eq(adaptive_theta(&empty, 0.8), 0.3));
+    }
+
+    #[test]
+    fn adaptive_theta_is_deterministic() {
+        let seq = trio_sequence();
+        let a = adaptive_theta(&SparseCoOccurrence::from_sequence(&seq), 0.7);
+        let b = adaptive_theta(&SparseCoOccurrence::from_sequence(&seq), 0.7);
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -8,11 +8,16 @@
 //! Also provides two extensions called out by the paper as future work or
 //! used by our ablation benches:
 //!
-//! * [`grouping`] — agglomerative grouping of *more than two* correlated
-//!   items ("it can be naturally extended to the case where multiple data
-//!   items could be packed").
+//! * [`grouping`] — agglomerative K-package matching of *more than two*
+//!   correlated items ("it can be naturally extended to the case where
+//!   multiple data items could be packed"), generic over dense and sparse
+//!   similarity backends, with an adaptive per-trace θ rule.
 //! * [`exact`] — exact maximum-weight matching by bitmask DP, quantifying
 //!   what the greedy matching loses (ablation `matching`).
+//!
+//! Both the pairwise matcher and the K-matcher produce the unified
+//! [`PackageSet`] Phase-1 outcome ([`package_set`]); `Packing` remains
+//! the K = 2 view with its byte-stable JSON shape.
 //!
 //! Scale paths: [`CoOccurrence::from_sequence`] shards large sequences
 //! across worker threads (bit-identical to the serial count), and
@@ -26,10 +31,16 @@ pub mod exact;
 pub mod grouping;
 pub mod jaccard;
 pub mod matching;
+pub mod package_set;
 pub mod sparse;
 pub mod streaming;
 
+pub use grouping::{
+    adaptive_theta, agglomerative_grouping, agglomerative_packages, k_packages_sparse,
+    PairwiseSimilarity,
+};
 pub use jaccard::{CoOccurrence, JaccardMatrix};
 pub use matching::{greedy_matching, Packing};
+pub use package_set::PackageSet;
 pub use sparse::{greedy_matching_sparse, SparseCoOccurrence};
 pub use streaming::{StreamingCooccurrence, StreamingSnapshot};

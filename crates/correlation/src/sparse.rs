@@ -177,6 +177,19 @@ impl SparseCoOccurrence {
             .count()
     }
 
+    /// `Σ|d_i|` — total item accesses observed in the prescan (each
+    /// request contributes one per item it touches). Feeds the adaptive
+    /// θ rule in [`crate::grouping::adaptive_theta`].
+    pub fn total_item_accesses(&self) -> usize {
+        self.item_counts.iter().sum()
+    }
+
+    /// Total co-occurrence mass: the sum of `|(d_i, d_j)|` over all
+    /// observed pairs.
+    pub fn total_pair_cooccurrences(&self) -> usize {
+        self.pair_counts.values().sum()
+    }
+
     /// Approximate bytes held by the sparse pair table (key + count per
     /// observed pair, ignoring hash-table load factor), reported by
     /// `bench_perf` against the dense `k·(k−1)/2 · 8` triangle.

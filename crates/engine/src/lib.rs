@@ -78,18 +78,29 @@ pub struct RunContext {
     pub theta: f64,
     /// Seed for solvers with internal randomness or derived workloads.
     pub seed: u64,
+    /// Maximum package size for package-aware solvers (`dpg_k`): `2`
+    /// recovers the paper's pairwise shape, larger values allow bigger
+    /// bundles. Ignored by the pair-only solvers.
+    pub max_group: usize,
+    /// When set, package-aware solvers derive `θ` per trace from the
+    /// observed co-request density of the prescan instead of using the
+    /// fixed `theta` field.
+    pub adaptive: bool,
     /// Fault plan for fault-aware policies (`None` = ideal fleet; only
     /// the `resilient` solver reads it today).
     pub fault_plan: Option<FaultPlan>,
 }
 
 impl RunContext {
-    /// A context with the workspace defaults for `θ` and the seed.
+    /// A context with the workspace defaults for `θ` and the seed,
+    /// pairwise packages (`max_group = 2`), and the fixed-θ mode.
     pub fn new(model: CostModel) -> Self {
         RunContext {
             model,
             theta: DEFAULT_THETA,
             seed: DEFAULT_SEED,
+            max_group: 2,
+            adaptive: false,
             fault_plan: None,
         }
     }
@@ -109,6 +120,19 @@ impl RunContext {
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Caps the package size for package-aware solvers (`2` = pairs).
+    pub fn with_max_group(mut self, max_group: usize) -> Self {
+        self.max_group = max_group;
+        self
+    }
+
+    /// Switches package-aware solvers to the adaptive per-trace θ rule
+    /// ([`mcs_correlation::adaptive_theta`]).
+    pub fn with_adaptive_theta(mut self) -> Self {
+        self.adaptive = true;
         self
     }
 
@@ -173,6 +197,8 @@ mod tests {
         let ctx = RunContext::default();
         assert_eq!(ctx.theta, DEFAULT_THETA);
         assert_eq!(ctx.seed, DEFAULT_SEED);
+        assert_eq!(ctx.max_group, 2);
+        assert!(!ctx.adaptive);
         assert!(ctx.fault_plan.is_none());
         assert_eq!(ctx.model.mu(), mcs_model::defaults::DEFAULT_MU);
     }
@@ -193,7 +219,11 @@ mod tests {
 
     #[test]
     fn epoch_contexts_are_deterministic_and_distinct() {
-        let base = RunContext::default().with_seed(42).with_theta(0.7);
+        let base = RunContext::default()
+            .with_seed(42)
+            .with_theta(0.7)
+            .with_max_group(5)
+            .with_adaptive_theta();
         // Pure function of (seed, epoch): recovery replays it exactly.
         assert_eq!(base.for_epoch(3).seed, base.for_epoch(3).seed);
         // Distinct epochs (and distinct base seeds) draw distinct seeds.
@@ -207,6 +237,8 @@ mod tests {
         let derived = base.for_epoch(9);
         assert_eq!(derived.theta, base.theta);
         assert_eq!(derived.model.mu(), base.model.mu());
+        assert_eq!(derived.max_group, 5);
+        assert!(derived.adaptive);
         assert!(derived.fault_plan.is_none());
     }
 }

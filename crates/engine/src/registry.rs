@@ -8,14 +8,14 @@
 //! `package`).
 
 use crate::solvers::{
-    DpGreedySolver, ExhaustiveSolver, GreedySolver, MultiSolver, OnlineDpgSolver,
+    DpGreedySolver, ExhaustiveSolver, GreedySolver, KPackSolver, MultiSolver, OnlineDpgSolver,
     OptimalFastSolver, OptimalSolver, PackageServedSolver, ResilientSolver, SkiRentalSolver,
     WindowedSolver,
 };
 use crate::CachingSolver;
 
 /// Every registered solver, offline first, in stable presentation order.
-static REGISTRY: [&'static dyn CachingSolver; 11] = [
+static REGISTRY: [&'static dyn CachingSolver; 12] = [
     &DpGreedySolver,
     &OptimalSolver,
     &OptimalFastSolver,
@@ -23,14 +23,20 @@ static REGISTRY: [&'static dyn CachingSolver; 11] = [
     &ExhaustiveSolver,
     &PackageServedSolver,
     &MultiSolver,
+    &KPackSolver,
     &WindowedSolver,
     &SkiRentalSolver,
     &OnlineDpgSolver,
     &ResilientSolver,
 ];
 
-/// Alternate spellings accepted by [`find`] (the pre-engine CLI names).
-static ALIASES: [(&str, &str); 2] = [("dpg", "dp_greedy"), ("package", "package_served")];
+/// Alternate spellings accepted by [`find`] (the pre-engine CLI names,
+/// plus `kpack` for the K-package solver).
+static ALIASES: [(&str, &str); 3] = [
+    ("dpg", "dp_greedy"),
+    ("package", "package_served"),
+    ("kpack", "dpg_k"),
+];
 
 /// All registered solvers, in stable presentation order.
 pub fn solvers() -> &'static [&'static dyn CachingSolver] {
@@ -70,6 +76,7 @@ mod tests {
         }
         assert_eq!(find("dpg").unwrap().name(), "dp_greedy");
         assert_eq!(find("package").unwrap().name(), "package_served");
+        assert_eq!(find("kpack").unwrap().name(), "dpg_k");
         assert!(find("nope").is_none());
     }
 
@@ -171,6 +178,59 @@ mod tests {
             if s.kind() == SolverKind::Offline {
                 assert_eq!(sol.total_accesses, seq.total_item_accesses());
             }
+        }
+    }
+
+    /// `dpg_k` at the pairwise shape (the default `max_group = 2`)
+    /// delegates to the exact `dp_greedy` pipeline: cost bits and ledger
+    /// JSONL match modulo the `algo` label.
+    #[test]
+    fn dpg_k_at_pairwise_shape_matches_dp_greedy_exactly() {
+        let mut rng = Rng::seed_from_u64(0x4B50_4143);
+        for case in 0..6 {
+            let seq = random_sequence(&mut rng, usize::MAX);
+            let ctx = RunContext::new(random_model(&mut rng)).with_theta(0.3);
+            let a = find("dp_greedy").unwrap().solve(&seq, &ctx);
+            let b = find("dpg_k").unwrap().solve(&seq, &ctx);
+            assert_eq!(
+                a.total_cost.to_bits(),
+                b.total_cost.to_bits(),
+                "case {case}"
+            );
+            let la = a.ledger().to_jsonl_string();
+            let lb = b
+                .ledger()
+                .to_jsonl_string()
+                .replace("\"algo\":\"dpg_k\"", "\"algo\":\"dp_greedy\"");
+            assert_eq!(la, lb, "case {case}");
+        }
+    }
+
+    /// Larger `max_group` with the adaptive θ rule stays reconciled and
+    /// deterministic across repeated runs.
+    #[test]
+    fn dpg_k_large_groups_reconcile_and_are_deterministic() {
+        let mut rng = Rng::seed_from_u64(0x4B50_4B50);
+        let seq = random_sequence(&mut rng, usize::MAX);
+        let model = random_model(&mut rng);
+        for k in [3usize, 4, 8] {
+            let ctx = RunContext::new(model)
+                .with_theta(0.2)
+                .with_max_group(k)
+                .with_adaptive_theta();
+            let a = find("dpg_k").unwrap().solve(&seq, &ctx);
+            let b = find("dpg_k").unwrap().solve(&seq, &ctx);
+            assert!(
+                a.reconciliation_gap() < 1e-9,
+                "k = {k}: gap {:.3e}",
+                a.reconciliation_gap()
+            );
+            assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits(), "k = {k}");
+            assert_eq!(
+                a.ledger().to_jsonl_string(),
+                b.ledger().to_jsonl_string(),
+                "k = {k}"
+            );
         }
     }
 

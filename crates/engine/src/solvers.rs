@@ -21,11 +21,15 @@
 
 use dp_greedy::baselines::package_served_pair;
 use dp_greedy::ledger::arm_name;
-use dp_greedy::multi_item::{dp_greedy_multi, MultiItemConfig};
+use dp_greedy::multi_item::{
+    dp_greedy_multi, dp_greedy_packages, MultiItemConfig, MultiItemReport,
+};
 use dp_greedy::singleton_greedy::SingletonGreedyOutcome;
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig, DpGreedyReport};
 use dp_greedy::windowed::slice_windows;
-use mcs_correlation::{greedy_matching, JaccardMatrix};
+use mcs_correlation::{
+    adaptive_theta, greedy_matching, k_packages_sparse, JaccardMatrix, SparseCoOccurrence,
+};
 use mcs_model::fault::FaultPlan;
 use mcs_model::request::SingleItemTrace;
 use mcs_model::{CostModel, ItemId, RequestSeq, Schedule};
@@ -345,6 +349,66 @@ impl CachingSolver for PackageServedSolver {
     }
 }
 
+/// Emits the parts of one [`MultiItemReport`]: per package, an explicit
+/// schedule at group rates plus aggregate package/transfer channels for
+/// the partial-subset serving; per singleton, the re-derived per-item
+/// optimal schedule. Shared by [`MultiSolver`] and [`KPackSolver`].
+fn multi_report_parts(
+    seq: &RequestSeq,
+    report: &MultiItemReport,
+    model: &CostModel,
+) -> Vec<SolutionPart> {
+    let horizon = seq.horizon();
+    let mut parts = Vec::new();
+    for g in &report.groups {
+        let k = g.items.len() as u32;
+        let subject = Subject::Pair(g.items[0].0, g.items[1].0);
+        parts.push(SolutionPart::Schedule {
+            phase: "phase2.package",
+            subject,
+            schedule: g.package_schedule.clone(),
+            mu: model.cache_rate_package(k),
+            lambda: model.transfer_cost_package(k),
+        });
+        // Partial-subset serving: `group_deliveries` shipments at the
+        // group transfer cost went over the package channel; the rest
+        // of the partial cost is individual serving.
+        let delivered = g.group_deliveries as f64 * model.transfer_cost_package(k);
+        if delivered > 0.0 {
+            parts.push(SolutionPart::Aggregate {
+                phase: "phase2.partial",
+                subject,
+                channel: "package",
+                t: horizon,
+                cost: delivered,
+            });
+        }
+        let individual = g.partial_cost - delivered;
+        if individual != 0.0 {
+            parts.push(SolutionPart::Aggregate {
+                phase: "phase2.partial",
+                subject,
+                channel: "transfer",
+                t: horizon,
+                cost: individual,
+            });
+        }
+    }
+    for &(item, _) in &report.singletons {
+        // Singleton cost is the per-item optimum; re-derive the
+        // schedule (deterministic) for exact events.
+        let out = optimal(&seq.item_trace(item), model);
+        parts.push(SolutionPart::Schedule {
+            phase: "offline",
+            subject: Subject::Item(item.0),
+            schedule: out.schedule,
+            mu: model.mu(),
+            lambda: model.lambda(),
+        });
+    }
+    parts
+}
+
 /// Multi-item DP_Greedy (groups beyond pairs). Full-group co-requests
 /// get an explicit package schedule at group rates; partial-subset
 /// serving is aggregate-only, split into its package-delivery portion
@@ -364,54 +428,67 @@ impl CachingSolver for MultiSolver {
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
         let model = &ctx.model;
         let report = dp_greedy_multi(seq, &MultiItemConfig::new(*model).with_theta(ctx.theta));
-        let horizon = seq.horizon();
-        let mut parts = Vec::new();
-        for g in &report.groups {
-            let k = g.items.len() as u32;
-            let subject = Subject::Pair(g.items[0].0, g.items[1].0);
-            parts.push(SolutionPart::Schedule {
-                phase: "phase2.package",
-                subject,
-                schedule: g.package_schedule.clone(),
-                mu: model.cache_rate_package(k),
-                lambda: model.transfer_cost_package(k),
-            });
-            // Partial-subset serving: `group_deliveries` shipments at the
-            // group transfer cost went over the package channel; the rest
-            // of the partial cost is individual serving.
-            let delivered = g.group_deliveries as f64 * model.transfer_cost_package(k);
-            if delivered > 0.0 {
-                parts.push(SolutionPart::Aggregate {
-                    phase: "phase2.partial",
-                    subject,
-                    channel: "package",
-                    t: horizon,
-                    cost: delivered,
-                });
-            }
-            let individual = g.partial_cost - delivered;
-            if individual != 0.0 {
-                parts.push(SolutionPart::Aggregate {
-                    phase: "phase2.partial",
-                    subject,
-                    channel: "transfer",
-                    t: horizon,
-                    cost: individual,
-                });
-            }
+        let parts = multi_report_parts(seq, &report, model);
+        Solution {
+            algo: self.name(),
+            kind: self.kind(),
+            total_cost: report.total_cost,
+            total_accesses: report.total_accesses,
+            parts,
         }
-        for &(item, _) in &report.singletons {
-            // Singleton cost is the per-item optimum; re-derive the
-            // schedule (deterministic) for exact events.
-            let out = optimal(&seq.item_trace(item), model);
-            parts.push(SolutionPart::Schedule {
-                phase: "offline",
-                subject: Subject::Item(item.0),
-                schedule: out.schedule,
-                mu: model.mu(),
-                lambda: model.lambda(),
-            });
+    }
+}
+
+/// Adaptive K-package DP_Greedy — ROADMAP item 2 behind the registry
+/// seam. Phase 1 runs over [`SparseCoOccurrence`] (memory independent of
+/// `k²`): the greedy pair matcher at `max_group = 2`, the agglomerative
+/// K-matcher above it; `--adaptive` derives `θ` per trace from the
+/// prescan's co-request density. At `max_group = 2` with a fixed `θ` the
+/// solver delegates to the exact `dp_greedy` pipeline, so cost bits and
+/// ledger parts are identical to [`DpGreedySolver`] (modulo the `algo`
+/// label) — the K = 2 reduction the workspace tests pin.
+pub struct KPackSolver;
+
+impl CachingSolver for KPackSolver {
+    fn name(&self) -> &'static str {
+        "dpg_k"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::Offline
+    }
+    fn description(&self) -> &'static str {
+        "K-package DP_Greedy: sparse agglomerative matching up to max_group, adaptive theta"
+    }
+    fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
+        let model = &ctx.model;
+        if ctx.max_group <= 2 {
+            // Pairwise shape: the exact two-phase pipeline (Algorithm 1),
+            // with θ optionally re-derived from the prescan.
+            let theta = if ctx.adaptive {
+                adaptive_theta(&SparseCoOccurrence::from_sequence(seq), model.alpha())
+            } else {
+                ctx.theta
+            };
+            let report = dp_greedy(seq, &DpGreedyConfig::new(*model).with_theta(theta));
+            let mut parts = Vec::new();
+            dp_greedy_parts(&report, model, 0.0, &mut parts);
+            return Solution {
+                algo: self.name(),
+                kind: self.kind(),
+                total_cost: report.total_cost,
+                total_accesses: report.total_accesses,
+                parts,
+            };
         }
+        let co = SparseCoOccurrence::from_sequence(seq);
+        let theta = if ctx.adaptive {
+            adaptive_theta(&co, model.alpha())
+        } else {
+            ctx.theta
+        };
+        let packages = k_packages_sparse(&co, theta, ctx.max_group);
+        let report = dp_greedy_packages(seq, &packages, model);
+        let parts = multi_report_parts(seq, &report, model);
         Solution {
             algo: self.name(),
             kind: self.kind(),

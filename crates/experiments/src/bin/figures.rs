@@ -25,6 +25,7 @@ struct Args {
     ablations: bool,
     chaos: bool,
     registry: bool,
+    ksweep: bool,
     seed: u64,
     steps: Option<usize>,
     json: Option<PathBuf>,
@@ -40,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         ablations: false,
         chaos: false,
         registry: false,
+        ksweep: false,
         seed: DEFAULT_SEED,
         steps: None,
         json: None,
@@ -75,6 +77,10 @@ fn parse_args() -> Result<Args, String> {
                 args.registry = true;
                 any = true;
             }
+            "--ksweep" => {
+                args.ksweep = true;
+                any = true;
+            }
             "--all" => {
                 args.figs = vec![9, 10, 11, 12, 13];
                 args.ratio = true;
@@ -82,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
                 args.ablations = true;
                 args.chaos = true;
                 args.registry = true;
+                args.ksweep = true;
                 any = true;
             }
             "--seed" => {
@@ -107,8 +114,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "figures [--fig 9|10|11|12|13] [--ratio] [--online] [--ablations] \
-                     [--chaos] [--registry] [--all] [--seed N] [--steps N] [--json DIR] \
-                     [--tsv FILE]"
+                     [--chaos] [--registry] [--ksweep] [--all] [--seed N] [--steps N] \
+                     [--json DIR] [--tsv FILE]"
                 );
                 std::process::exit(0);
             }
@@ -122,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
         args.ablations = true;
         args.chaos = true;
         args.registry = true;
+        args.ksweep = true;
     }
     Ok(args)
 }
@@ -293,6 +301,23 @@ fn main() {
         if let Some(path) = &args.tsv {
             std::fs::write(path, s.to_tsv()).expect("write tsv");
             eprintln!("wrote {}", path.display());
+        }
+    }
+    if args.ksweep {
+        // The fig12 K-sweep: dpg_k over K ∈ {2,3,4,8} + adaptive on two
+        // bundle densities. Fully deterministic, so both the JSON
+        // provenance artefact and the TSV are reproducible.
+        let steps = args.steps.unwrap_or(600);
+        let k = solver_sweep::k_sweep(steps, args.seed);
+        println!("{}", k.table());
+        write_json(&args.json, "ksweep", &k);
+        // `--tsv` belongs to the registry sweep when both are selected
+        // (the CI registry-smoke contract); ksweep writes it otherwise.
+        if !args.registry {
+            if let Some(path) = &args.tsv {
+                std::fs::write(path, k.to_tsv()).expect("write tsv");
+                eprintln!("wrote {}", path.display());
+            }
         }
     }
 }

@@ -120,6 +120,144 @@ impl SolverSweep {
     }
 }
 
+/// One `(trace density, K)` measurement of the fig12 K-sweep.
+#[derive(Debug, Clone)]
+pub struct KSweepRow {
+    /// Workload label (`"sparse"` / `"dense"`).
+    pub density: String,
+    /// The bundle workload's co-access probability `q`.
+    pub q: f64,
+    /// `K` column label (`"2"`, `"3"`, …, or `"adaptive"`).
+    pub k: String,
+    /// The `max_group` the solver ran with.
+    pub max_group: usize,
+    /// The packing threshold actually used (prescan-derived when
+    /// adaptive).
+    pub theta: f64,
+    /// Number of packages Phase 1 formed.
+    pub packages: usize,
+    /// Size of the largest package.
+    pub largest: usize,
+    /// The paper's headline metric under `dpg_k`.
+    pub ave_cost: f64,
+    /// Total cost under `dpg_k`.
+    pub total_cost: f64,
+}
+
+/// Output of the fig12 K-sweep.
+#[derive(Debug, Clone)]
+pub struct KSweep {
+    /// One row per `(density, K)` pair, densities outer, K inner.
+    pub rows: Vec<KSweepRow>,
+}
+
+/// Sweeps the `dpg_k` solver over K ∈ {2, 3, 4, 8} plus the adaptive-θ
+/// mode on two bundle-workload densities (co-access probability
+/// `q = 0.35` vs `q = 0.8`) — the fig12-style "when do bigger bundles
+/// win" experiment. Deterministic for a given `(steps, seed)`.
+pub fn k_sweep(steps: usize, seed: u64) -> KSweep {
+    use mcs_correlation::SparseCoOccurrence;
+    use mcs_correlation::{adaptive_theta, greedy_matching_sparse, k_packages_sparse};
+
+    let model = mcs_model::defaults::default_model();
+    let solver = mcs_engine::find("dpg_k").expect("dpg_k is registered");
+    let mut rows = Vec::new();
+    for (density, q) in [("sparse", 0.35), ("dense", 0.8)] {
+        let seq = crate::multi_exp::bundle_workload(12, 3, steps, q, seed);
+        let co = SparseCoOccurrence::from_sequence(&seq);
+        for (label, max_group, adaptive) in [
+            ("2", 2usize, false),
+            ("3", 3, false),
+            ("4", 4, false),
+            ("8", 8, false),
+            ("adaptive", 8, true),
+        ] {
+            let mut ctx = RunContext::new(model).with_max_group(max_group);
+            if adaptive {
+                ctx = ctx.with_adaptive_theta();
+            }
+            let theta = if adaptive {
+                adaptive_theta(&co, model.alpha())
+            } else {
+                ctx.theta
+            };
+            // Phase-1 shape under the same θ the solver resolves to.
+            let (packages, largest) = if max_group == 2 {
+                let p = greedy_matching_sparse(&co, theta);
+                let n = p.pairs.len();
+                (n, if n > 0 { 2 } else { 0 })
+            } else {
+                let ps = k_packages_sparse(&co, theta, max_group);
+                (ps.package_count(), ps.largest_package())
+            };
+            let sol = solver.solve(&seq, &ctx);
+            rows.push(KSweepRow {
+                density: density.to_string(),
+                q,
+                k: label.to_string(),
+                max_group,
+                theta,
+                packages,
+                largest,
+                ave_cost: sol.ave_cost(),
+                total_cost: sol.total_cost,
+            });
+        }
+    }
+    KSweep { rows }
+}
+
+impl KSweep {
+    /// Renders the K-sweep table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "K-sweep — dpg_k cost vs package-size cap on two densities",
+            &[
+                "density", "q", "K", "theta", "packages", "largest", "ave_cost", "total",
+            ],
+        );
+        for r in &self.rows {
+            t.push(vec![
+                r.density.clone(),
+                fmt_f(r.q),
+                r.k.clone(),
+                fmt_f(r.theta),
+                r.packages.to_string(),
+                r.largest.to_string(),
+                fmt_f(r.ave_cost),
+                fmt_f(r.total_cost),
+            ]);
+        }
+        t
+    }
+
+    /// Stable TSV rendering (6-decimal costs) for the committed
+    /// `results/fig12_ksweep.tsv` artifact and the CI kpack-smoke job.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("density\tq\tK\ttheta\tpackages\tlargest\tave_cost\ttotal\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{}\t{:.2}\t{}\t{:.6}\t{}\t{}\t{:.6}\t{:.6}\n",
+                r.density, r.q, r.k, r.theta, r.packages, r.largest, r.ave_cost, r.total_cost
+            ));
+        }
+        out
+    }
+}
+
+mcs_model::impl_to_json!(KSweepRow {
+    density,
+    q,
+    k,
+    max_group,
+    theta,
+    packages,
+    largest,
+    ave_cost,
+    total_cost
+});
+mcs_model::impl_to_json!(KSweep { rows });
+
 mcs_model::impl_to_json!(SweepRow {
     algo,
     kind,
@@ -149,6 +287,34 @@ mod tests {
         for r in &sweep.rows {
             assert!(r.reconciliation_gap < 1e-9, "{} gap", r.algo);
         }
+    }
+
+    #[test]
+    fn k_sweep_covers_both_densities_and_all_caps() {
+        let sweep = k_sweep(160, 7);
+        assert_eq!(sweep.rows.len(), 10);
+        // Deterministic for a fixed (steps, seed).
+        let again = k_sweep(160, 7);
+        for (a, b) in sweep.rows.iter().zip(&again.rows) {
+            assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits());
+        }
+        for r in &sweep.rows {
+            assert!(r.largest <= r.max_group, "{}/{} overflowed", r.density, r.k);
+            assert!(r.ave_cost.is_finite() && r.ave_cost >= 0.0);
+        }
+        // The dense bundle workload at K ≥ 3 must pack a full trio and
+        // do no worse than the pairwise cap.
+        let dense_k2 = &sweep.rows[5];
+        let dense_k3 = &sweep.rows[6];
+        assert_eq!(
+            (dense_k2.density.as_str(), dense_k2.k.as_str()),
+            ("dense", "2")
+        );
+        assert_eq!(dense_k3.largest, 3);
+        assert!(dense_k3.total_cost <= dense_k2.total_cost + 1e-9);
+        let tsv = sweep.to_tsv();
+        assert_eq!(tsv.lines().count(), 11);
+        assert!(tsv.starts_with("density\tq\tK\t"));
     }
 
     #[test]

@@ -143,18 +143,27 @@ impl CostModel {
         self.transfer_cost_package(PACKAGE_PAIR)
     }
 
-    /// Derives the effective single-"item" cost model under which a two-item
-    /// package is scheduled: `μ' = 2αμ`, `λ' = 2αλ`.
+    /// Derives the effective single-"item" cost model under which a
+    /// `k`-item package is scheduled: `μ' = αkμ`, `λ' = αkλ` for `k > 1`
+    /// (the base rates for `k ≤ 1`, per Table II).
     ///
-    /// Running the single-item optimal off-line algorithm of \[6\] with this
-    /// scaled model on the co-request subsequence is exactly Phase 2's
-    /// `cost[item.d2] += 2α·(call alg. in \[6\])` (Algorithm 1, line 40).
-    pub fn scaled_for_package(&self) -> CostModel {
+    /// Running the single-item optimal off-line algorithm of \[6\] with
+    /// this scaled model on the full-group co-request subsequence is the
+    /// group generalisation of Phase 2's `cost[item.d2] += 2α·(call alg.
+    /// in \[6\])` (Algorithm 1, line 40).
+    pub fn scaled_for_package_k(&self, k: u32) -> CostModel {
         CostModel {
-            mu: self.cache_rate_package(PACKAGE_PAIR),
-            lambda: self.transfer_cost_package(PACKAGE_PAIR),
+            mu: self.cache_rate_package(k),
+            lambda: self.transfer_cost_package(k),
             alpha: self.alpha,
         }
+    }
+
+    /// The `k = 2` special case of [`Self::scaled_for_package_k`] — the
+    /// pair scaling the paper's Algorithm 1 uses (`μ' = 2αμ`,
+    /// `λ' = 2αλ`). Kept as the spelling for the pairwise call sites.
+    pub fn scaled_for_package(&self) -> CostModel {
+        self.scaled_for_package_k(PACKAGE_PAIR)
     }
 
     /// The elementary serving cost `C_ij` of Eq. (1): cache from `t_i` to
@@ -284,6 +293,21 @@ mod tests {
         let p = m.scaled_for_package();
         assert!(approx_eq(p.mu(), 1.6));
         assert!(approx_eq(p.lambda(), 1.6));
+        // The pair shim is exactly the k = 2 instance of the general form.
+        assert_eq!(p, m.scaled_for_package_k(2));
+    }
+
+    #[test]
+    fn scaled_model_generalises_to_k_items() {
+        let m = CostModel::new(2.0, 3.0, 0.8).unwrap();
+        for k in [1u32, 2, 3, 4, 8] {
+            let p = m.scaled_for_package_k(k);
+            assert!(approx_eq(p.mu(), m.cache_rate_package(k)), "k = {k}");
+            assert!(approx_eq(p.lambda(), m.transfer_cost_package(k)), "k = {k}");
+            assert!(approx_eq(p.alpha(), m.alpha()));
+        }
+        // k = 1 degenerates to the base model (no discount on singletons).
+        assert_eq!(m.scaled_for_package_k(1), m);
     }
 
     #[test]

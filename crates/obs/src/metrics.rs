@@ -117,11 +117,7 @@ impl Registry {
             *target.fcounters.entry(k).or_insert(0.0) += v;
         }
         for (k, h) in std::mem::take(&mut self.hists) {
-            target
-                .hists
-                .entry(k)
-                .or_default()
-                .merge(&h);
+            target.hists.entry(k).or_default().merge(&h);
         }
     }
 }

@@ -54,8 +54,11 @@ fn main() {
     );
 
     // The future-work extension: full bundle grouping.
-    let grouping = agglomerative_grouping(&matrix, 0.3, usize::MAX);
-    println!("multi-item grouping extension: {:?}", grouping.groups);
+    let packages = agglomerative_grouping(&matrix, 0.3, usize::MAX);
+    println!(
+        "multi-item grouping extension: packages {:?}, singletons {:?}",
+        packages.packages, packages.singletons
+    );
 
     // Cost comparison on the pairwise algorithm.
     let model = CostModel::new(1.0, 2.0, 0.7).expect("valid model");

@@ -1,6 +1,7 @@
 //! Shared CLI plumbing: error taxonomy, usage text, flag parsing, and the
 //! `--metrics` summary printer. Subcommand logic lives in [`crate::commands`].
 
+use dp_greedy_suite::engine::RunContext;
 use dp_greedy_suite::model::defaults::{DEFAULT_ALPHA, DEFAULT_LAMBDA, DEFAULT_MU, DEFAULT_THETA};
 use dp_greedy_suite::prelude::CostModel;
 
@@ -33,7 +34,8 @@ pub fn print_usage() {
          dpg solve FILE [--algo dpg|optimal|greedy|package|multi] \
          [--mu X] [--lambda X] [--alpha X] [--theta X]\n  \
          dpg algos [--json]\n  \
-         dpg run --algo NAME [FILE] [--mu X] [--lambda X] [--alpha X] [--theta X] [--json]\n  \
+         dpg run --algo NAME [FILE] [--mu X] [--lambda X] [--alpha X] [--theta X] \
+         [--max-group K] [--adaptive] [--json]\n  \
          dpg serve --dir DIR [--input FILE] [--algo NAME] [--epoch-len N] [--decay X] \
          [--settle-timeout-ms N] [--max-items N] [--seed N] [--quiet] [--dump-state] \
          [--telemetry-addr HOST:PORT] [--telemetry-file PATH] [--dump-journal]\n  \
@@ -42,13 +44,14 @@ pub fn print_usage() {
          dpg svg FILE --out FILE.svg [--item N] [--mu X] [--lambda X]\n  \
          dpg explain FILE [--a N --b N] [--mu X] [--lambda X] [--alpha X]\n  \
          dpg trace solve FILE --out FILE.jsonl [--algo NAME] \
-         [--mu X] [--lambda X] [--alpha X] [--theta X]\n  \
+         [--mu X] [--lambda X] [--alpha X] [--theta X] [--max-group K] [--adaptive]\n  \
          dpg trace example --out FILE.jsonl\n  \
          dpg chaos [--seed N] [--fault-rate X] [--mean-outage X] [--steps N] \
          [--mu X] [--lambda X] [--alpha X] [--theta X] [--sweep]\n  \
          dpg example\n  \
          dpg version\n\
-         `dpg algos` lists the solver registry NAMEs; every subcommand also \
+         `dpg algos` lists the solver registry NAMEs (--max-group/--adaptive \
+         drive the dpg_k K-package solver); every subcommand also \
          accepts --metrics (print the obs summary)"
     );
 }
@@ -102,22 +105,76 @@ pub fn parse_flag<T: std::str::FromStr>(
     })
 }
 
+/// The parsed solver parameters shared by `dpg run`, `dpg trace solve`,
+/// and (via [`model_flags`]) every other model-taking subcommand — one
+/// parsing path, one validation path.
+pub struct SolverParams {
+    /// The validated cost model `(μ, λ, α)`.
+    pub model: CostModel,
+    /// Packing threshold `θ` (fixed mode).
+    pub theta: f64,
+    /// Maximum package size (`2` = the paper's pairwise shape).
+    pub max_group: usize,
+    /// Derive `θ` per trace from the prescan instead of the fixed value.
+    pub adaptive: bool,
+}
+
+impl SolverParams {
+    /// The engine [`RunContext`] these parameters describe.
+    pub fn context(&self) -> RunContext {
+        let ctx = RunContext::new(self.model)
+            .with_theta(self.theta)
+            .with_max_group(self.max_group);
+        if self.adaptive {
+            ctx.with_adaptive_theta()
+        } else {
+            ctx
+        }
+    }
+}
+
+/// Parses and validates the shared solver flags
+/// (`--mu/--lambda/--alpha/--theta/--max-group/--adaptive`) over the
+/// caller-supplied `(μ, λ, α, θ)` baseline — `dpg run` passes the paper
+/// example's numbers when no trace file is given, everything else the
+/// workspace defaults. Positional usage errors, like `dpg serve`.
+pub fn solver_flags(args: &[String], base: (f64, f64, f64, f64)) -> Result<SolverParams, CliError> {
+    let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(base.0);
+    let lambda: f64 = parse_flag(args, "--lambda").transpose()?.unwrap_or(base.1);
+    let alpha: f64 = parse_flag(args, "--alpha").transpose()?.unwrap_or(base.2);
+    let theta: f64 = parse_flag(args, "--theta").transpose()?.unwrap_or(base.3);
+    let max_group: usize = parse_flag(args, "--max-group").transpose()?.unwrap_or(2);
+    let adaptive = args.iter().any(|a| a == "--adaptive");
+    if !theta.is_finite() || !(0.0..=1.0).contains(&theta) {
+        return Err(CliError::Usage(format!(
+            "--theta must be a Jaccard threshold in [0, 1], got {theta}"
+        )));
+    }
+    if max_group < 2 {
+        return Err(CliError::Usage(format!(
+            "--max-group must be at least 2 (pairs), got {max_group}"
+        )));
+    }
+    let model = CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok(SolverParams {
+        model,
+        theta,
+        max_group,
+        adaptive,
+    })
+}
+
+/// The workspace-default `(μ, λ, α, θ)` baseline for [`solver_flags`].
+pub const DEFAULT_BASE: (f64, f64, f64, f64) =
+    (DEFAULT_MU, DEFAULT_LAMBDA, DEFAULT_ALPHA, DEFAULT_THETA);
+
 /// Parses the shared `--mu/--lambda/--alpha/--theta` quartet, falling back
 /// to the workspace defaults ([`dp_greedy_suite::model::defaults`]).
-/// Returns the validated [`CostModel`] and θ.
+/// Returns the validated [`CostModel`] and θ. Thin view over
+/// [`solver_flags`] for subcommands without package-size knobs.
 pub fn model_flags(args: &[String]) -> Result<(CostModel, f64), CliError> {
-    let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(DEFAULT_MU);
-    let lambda: f64 = parse_flag(args, "--lambda")
-        .transpose()?
-        .unwrap_or(DEFAULT_LAMBDA);
-    let alpha: f64 = parse_flag(args, "--alpha")
-        .transpose()?
-        .unwrap_or(DEFAULT_ALPHA);
-    let theta: f64 = parse_flag(args, "--theta")
-        .transpose()?
-        .unwrap_or(DEFAULT_THETA);
-    let model = CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
-    Ok((model, theta))
+    let p = solver_flags(args, DEFAULT_BASE)?;
+    Ok((p.model, p.theta))
 }
 
 /// Prints the `--metrics` summary: counters (integer then float), then

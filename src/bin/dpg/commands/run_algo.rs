@@ -7,21 +7,22 @@
 //! reconciled against the solver's reported total before anything is
 //! printed, so a success exit certifies the accounting.
 
-use crate::cli::{check_flags, parse_flag, CliError};
+use crate::cli::{check_flags, parse_flag, solver_flags, CliError};
 use dp_greedy_suite::dp_greedy::paper_example;
-use dp_greedy_suite::engine::{find, RunContext, SolverKind};
-use dp_greedy_suite::model::defaults::{DEFAULT_ALPHA, DEFAULT_LAMBDA, DEFAULT_MU, DEFAULT_THETA};
+use dp_greedy_suite::engine::{find, SolverKind};
 use dp_greedy_suite::model::json::Json;
-use dp_greedy_suite::prelude::CostModel;
 use dp_greedy_suite::trace::io::TraceFile;
 
+/// The `run` flags that stand alone (no value token follows).
+const BOOL_FLAGS: [&str; 2] = ["--json", "--adaptive"];
+
 /// First positional argument, skipping `--flag value` pairs (every `run`
-/// flag except `--json` consumes a value).
+/// flag outside [`BOOL_FLAGS`] consumes a value).
 fn positional(args: &[String]) -> Option<&String> {
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();
-        if a == "--json" {
+        if BOOL_FLAGS.contains(&a) {
             i += 1;
         } else if a.starts_with("--") {
             i += 2;
@@ -36,8 +37,15 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     check_flags(
         "run",
         args,
-        &["--algo", "--mu", "--lambda", "--alpha", "--theta"],
-        &["--json"],
+        &[
+            "--algo",
+            "--mu",
+            "--lambda",
+            "--alpha",
+            "--theta",
+            "--max-group",
+        ],
+        &BOOL_FLAGS,
     )?;
     let algo: String =
         parse_flag(args, "--algo").ok_or("run needs --algo NAME (see `dpg algos`)")??;
@@ -53,11 +61,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let (seq, source, base) = match file {
         Some(path) => {
             let f = TraceFile::load(path).map_err(|e| CliError::Runtime(e.to_string()))?;
-            (
-                f.sequence,
-                path.clone(),
-                (DEFAULT_MU, DEFAULT_LAMBDA, DEFAULT_ALPHA, DEFAULT_THETA),
-            )
+            (f.sequence, path.clone(), crate::cli::DEFAULT_BASE)
         }
         None => {
             let pm = paper_example::paper_model();
@@ -68,12 +72,23 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             )
         }
     };
-    let mu: f64 = parse_flag(args, "--mu").transpose()?.unwrap_or(base.0);
-    let lambda: f64 = parse_flag(args, "--lambda").transpose()?.unwrap_or(base.1);
-    let alpha: f64 = parse_flag(args, "--alpha").transpose()?.unwrap_or(base.2);
-    let theta: f64 = parse_flag(args, "--theta").transpose()?.unwrap_or(base.3);
-    let model = CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
-    let ctx = RunContext::new(model).with_theta(theta);
+    let params = solver_flags(args, base)?;
+    let (mu, lambda, alpha) = (
+        params.model.mu(),
+        params.model.lambda(),
+        params.model.alpha(),
+    );
+    let theta = params.theta;
+    let ctx = params.context();
+    // Package knobs are echoed only when they deviate from the pairwise
+    // defaults, keeping the historical header byte-stable.
+    let mut knobs = String::new();
+    if params.max_group != 2 {
+        knobs.push_str(&format!(" max_group={}", params.max_group));
+    }
+    if params.adaptive {
+        knobs.push_str(" adaptive");
+    }
 
     // An empty trace is a degenerate but legal input: every solver's
     // answer is the empty schedule at zero cost. Short-circuit uniformly
@@ -94,7 +109,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             println!("{}", doc.to_string_pretty());
         } else {
             println!(
-                "{} ({}) on {source}: μ={mu} λ={lambda} α={alpha} θ={theta}",
+                "{} ({}) on {source}: μ={mu} λ={lambda} α={alpha} θ={theta}{knobs}",
                 solver.name(),
                 solver.kind().label()
             );
@@ -140,7 +155,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     }
 
     println!(
-        "{} ({}) on {source}: μ={mu} λ={lambda} α={alpha} θ={theta}",
+        "{} ({}) on {source}: μ={mu} λ={lambda} α={alpha} θ={theta}{knobs}",
         sol.algo,
         sol.kind.label()
     );

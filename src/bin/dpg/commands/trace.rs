@@ -65,12 +65,20 @@ fn trace_solve(args: &[String]) -> Result<(), CliError> {
     check_flags(
         "trace solve",
         args,
-        &["--algo", "--mu", "--lambda", "--alpha", "--theta", "--out"],
-        &[],
+        &[
+            "--algo",
+            "--mu",
+            "--lambda",
+            "--alpha",
+            "--theta",
+            "--max-group",
+            "--out",
+        ],
+        &["--adaptive"],
     )?;
     let path = trace_arg("trace solve", args)?;
     let out: String = parse_flag(args, "--out").ok_or("--out FILE.jsonl is required")??;
-    let (model, theta) = crate::cli::model_flags(args)?;
+    let params = crate::cli::solver_flags(args, crate::cli::DEFAULT_BASE)?;
     let algo: String = parse_flag(args, "--algo")
         .transpose()?
         .unwrap_or_else(|| "dpg".to_string());
@@ -91,7 +99,7 @@ fn trace_solve(args: &[String]) -> Result<(), CliError> {
             )));
         }
     }
-    let solution = solver.solve(seq, &RunContext::new(model).with_theta(theta));
+    let solution = solver.solve(seq, &params.context());
     emit_ledger(&solution, display_name(solver), &out)
 }
 

@@ -46,7 +46,10 @@ pub mod prelude {
         greedy_non_packing, optimal_non_packing, package_served, BaselineReport,
     };
     pub use dp_greedy::two_phase::{dp_greedy, dp_greedy_pair, DpGreedyConfig, DpGreedyReport};
-    pub use mcs_correlation::{greedy_matching, CoOccurrence, JaccardMatrix, Packing};
+    pub use mcs_correlation::{
+        adaptive_theta, agglomerative_grouping, greedy_matching, k_packages_sparse, CoOccurrence,
+        JaccardMatrix, PackageSet, Packing, SparseCoOccurrence,
+    };
     pub use mcs_engine::{find, solvers, CachingSolver, RunContext, Solution};
     pub use mcs_model::{
         CostModel, CostModelBuilder, ItemId, Request, RequestSeq, RequestSeqBuilder, Schedule,

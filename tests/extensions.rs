@@ -31,8 +31,8 @@ fn multi_item_with_pair_cap_matches_pairwise_on_the_city() {
     // — which they do for disjoint high-affinity taxi pairs.
     let pairs_pw: Vec<_> = pairwise.packing.pairs.clone();
     let pairs_mi: Vec<_> = multi
-        .grouping
-        .groups
+        .packages
+        .packages
         .iter()
         .filter(|g| g.len() == 2)
         .map(|g| (g[0], g[1]))

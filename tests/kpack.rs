@@ -1,0 +1,169 @@
+//! Workspace-level guarantees of the K-package path (`dpg_k`):
+//!
+//! * **K = 2 reduction** — `dpg_k` at the default pairwise shape is
+//!   bit-identical to `dp_greedy` (cost bits and ledger JSONL, modulo
+//!   the `algo` label) on the paper example and on generated workloads,
+//!   for every `MCS_THREADS` ∈ {1, 2, 4}.
+//! * **Sparse ≡ dense** — the sparse agglomerative K-matcher packs
+//!   exactly what the dense one packs for any θ ≥ 0 on random traces.
+//! * **Adaptive θ** — deterministic, reconciled, and monotone in the
+//!   observed co-request density.
+
+use dp_greedy_suite::dp_greedy::paper_example;
+use dp_greedy_suite::experiments::multi_exp::bundle_workload;
+use dp_greedy_suite::model::par::THREADS_ENV;
+use dp_greedy_suite::prelude::*;
+
+/// Ledger JSONL with the solver label rewritten to `dp_greedy`, so the
+/// K = 2 comparison is modulo the one field that must differ.
+fn normalized_ledger(sol: &Solution) -> String {
+    sol.ledger()
+        .to_jsonl_string()
+        .replace("\"algo\":\"dpg_k\"", "\"algo\":\"dp_greedy\"")
+}
+
+fn fixtures() -> Vec<(String, RequestSeq, RunContext)> {
+    let mut out = Vec::new();
+    out.push((
+        "paper".to_string(),
+        paper_example::paper_sequence(),
+        RunContext::new(paper_example::paper_model()).with_theta(paper_example::THETA),
+    ));
+    for seed in [1u64, 7, 42] {
+        let mut cfg = WorkloadConfig::small(seed);
+        cfg.steps = 200;
+        let model = CostModel::new(1.0, 2.0, 0.7).unwrap();
+        out.push((
+            format!("taxi-{seed}"),
+            generate(&cfg),
+            RunContext::new(model).with_theta(0.3),
+        ));
+    }
+    for (seed, q) in [(3u64, 0.35), (9, 0.8)] {
+        out.push((
+            format!("bundle-{seed}"),
+            bundle_workload(6, 2, 300, q, seed),
+            RunContext::new(CostModel::new(2.0, 4.0, 0.8).unwrap()).with_theta(0.2),
+        ));
+    }
+    out
+}
+
+/// The acceptance-criteria identity: `dpg_k --max-group 2` bit-identical
+/// to `dp_greedy` on every fixture, across thread counts. Environment
+/// mutation is confined to this one test; results are thread-invariant
+/// by construction, so concurrent tests cannot observe a difference.
+#[test]
+fn k2_identity_across_fixtures_and_thread_counts() {
+    let dpg = find("dp_greedy").unwrap();
+    let kpack = find("dpg_k").unwrap();
+    let mut baseline: Vec<(u64, String)> = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var(THREADS_ENV, threads);
+        for (i, (name, seq, ctx)) in fixtures().iter().enumerate() {
+            assert_eq!(ctx.max_group, 2, "fixtures use the pairwise default");
+            let a = dpg.solve(seq, ctx);
+            let b = kpack.solve(seq, ctx);
+            assert_eq!(
+                a.total_cost.to_bits(),
+                b.total_cost.to_bits(),
+                "{name} @ {threads} threads: cost bits diverge"
+            );
+            let la = normalized_ledger(&a);
+            let lb = normalized_ledger(&b);
+            assert_eq!(la, lb, "{name} @ {threads} threads: ledger diverges");
+            // Thread invariance: every thread count reproduces the
+            // 1-thread fingerprint bit for bit.
+            if threads == "1" {
+                baseline.push((b.total_cost.to_bits(), lb));
+            } else {
+                assert_eq!(
+                    (b.total_cost.to_bits(), lb),
+                    baseline[i].clone(),
+                    "{name}: {threads} threads diverge from serial"
+                );
+            }
+        }
+    }
+    std::env::remove_var(THREADS_ENV);
+}
+
+/// Property: the sparse K-matcher equals the dense agglomerative
+/// matcher for θ ≥ 0 — unobserved pairs have J = 0 under both backends.
+#[test]
+fn sparse_k_matching_equals_dense_on_random_traces() {
+    for seed in 0..6u64 {
+        let mut cfg = WorkloadConfig::small(0xC0FFEE + seed);
+        cfg.steps = 150;
+        let seq = generate(&cfg);
+        let dense = JaccardMatrix::from_cooccurrence(&CoOccurrence::from_sequence(&seq));
+        let sparse = SparseCoOccurrence::from_sequence(&seq);
+        for theta in [0.0, 0.15, 0.3] {
+            for max_group in [2usize, 3, 4, usize::MAX] {
+                let d = agglomerative_grouping(&dense, theta, max_group);
+                let s = k_packages_sparse(&sparse, theta, max_group);
+                assert_eq!(d, s, "seed {seed}, theta {theta}, max_group {max_group}");
+            }
+        }
+    }
+}
+
+/// The adaptive mode through the registry: deterministic, reconciled,
+/// and θ decreases as co-request density increases.
+#[test]
+fn adaptive_mode_reconciles_and_tracks_density() {
+    let solver = find("dpg_k").unwrap();
+    let model = CostModel::new(2.0, 4.0, 0.8).unwrap();
+    let ctx = RunContext::new(model)
+        .with_max_group(4)
+        .with_adaptive_theta();
+    let sparse_seq = bundle_workload(6, 2, 300, 0.0, 11);
+    let dense_seq = bundle_workload(6, 2, 300, 0.9, 11);
+    for seq in [&sparse_seq, &dense_seq] {
+        let a = solver.solve(seq, &ctx);
+        let b = solver.solve(seq, &ctx);
+        assert!(
+            a.reconciliation_gap() < 1e-9,
+            "gap {}",
+            a.reconciliation_gap()
+        );
+        assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits());
+        assert_eq!(a.ledger().to_jsonl_string(), b.ledger().to_jsonl_string());
+    }
+    let t_sparse = adaptive_theta(
+        &SparseCoOccurrence::from_sequence(&sparse_seq),
+        model.alpha(),
+    );
+    let t_dense = adaptive_theta(
+        &SparseCoOccurrence::from_sequence(&dense_seq),
+        model.alpha(),
+    );
+    assert!(
+        t_dense < t_sparse,
+        "denser co-access must relax θ: dense {t_dense} vs sparse {t_sparse}"
+    );
+}
+
+/// The K = 2 view round-trips through the unified `PackageSet` without
+/// loss, and the pairwise JSON shape is untouched by the redesign.
+#[test]
+fn package_set_round_trip_and_pair_json_shape() {
+    let seq = paper_example::paper_sequence();
+    let packing = greedy_matching(&JaccardMatrix::from_sequence(&seq), paper_example::THETA);
+    let ps = PackageSet::from_packing(&packing);
+    assert_eq!(ps.to_packing().unwrap(), packing);
+    for i in 0..seq.items() {
+        let id = ItemId(i);
+        assert_eq!(ps.is_packed(id), packing.is_packed(id));
+        assert_eq!(ps.partner(id), packing.partner(id));
+    }
+    // The legacy pair JSON shape (pairs/singletons/theta, no version
+    // field) is byte-stable; the unified shape is versioned.
+    use dp_greedy_suite::model::json::ToJson;
+    let pair_json = packing.to_json().to_string();
+    assert!(pair_json.contains("\"pairs\""));
+    assert!(!pair_json.contains("\"version\""));
+    let set_json = ps.to_json().to_string();
+    assert!(set_json.contains("\"version\":1"));
+    assert!(set_json.contains("\"packages\""));
+}
