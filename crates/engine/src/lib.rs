@@ -7,8 +7,9 @@
 //!
 //! * [`CachingSolver`] — the trait: `name()`, `kind()` (offline/online),
 //!   and `solve(&RequestSeq, &RunContext) -> Solution`.
-//! * [`RunContext`] — the shared run parameters: [`mcs_model::CostModel`],
-//!   the packing threshold `θ`, a seed, and an optional
+//! * [`RunContext`] — the shared run parameters: a [`mcs_model::CostPlane`]
+//!   (homogeneous [`mcs_model::CostModel`], per-server heterogeneous, or
+//!   tiered), the packing threshold `θ`, a seed, and an optional
 //!   [`mcs_model::FaultPlan`] for fault-aware policies. Observability
 //!   handles are the process-global `mcs-obs` registry, so solvers need
 //!   no plumbing to emit spans and counters.
@@ -38,7 +39,7 @@ pub mod solution;
 pub mod solvers;
 
 use mcs_model::defaults::{DEFAULT_SEED, DEFAULT_THETA};
-use mcs_model::{CostModel, FaultPlan, RequestSeq};
+use mcs_model::{CostModel, CostPlane, FaultPlan, RequestSeq};
 
 pub use registry::{aliases, find, solvers};
 pub use solution::{ServeChoice, Solution, SolutionPart};
@@ -69,11 +70,14 @@ impl SolverKind {
 ///
 /// Observability is deliberately *not* a field: `mcs-obs` is a
 /// process-global registry and solvers emit spans/counters through it
-/// directly, so a `RunContext` stays `Copy`-cheap and serializable.
+/// directly, so a `RunContext` stays cheap to clone and serializable.
 #[derive(Debug, Clone)]
 pub struct RunContext {
-    /// The homogeneous cost model (`μ`, `λ`, `α`).
-    pub model: CostModel,
+    /// The cost plane: homogeneous (`μ`, `λ`, `α`), per-server
+    /// heterogeneous, or tiered. The paper-model solvers read the
+    /// homogeneous projection via [`RunContext::model`]; plane-aware
+    /// solvers match on the shape directly.
+    pub plane: CostPlane,
     /// Packing threshold `θ` for correlation-aware solvers.
     pub theta: f64,
     /// Seed for solvers with internal randomness or derived workloads.
@@ -95,14 +99,30 @@ impl RunContext {
     /// A context with the workspace defaults for `θ` and the seed,
     /// pairwise packages (`max_group = 2`), and the fixed-θ mode.
     pub fn new(model: CostModel) -> Self {
+        RunContext::from_plane(CostPlane::Homogeneous(model))
+    }
+
+    /// A context over an arbitrary [`CostPlane`] (same defaults as
+    /// [`RunContext::new`]).
+    pub fn from_plane(plane: CostPlane) -> Self {
         RunContext {
-            model,
+            plane,
             theta: DEFAULT_THETA,
             seed: DEFAULT_SEED,
             max_group: 2,
             adaptive: false,
             fault_plan: None,
         }
+    }
+
+    /// The homogeneous projection of the context's cost plane: the exact
+    /// embedded model for a homogeneous (or uniformly-collapsible) plane,
+    /// a deterministic mean-rate summary otherwise. The paper-model
+    /// solvers price everything through this, which is why the registry
+    /// byte-identity guarantee only holds on collapsible planes — their
+    /// [`CachingSolver::validate`] gate enforces exactly that.
+    pub fn model(&self) -> CostModel {
+        self.plane.projected_homogeneous()
     }
 
     /// The Section V-C running-example context (`μ = λ = 1`, `α = 0.8`,
@@ -143,7 +163,7 @@ impl RunContext {
     }
 
     /// A derived context for re-entrant epoch-by-epoch use (the serving
-    /// daemon settles each epoch through the registry): same model, `θ`
+    /// daemon settles each epoch through the registry): same plane, `θ`
     /// and fault plan, but a per-epoch seed mixed with SplitMix64 so
     /// epochs draw independent randomness while staying a pure function
     /// of `(base seed, epoch)` — recovery replays the exact context.
@@ -178,6 +198,28 @@ pub trait CachingSolver: Sync {
     /// Runs the algorithm over `seq` under `ctx`.
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution;
 
+    /// Checks that this solver can price `seq` under `ctx`'s cost plane,
+    /// returning a human-readable reason when it cannot. Callers (the
+    /// CLI, the experiment runners) gate on this *before* `solve`; a
+    /// failed precondition inside `solve` itself is a bug.
+    ///
+    /// The default requires a homogeneous plane (or a uniform one that
+    /// collapses to it bitwise) — the paper's cost model, which every
+    /// pre-plane solver prices under. Plane-aware solvers override this
+    /// with their own shape checks.
+    fn validate(&self, _seq: &RequestSeq, ctx: &RunContext) -> Result<(), String> {
+        if ctx.plane.collapse_homogeneous().is_some() {
+            Ok(())
+        } else {
+            Err(format!(
+                "solver '{}' prices the paper's homogeneous model; the given '{}' cost plane \
+                 does not collapse to one (try hetero_greedy, hetero_exact, or tiered_waterfall)",
+                self.name(),
+                ctx.plane.shape()
+            ))
+        }
+    }
+
     /// Upper bound on the request-sequence length this solver stays
     /// tractable at, or `None` for the polynomial solvers. The
     /// registry-wide property tests clamp their random workloads to this
@@ -200,14 +242,15 @@ mod tests {
         assert_eq!(ctx.max_group, 2);
         assert!(!ctx.adaptive);
         assert!(ctx.fault_plan.is_none());
-        assert_eq!(ctx.model.mu(), mcs_model::defaults::DEFAULT_MU);
+        assert_eq!(ctx.model().mu(), mcs_model::defaults::DEFAULT_MU);
+        assert_eq!(ctx.plane.shape(), "homogeneous");
     }
 
     #[test]
     fn paper_context_matches_the_running_example() {
         let ctx = RunContext::paper_example();
-        assert_eq!(ctx.model.mu(), 1.0);
-        assert_eq!(ctx.model.lambda(), 1.0);
+        assert_eq!(ctx.model().mu(), 1.0);
+        assert_eq!(ctx.model().lambda(), 1.0);
         assert_eq!(ctx.theta, 0.4);
     }
 
@@ -236,7 +279,7 @@ mod tests {
         // Everything except the seed is inherited.
         let derived = base.for_epoch(9);
         assert_eq!(derived.theta, base.theta);
-        assert_eq!(derived.model.mu(), base.model.mu());
+        assert_eq!(derived.model().mu(), base.model().mu());
         assert_eq!(derived.max_group, 5);
         assert!(derived.adaptive);
         assert!(derived.fault_plan.is_none());

@@ -8,14 +8,16 @@
 //! `package`).
 
 use crate::solvers::{
-    DpGreedySolver, ExhaustiveSolver, GreedySolver, KPackSolver, MultiSolver, OnlineDpgSolver,
-    OptimalFastSolver, OptimalSolver, PackageServedSolver, ResilientSolver, SkiRentalSolver,
-    WindowedSolver,
+    DpGreedySolver, ExhaustiveSolver, GreedySolver, HeteroExactSolver, HeteroGreedySolver,
+    KPackSolver, MultiSolver, OnlineDpgSolver, OptimalFastSolver, OptimalSolver,
+    PackageServedSolver, ResilientSolver, SkiRentalSolver, TieredWaterfallSolver, WindowedSolver,
 };
 use crate::CachingSolver;
 
 /// Every registered solver, offline first, in stable presentation order.
-static REGISTRY: [&'static dyn CachingSolver; 12] = [
+/// The plane-aware solvers (`hetero_*`, `tiered_waterfall`) are appended
+/// so pre-plane tooling that pins registry order keeps its rows.
+static REGISTRY: [&'static dyn CachingSolver; 15] = [
     &DpGreedySolver,
     &OptimalSolver,
     &OptimalFastSolver,
@@ -28,6 +30,9 @@ static REGISTRY: [&'static dyn CachingSolver; 12] = [
     &SkiRentalSolver,
     &OnlineDpgSolver,
     &ResilientSolver,
+    &HeteroExactSolver,
+    &HeteroGreedySolver,
+    &TieredWaterfallSolver,
 ];
 
 /// Alternate spellings accepted by [`find`] (the pre-engine CLI names,

@@ -35,8 +35,10 @@ use mcs_model::request::SingleItemTrace;
 use mcs_model::{CostModel, ItemId, RequestSeq, Schedule};
 use mcs_obs::Subject;
 use mcs_offline::exhaustive::exhaustive_optimal;
+use mcs_offline::hetero::{hetero_exact, hetero_greedy_report, MAX_SERVERS};
 use mcs_offline::{greedy::greedy, optimal, optimal_fast_cost};
 use mcs_online::online_dpg::{online_dp_greedy, OnlineDpgConfig};
+use mcs_online::tiered::tiered_run;
 use mcs_online::{resilient_ski_rental, ski_rental};
 
 use crate::solution::{ServeChoice, Solution, SolutionPart};
@@ -153,9 +155,10 @@ impl CachingSolver for DpGreedySolver {
         "two-phase DP_Greedy: Jaccard pair packing + package DP + three-arm greedy"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let report = dp_greedy(seq, &DpGreedyConfig::new(ctx.model).with_theta(ctx.theta));
+        let model = ctx.model();
+        let report = dp_greedy(seq, &DpGreedyConfig::new(model).with_theta(ctx.theta));
         let mut parts = Vec::new();
-        dp_greedy_parts(&report, &ctx.model, 0.0, &mut parts);
+        dp_greedy_parts(&report, &model, 0.0, &mut parts);
         Solution {
             algo: self.name(),
             kind: self.kind(),
@@ -180,7 +183,7 @@ impl CachingSolver for OptimalSolver {
         "per-item optimal off-line caching (covering DP of [6]); no packing"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let (parts, total) = per_item_parts(seq, &ctx.model, "offline", |trace, model| {
+        let (parts, total) = per_item_parts(seq, &ctx.model(), "offline", |trace, model| {
             let out = optimal(trace, model);
             (out.schedule, out.cost)
         });
@@ -213,7 +216,7 @@ impl CachingSolver for OptimalFastSolver {
         // The per-item closure returns (ledger schedule, fast cost): the
         // schedule comes from the covering DP, the summed total from the
         // fast recurrence — reconciliation then cross-validates them.
-        let (parts, total) = per_item_parts(seq, &ctx.model, "offline", |trace, model| {
+        let (parts, total) = per_item_parts(seq, &ctx.model(), "offline", |trace, model| {
             let fast = optimal_fast_cost(trace, model);
             let out = optimal(trace, model);
             (out.schedule, fast)
@@ -242,7 +245,7 @@ impl CachingSolver for GreedySolver {
         "per-item simple greedy of Fig. 4 (within 2x of optimal); no packing"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let (parts, total) = per_item_parts(seq, &ctx.model, "offline", |trace, model| {
+        let (parts, total) = per_item_parts(seq, &ctx.model(), "offline", |trace, model| {
             let out = greedy(trace, model);
             (out.schedule, out.cost)
         });
@@ -277,7 +280,7 @@ impl CachingSolver for ExhaustiveSolver {
         Some(18)
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let (parts, total) = per_item_parts(seq, &ctx.model, "offline", |trace, model| {
+        let (parts, total) = per_item_parts(seq, &ctx.model(), "offline", |trace, model| {
             let exact = exhaustive_optimal(trace, model);
             let out = optimal(trace, model);
             (out.schedule, exact)
@@ -308,7 +311,7 @@ impl CachingSolver for PackageServedSolver {
         "always-pack extreme: matched pairs served entirely by package"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let model = &ctx.model;
+        let model = &ctx.model();
         let matrix = JaccardMatrix::from_sequence(seq);
         let packing = greedy_matching(&matrix, ctx.theta);
         let pkg = model.scaled_for_package();
@@ -426,7 +429,7 @@ impl CachingSolver for MultiSolver {
         "multi-item DP_Greedy: agglomerative grouping beyond pairs"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let model = &ctx.model;
+        let model = &ctx.model();
         let report = dp_greedy_multi(seq, &MultiItemConfig::new(*model).with_theta(ctx.theta));
         let parts = multi_report_parts(seq, &report, model);
         Solution {
@@ -460,7 +463,7 @@ impl CachingSolver for KPackSolver {
         "K-package DP_Greedy: sparse agglomerative matching up to max_group, adaptive theta"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let model = &ctx.model;
+        let model = &ctx.model();
         if ctx.max_group <= 2 {
             // Pairwise shape: the exact two-phase pipeline (Algorithm 1),
             // with θ optionally re-derived from the prescan.
@@ -525,12 +528,13 @@ impl CachingSolver for WindowedSolver {
         let mut parts = Vec::new();
         let mut total = 0.0;
         if !seq.is_empty() {
+            let model = ctx.model();
             let window = WindowedSolver::window_for(seq);
-            let inner = DpGreedyConfig::new(ctx.model).with_theta(ctx.theta);
+            let inner = DpGreedyConfig::new(model).with_theta(ctx.theta);
             for (start, _, slice) in slice_windows(seq, window) {
                 let report = dp_greedy(&slice, &inner);
                 total += report.total_cost;
-                dp_greedy_parts(&report, &ctx.model, start, &mut parts);
+                dp_greedy_parts(&report, &model, start, &mut parts);
             }
         }
         Solution {
@@ -557,7 +561,7 @@ impl CachingSolver for SkiRentalSolver {
         "per-item on-line ski-rental (rent-or-buy; 3-competitive family)"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let (parts, total) = per_item_parts(seq, &ctx.model, "online", |trace, model| {
+        let (parts, total) = per_item_parts(seq, &ctx.model(), "online", |trace, model| {
             let out = ski_rental(trace, model);
             (out.schedule, out.cost)
         });
@@ -565,6 +569,204 @@ impl CachingSolver for SkiRentalSolver {
             algo: self.name(),
             kind: self.kind(),
             total_cost: total,
+            total_accesses: seq.total_item_accesses(),
+            parts,
+        }
+    }
+}
+
+/// Per-item exact offline caching under a heterogeneous cost plane
+/// (per-server `μ_s`, per-link `λ_st`). The DP state space is the server
+/// power set, so the solver is gated to [`MAX_SERVERS`] servers and a
+/// short request budget; its `validate` turns both gates into typed
+/// usage errors instead of panics.
+///
+/// The heterogeneous DP proves a cost but no explicit schedule, so each
+/// item contributes one aggregate event on the `cache` channel (the
+/// dominant residence term); the total is folded in ledger-event order,
+/// making the reconciliation gap exactly zero.
+pub struct HeteroExactSolver;
+
+impl CachingSolver for HeteroExactSolver {
+    fn name(&self) -> &'static str {
+        "hetero_exact"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::Offline
+    }
+    fn description(&self) -> &'static str {
+        "per-item exact offline caching under per-server mu and per-link lambda (<=16 servers)"
+    }
+    fn request_limit(&self) -> Option<usize> {
+        // The subset DP is exponential in the fleet size; keep the
+        // registry property tests and the paper example in range while
+        // excusing this solver from the large perf workloads.
+        Some(32)
+    }
+    fn validate(&self, seq: &RequestSeq, ctx: &RunContext) -> Result<(), String> {
+        if seq.servers() > MAX_SERVERS {
+            return Err(format!(
+                "hetero_exact handles at most {MAX_SERVERS} servers but the trace has {}",
+                seq.servers()
+            ));
+        }
+        ctx.plane
+            .hetero_view(seq.servers())
+            .map(|_| ())
+            .map_err(|e| format!("hetero_exact: {e}"))
+    }
+    fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
+        let model = ctx
+            .plane
+            .hetero_view(seq.servers())
+            .expect("validated: plane has a heterogeneous view");
+        let horizon = seq.horizon();
+        let items: Vec<ItemId> = (0..seq.items()).map(ItemId).collect();
+        let costs = mcs_model::par::par_map(&items, |&item| {
+            hetero_exact(&seq.item_trace(item), &model).expect("validated: model sized for trace")
+        });
+        let mut parts = Vec::new();
+        let mut total = 0.0;
+        for (item, cost) in items.into_iter().zip(costs) {
+            total += cost;
+            if cost != 0.0 {
+                parts.push(SolutionPart::Aggregate {
+                    phase: "offline",
+                    subject: Subject::Item(item.0),
+                    channel: "cache",
+                    t: horizon,
+                    cost,
+                });
+            }
+        }
+        Solution {
+            algo: self.name(),
+            kind: self.kind(),
+            total_cost: total,
+            total_accesses: seq.total_item_accesses(),
+            parts,
+        }
+    }
+}
+
+/// Per-item greedy serving under a heterogeneous cost plane: at each
+/// request, bridge the cache from the previous holder or re-transfer
+/// over the cheapest link, whichever is cheaper (ties cache). Polynomial
+/// — the fleet-size companion to [`HeteroExactSolver`]'s yardstick.
+///
+/// Each item emits its `cache`/`transfer` channel split from
+/// [`hetero_greedy_report`]; the total is folded in ledger-event order
+/// so the reconciliation gap is exactly zero.
+pub struct HeteroGreedySolver;
+
+impl CachingSolver for HeteroGreedySolver {
+    fn name(&self) -> &'static str {
+        "hetero_greedy"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::Offline
+    }
+    fn description(&self) -> &'static str {
+        "per-item greedy serving under per-server mu and per-link lambda (any fleet size)"
+    }
+    fn validate(&self, seq: &RequestSeq, ctx: &RunContext) -> Result<(), String> {
+        ctx.plane
+            .hetero_view(seq.servers())
+            .map(|_| ())
+            .map_err(|e| format!("hetero_greedy: {e}"))
+    }
+    fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
+        let model = ctx
+            .plane
+            .hetero_view(seq.servers())
+            .expect("validated: plane has a heterogeneous view");
+        let horizon = seq.horizon();
+        let items: Vec<ItemId> = (0..seq.items()).map(ItemId).collect();
+        let reports = mcs_model::par::par_map(&items, |&item| {
+            hetero_greedy_report(&seq.item_trace(item), &model)
+                .expect("validated: model sized for trace")
+        });
+        let mut parts = Vec::new();
+        let mut total = 0.0;
+        for (item, report) in items.into_iter().zip(reports) {
+            for (channel, cost) in [
+                ("cache", report.cache_cost),
+                ("transfer", report.transfer_cost),
+            ] {
+                if cost != 0.0 {
+                    total += cost;
+                    parts.push(SolutionPart::Aggregate {
+                        phase: "offline",
+                        subject: Subject::Item(item.0),
+                        channel,
+                        t: horizon,
+                        cost,
+                    });
+                }
+            }
+        }
+        Solution {
+            algo: self.name(),
+            kind: self.kind(),
+            total_cost: total,
+            total_accesses: seq.total_item_accesses(),
+            parts,
+        }
+    }
+}
+
+/// On-line tiered waterfall caching ([`mcs_online::tiered`]): per-server
+/// L1→…→Lk storage ladders with promotion on hit, LRU demotion cascades
+/// under capacity pressure, and peer-vs-origin fetch on miss.
+///
+/// The run reports a whole-fleet outcome, emitted as two aggregate
+/// events — residence on `cache`, fetches plus tier moves on `transfer`
+/// — whose association order matches [`mcs_online::tiered::TieredOutcome`],
+/// so the reconciliation gap is exactly zero.
+pub struct TieredWaterfallSolver;
+
+impl CachingSolver for TieredWaterfallSolver {
+    fn name(&self) -> &'static str {
+        "tiered_waterfall"
+    }
+    fn kind(&self) -> SolverKind {
+        SolverKind::Online
+    }
+    fn description(&self) -> &'static str {
+        "on-line tiered waterfall: per-server storage ladders, promotion/demotion, peer fetch"
+    }
+    fn validate(&self, seq: &RequestSeq, ctx: &RunContext) -> Result<(), String> {
+        ctx.plane
+            .tiered_view(seq.servers())
+            .map(|_| ())
+            .map_err(|e| format!("tiered_waterfall: {e}"))
+    }
+    fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
+        let model = ctx
+            .plane
+            .tiered_view(seq.servers())
+            .expect("validated: plane has a tiered view");
+        let out = tiered_run(seq, &model).expect("validated: model sized for trace");
+        let horizon = seq.horizon();
+        let mut parts = Vec::new();
+        for (channel, cost) in [
+            ("cache", out.cache_cost),
+            ("transfer", out.transfer_cost + out.move_cost),
+        ] {
+            if cost != 0.0 {
+                parts.push(SolutionPart::Aggregate {
+                    phase: "online",
+                    subject: Subject::Item(0),
+                    channel,
+                    t: horizon,
+                    cost,
+                });
+            }
+        }
+        Solution {
+            algo: self.name(),
+            kind: self.kind(),
+            total_cost: out.cost,
             total_accesses: seq.total_item_accesses(),
             parts,
         }
@@ -587,7 +789,7 @@ impl CachingSolver for OnlineDpgSolver {
         "on-line DP_Greedy: streaming Jaccard packing + package-aware ski-rental"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let model = ctx.model;
+        let model = ctx.model();
         let mut config = OnlineDpgConfig::new(model);
         config.theta = ctx.theta;
         let out = online_dp_greedy(seq, &config);
@@ -637,7 +839,7 @@ impl CachingSolver for ResilientSolver {
         "crash-aware ski-rental under the context's FaultPlan (re-plans on loss)"
     }
     fn solve(&self, seq: &RequestSeq, ctx: &RunContext) -> Solution {
-        let model = &ctx.model;
+        let model = &ctx.model();
         let none = FaultPlan::none();
         let plan = ctx.fault_plan.as_ref().unwrap_or(&none);
         let mut parts = Vec::new();

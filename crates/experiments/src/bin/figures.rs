@@ -13,7 +13,7 @@ use std::path::PathBuf;
 
 use mcs_experiments::{
     ablations, capacity_exp, chaos_exp, drift_exp, fig09, fig10, fig11, fig12, fig13, multi_exp,
-    online_exp, ratio_exp, replication, solver_sweep,
+    online_exp, plane_exp, ratio_exp, replication, solver_sweep,
 };
 use mcs_experiments::{paper_workload, DEFAULT_SEED};
 
@@ -26,6 +26,7 @@ struct Args {
     chaos: bool,
     registry: bool,
     ksweep: bool,
+    tiered: bool,
     seed: u64,
     steps: Option<usize>,
     json: Option<PathBuf>,
@@ -42,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         chaos: false,
         registry: false,
         ksweep: false,
+        tiered: false,
         seed: DEFAULT_SEED,
         steps: None,
         json: None,
@@ -81,6 +83,10 @@ fn parse_args() -> Result<Args, String> {
                 args.ksweep = true;
                 any = true;
             }
+            "--tiered" => {
+                args.tiered = true;
+                any = true;
+            }
             "--all" => {
                 args.figs = vec![9, 10, 11, 12, 13];
                 args.ratio = true;
@@ -89,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
                 args.chaos = true;
                 args.registry = true;
                 args.ksweep = true;
+                args.tiered = true;
                 any = true;
             }
             "--seed" => {
@@ -114,8 +121,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "figures [--fig 9|10|11|12|13] [--ratio] [--online] [--ablations] \
-                     [--chaos] [--registry] [--ksweep] [--all] [--seed N] [--steps N] \
-                     [--json DIR] [--tsv FILE]"
+                     [--chaos] [--registry] [--ksweep] [--tiered] [--all] [--seed N] \
+                     [--steps N] [--json DIR] [--tsv FILE]"
                 );
                 std::process::exit(0);
             }
@@ -130,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
         args.chaos = true;
         args.registry = true;
         args.ksweep = true;
+        args.tiered = true;
     }
     Ok(args)
 }
@@ -316,6 +324,24 @@ fn main() {
         if !args.registry {
             if let Some(path) = &args.tsv {
                 std::fs::write(path, k.to_tsv()).expect("write tsv");
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+    if args.tiered {
+        // The cost-plane sweep: hetero μ-spread and tiered L1-capacity
+        // planes vs their homogeneous projections. Deterministic, so
+        // both the JSON provenance artefact and the TSV are
+        // reproducible (`results/tiered_sweep.tsv`).
+        let steps = args.steps.unwrap_or(400);
+        let p = plane_exp::run(steps, args.seed);
+        println!("{}", p.table());
+        write_json(&args.json, "tiered", &p);
+        // `--tsv` precedence mirrors the ksweep rule: the registry
+        // sweep owns it first, then ksweep, then this sweep.
+        if !args.registry && !args.ksweep {
+            if let Some(path) = &args.tsv {
+                std::fs::write(path, p.to_tsv()).expect("write tsv");
                 eprintln!("wrote {}", path.display());
             }
         }

@@ -14,6 +14,7 @@
 //! | [`online_exp`]| E10    | competitive ratios of the on-line policies |
 //! | [`chaos_exp`]| —       | robustness: degradation under injected faults |
 //! | [`solver_sweep`]| —    | every registered engine solver on one workload |
+//! | [`plane_exp`]| —       | hetero/tiered cost planes vs the homogeneous projection |
 //!
 //! All sweeps are deterministic (seeded workloads) and parallelised with
 //! the shared [`par`] helper (now hosted by `mcs_model::par`) where
@@ -39,6 +40,7 @@ pub mod fig13;
 pub mod multi_exp;
 pub mod online_exp;
 pub mod par;
+pub mod plane_exp;
 pub mod ratio_exp;
 pub mod replication;
 pub mod solver_sweep;

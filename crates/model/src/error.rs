@@ -66,6 +66,28 @@ pub enum ModelError {
         /// Human-readable description of which parameter failed.
         what: &'static str,
     },
+    /// An instance exceeded a solver's tractable server count (the exact
+    /// heterogeneous DP is exponential in `m`).
+    TooManyServers {
+        /// Server count of the instance.
+        servers: u32,
+        /// The solver's ceiling.
+        max: u32,
+    },
+    /// A per-server cost model was applied to a trace with a different
+    /// server count.
+    ServerCountMismatch {
+        /// Server count the cost model is sized for.
+        model: u32,
+        /// Server count of the trace.
+        trace: u32,
+    },
+    /// A cost-plane shape cannot be viewed as the shape a solver needs
+    /// (e.g. a multi-tier model offered to a single-tier solver).
+    IncompatibleCostPlane {
+        /// Human-readable description of the mismatch.
+        what: String,
+    },
     /// Schedule feasibility failure; the string describes which request or
     /// connectivity rule was violated.
     InfeasibleSchedule {
@@ -107,6 +129,17 @@ impl std::fmt::Display for ModelError {
             }
             ModelError::InvalidCostModel { what } => {
                 write!(f, "invalid cost model: {what}")
+            }
+            ModelError::TooManyServers { servers, max } => write!(
+                f,
+                "instance has {servers} servers but the solver handles at most {max}"
+            ),
+            ModelError::ServerCountMismatch { model, trace } => write!(
+                f,
+                "cost model is sized for {model} servers but the trace has {trace}"
+            ),
+            ModelError::IncompatibleCostPlane { what } => {
+                write!(f, "incompatible cost plane: {what}")
             }
             ModelError::InfeasibleSchedule { reason } => {
                 write!(f, "infeasible schedule: {reason}")

@@ -36,18 +36,22 @@ pub mod hetero;
 pub mod ids;
 pub mod json;
 pub mod par;
+pub mod plane;
 mod proptests;
 pub mod request;
 pub mod rng;
 pub mod schedule;
 pub mod svg;
+pub mod tiered;
 pub mod time;
 
 pub use cost::{CostModel, CostModelBuilder, PACKAGE_PAIR};
 pub use error::ModelError;
 pub use fault::{CrashWindow, FaultPlan};
-pub use hetero::HeteroCostModel;
+pub use hetero::{HeteroCostModel, HeteroCostModelBuilder};
 pub use ids::{ItemId, ServerId};
+pub use plane::CostPlane;
 pub use request::{Request, RequestSeq, RequestSeqBuilder};
 pub use schedule::{CacheInterval, Schedule, ScheduleCost, Transfer};
+pub use tiered::{StorageTier, TieredCostModel};
 pub use time::{approx_eq, approx_le, TimePoint, EPSILON};

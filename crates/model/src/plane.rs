@@ -1,0 +1,457 @@
+//! The cost plane — one seam over every cost-model shape.
+//!
+//! Three shapes price a request trajectory in this workspace:
+//!
+//! * [`CostPlane::Homogeneous`] — the paper's `(μ, λ, α)` model
+//!   ([`CostModel`]), the shape every Section III–V algorithm is proven
+//!   against;
+//! * [`CostPlane::Hetero`] — per-server `μ_s`, per-link `λ_{st}`
+//!   ([`HeteroCostModel`]), the general problem the paper cites as
+//!   (believed) NP-complete;
+//! * [`CostPlane::Tiered`] — per-server L1/L2/L3 storage waterfalls
+//!   ([`TieredCostModel`]).
+//!
+//! The plane gives solvers *views*: a homogeneous solver asks for
+//! [`CostPlane::collapse_homogeneous`] (exact, bitwise — uniform
+//! embeddings of the two richer shapes collapse back to the `CostModel`
+//! they embed, so results stay byte-identical), a heterogeneous solver
+//! for [`CostPlane::hetero_view`], and a tiered solver for
+//! [`CostPlane::tiered_view`]. Views that would change semantics return
+//! [`ModelError::IncompatibleCostPlane`] instead of guessing.
+//!
+//! On disk, a plane is a JSON object tagged by a `"shape"` field —
+//! `"homogeneous"`, `"hetero"`, or `"tiered"` — with the shape's own
+//! fields alongside; loading routes through each shape's validating
+//! constructor (`dpg run --cost-model FILE` is the consumer).
+
+use crate::cost::CostModel;
+use crate::error::ModelError;
+use crate::hetero::HeteroCostModel;
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use crate::tiered::TieredCostModel;
+
+/// One cost model of any shape (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostPlane {
+    /// The paper's homogeneous `(μ, λ, α)` model.
+    Homogeneous(CostModel),
+    /// Per-server rates, per-link transfer costs.
+    Hetero(HeteroCostModel),
+    /// Per-server storage waterfalls.
+    Tiered(TieredCostModel),
+}
+
+impl From<CostModel> for CostPlane {
+    fn from(m: CostModel) -> Self {
+        CostPlane::Homogeneous(m)
+    }
+}
+
+impl CostPlane {
+    /// Stable lowercase shape tag (`"homogeneous"` / `"hetero"` /
+    /// `"tiered"`) — the JSON discriminator and the spelling error
+    /// messages use.
+    pub fn shape(&self) -> &'static str {
+        match self {
+            CostPlane::Homogeneous(_) => "homogeneous",
+            CostPlane::Hetero(_) => "hetero",
+            CostPlane::Tiered(_) => "tiered",
+        }
+    }
+
+    /// The package discount factor `α`, shared by every shape.
+    pub fn alpha(&self) -> f64 {
+        match self {
+            CostPlane::Homogeneous(m) => m.alpha(),
+            CostPlane::Hetero(m) => m.alpha(),
+            CostPlane::Tiered(m) => m.alpha(),
+        }
+    }
+
+    /// The server count the plane is sized for, or `None` for the
+    /// homogeneous shape (which prices any fleet).
+    pub fn servers(&self) -> Option<u32> {
+        match self {
+            CostPlane::Homogeneous(_) => None,
+            CostPlane::Hetero(m) => Some(m.servers()),
+            CostPlane::Tiered(m) => Some(m.servers()),
+        }
+    }
+
+    /// The exact homogeneous view: the wrapped model for
+    /// [`CostPlane::Homogeneous`], and the *bitwise* uniform collapse for
+    /// the richer shapes ([`HeteroCostModel::collapse_uniform`] /
+    /// [`TieredCostModel::collapse_homogeneous`]). `None` when the plane
+    /// is genuinely non-uniform — the caller must not fall back to an
+    /// average, because costs would silently change.
+    pub fn collapse_homogeneous(&self) -> Option<CostModel> {
+        match self {
+            CostPlane::Homogeneous(m) => Some(*m),
+            CostPlane::Hetero(m) => m.collapse_uniform(),
+            CostPlane::Tiered(m) => m.collapse_homogeneous(),
+        }
+    }
+
+    /// A deterministic homogeneous *projection* for display and
+    /// summaries: the exact collapse when one exists, otherwise the mean
+    /// `μ` (over servers; for tiered shapes, over every tier of every
+    /// server) and the mean off-diagonal `λ` (folding in `origin_fetch`
+    /// for tiered shapes). Solvers never price work with this — the
+    /// engine's validation path rejects non-collapsible planes for
+    /// homogeneous solvers — but the CLI header needs *some* `(μ, λ)` to
+    /// echo.
+    pub fn projected_homogeneous(&self) -> CostModel {
+        if let Some(m) = self.collapse_homogeneous() {
+            return m;
+        }
+        let (mu, lambda, alpha) = match self {
+            CostPlane::Homogeneous(m) => (m.mu(), m.lambda(), m.alpha()),
+            CostPlane::Hetero(m) => (
+                mean(m.mu_rates().iter().copied()),
+                mean_off_diagonal(m.lambda_matrix(), m.servers() as usize),
+                m.alpha(),
+            ),
+            CostPlane::Tiered(m) => {
+                let mu = mean(
+                    m.ladders()
+                        .iter()
+                        .flat_map(|ladder| ladder.iter().map(|t| t.mu)),
+                );
+                let m_servers = m.servers() as usize;
+                let lambda = if m_servers < 2 {
+                    m.origin_fetch()
+                } else {
+                    mean(
+                        std::iter::once(m.origin_fetch())
+                            .chain(off_diagonal(m.lambda_matrix(), m_servers)),
+                    )
+                };
+                (mu, lambda, m.alpha())
+            }
+        };
+        CostModel::new(mu, lambda, alpha).expect("means of validated rates are valid")
+    }
+
+    /// The heterogeneous view for a fleet of `m` servers: uniform
+    /// embedding for the homogeneous shape, a server-count check for the
+    /// hetero shape, and the single-unbounded-tier reduction for the
+    /// tiered shape (deeper ladders have no per-server-rate equivalent;
+    /// `origin_fetch` is not part of the hetero vocabulary and is
+    /// dropped by the reduction).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ServerCountMismatch`] when a sized shape disagrees
+    /// with `m`; [`ModelError::IncompatibleCostPlane`] when a tiered
+    /// shape has bounded or multi-level ladders.
+    pub fn hetero_view(&self, m: u32) -> Result<HeteroCostModel, ModelError> {
+        match self {
+            CostPlane::Homogeneous(c) => HeteroCostModel::uniform(m, c.mu(), c.lambda(), c.alpha()),
+            CostPlane::Hetero(h) => {
+                if h.servers() != m {
+                    return Err(ModelError::ServerCountMismatch {
+                        model: h.servers(),
+                        trace: m,
+                    });
+                }
+                Ok(h.clone())
+            }
+            CostPlane::Tiered(t) => {
+                if t.servers() != m {
+                    return Err(ModelError::ServerCountMismatch {
+                        model: t.servers(),
+                        trace: m,
+                    });
+                }
+                if !t.is_single_unbounded_tier() {
+                    return Err(ModelError::IncompatibleCostPlane {
+                        what: "a multi-tier (or bounded-tier) model has no per-server-rate \
+                               equivalent; heterogeneous solvers need one unbounded tier per \
+                               server"
+                            .to_string(),
+                    });
+                }
+                let mu: Vec<f64> = t.ladders().iter().map(|ladder| ladder[0].mu).collect();
+                HeteroCostModel::new(mu, t.lambda_matrix().to_vec(), t.alpha())
+            }
+        }
+    }
+
+    /// The tiered view for a fleet of `m` servers: the
+    /// [`TieredCostModel::uniform_single_tier`] embedding for the
+    /// homogeneous shape, a server-count check for the tiered shape.
+    /// Heterogeneous shapes are rejected — per-server `μ_s` would need an
+    /// arbitrary `origin_fetch` to become a waterfall, and inventing one
+    /// would silently change costs.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ServerCountMismatch`] when the tiered shape
+    /// disagrees with `m`; [`ModelError::IncompatibleCostPlane`] for the
+    /// hetero shape.
+    pub fn tiered_view(&self, m: u32) -> Result<TieredCostModel, ModelError> {
+        match self {
+            CostPlane::Homogeneous(c) => {
+                TieredCostModel::uniform_single_tier(m, c.mu(), c.lambda(), c.alpha())
+            }
+            CostPlane::Hetero(_) => Err(ModelError::IncompatibleCostPlane {
+                what: "a per-server-rate model carries no origin-fetch cost, so it cannot be \
+                       viewed as a storage waterfall; use shape \"tiered\" instead"
+                    .to_string(),
+            }),
+            CostPlane::Tiered(t) => {
+                if t.servers() != m {
+                    return Err(ModelError::ServerCountMismatch {
+                        model: t.servers(),
+                        trace: m,
+                    });
+                }
+                Ok(t.clone())
+            }
+        }
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = it.fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
+    sum / n as f64
+}
+
+fn off_diagonal(matrix: &[f64], m: usize) -> impl Iterator<Item = f64> + '_ {
+    (0..m * m).filter_map(move |idx| {
+        if idx / m == idx % m {
+            None
+        } else {
+            Some(matrix[idx])
+        }
+    })
+}
+
+fn mean_off_diagonal(matrix: &[f64], m: usize) -> f64 {
+    mean(off_diagonal(matrix, m))
+}
+
+impl ToJson for CostPlane {
+    fn to_json(&self) -> Json {
+        let tag = ("shape".to_string(), Json::Str(self.shape().to_string()));
+        match self {
+            CostPlane::Homogeneous(m) => Json::Obj(vec![
+                tag,
+                ("mu".to_string(), Json::Num(m.mu())),
+                ("lambda".to_string(), Json::Num(m.lambda())),
+                ("alpha".to_string(), Json::Num(m.alpha())),
+            ]),
+            CostPlane::Hetero(m) => Json::Obj(vec![
+                tag,
+                ("mu".to_string(), m.mu_rates().to_vec().to_json()),
+                ("lambda".to_string(), m.lambda_matrix().to_vec().to_json()),
+                ("alpha".to_string(), Json::Num(m.alpha())),
+            ]),
+            CostPlane::Tiered(m) => {
+                let Json::Obj(mut fields) = m.to_json() else {
+                    unreachable!("TieredCostModel serialises to an object");
+                };
+                fields.insert(0, tag);
+                Json::Obj(fields)
+            }
+        }
+    }
+}
+
+impl FromJson for CostPlane {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let shape = String::from_json(v.field("shape")?)?;
+        match shape.as_str() {
+            "homogeneous" => CostModel::from_json(v).map(CostPlane::Homogeneous),
+            "hetero" => {
+                // Route through the validating constructor; the bare
+                // HeteroCostModel JSON shape (a struct dump) is not
+                // accepted here so files cannot bypass validation.
+                let mu = Vec::<f64>::from_json(v.field("mu")?)?;
+                let lambda = Vec::<f64>::from_json(v.field("lambda")?)?;
+                let alpha = f64::from_json(v.field("alpha")?)?;
+                HeteroCostModel::new(mu, lambda, alpha)
+                    .map(CostPlane::Hetero)
+                    .map_err(|e| JsonError::conv(format!("invalid cost model: {e}")))
+            }
+            "tiered" => TieredCostModel::from_json(v).map(CostPlane::Tiered),
+            other => Err(JsonError::conv(format!(
+                "unknown cost-plane shape {other:?}; expected \"homogeneous\", \"hetero\", or \
+                 \"tiered\""
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::tiered::StorageTier;
+
+    fn spread_hetero() -> HeteroCostModel {
+        HeteroCostModel::new(
+            vec![1.0, 2.0, 4.0],
+            vec![
+                0.0, 1.0, 2.0, //
+                1.0, 0.0, 3.0, //
+                2.0, 3.0, 0.0,
+            ],
+            0.8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_planes_collapse_to_the_embedded_model() {
+        let base = CostModel::new(2.0, 4.0, 0.8).unwrap();
+        let planes = [
+            CostPlane::Homogeneous(base),
+            CostPlane::Hetero(HeteroCostModel::uniform(4, 2.0, 4.0, 0.8).unwrap()),
+            CostPlane::Tiered(TieredCostModel::uniform_single_tier(4, 2.0, 4.0, 0.8).unwrap()),
+        ];
+        for p in &planes {
+            let c = p.collapse_homogeneous().unwrap_or_else(|| {
+                panic!("{} uniform plane must collapse", p.shape());
+            });
+            assert_eq!(c.mu().to_bits(), base.mu().to_bits(), "{}", p.shape());
+            assert_eq!(
+                c.lambda().to_bits(),
+                base.lambda().to_bits(),
+                "{}",
+                p.shape()
+            );
+            assert_eq!(c.alpha().to_bits(), base.alpha().to_bits(), "{}", p.shape());
+            // The projection is the collapse when one exists.
+            assert_eq!(p.projected_homogeneous(), c);
+        }
+    }
+
+    #[test]
+    fn non_uniform_planes_do_not_collapse_but_still_project() {
+        let h = CostPlane::Hetero(spread_hetero());
+        assert!(h.collapse_homogeneous().is_none());
+        let proj = h.projected_homogeneous();
+        assert!((proj.mu() - 7.0 / 3.0).abs() < 1e-12);
+        assert!((proj.lambda() - 2.0).abs() < 1e-12);
+
+        let t = CostPlane::Tiered(
+            TieredCostModel::new(
+                vec![vec![StorageTier::bounded(2, 4.0), StorageTier::unbounded(1.0)]; 2],
+                vec![0.0, 4.0, 4.0, 0.0],
+                1.0,
+                8.0,
+                0.8,
+            )
+            .unwrap(),
+        );
+        assert!(t.collapse_homogeneous().is_none());
+        let proj = t.projected_homogeneous();
+        assert!((proj.mu() - 2.5).abs() < 1e-12);
+        // origin_fetch folds into the λ mean: (8 + 4 + 4) / 3.
+        assert!((proj.lambda() - 16.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hetero_view_embeds_checks_and_reduces() {
+        let base = CostModel::new(2.0, 4.0, 0.8).unwrap();
+        // Homogeneous → uniform embedding at any m.
+        let h = CostPlane::Homogeneous(base).hetero_view(5).unwrap();
+        assert_eq!(h.servers(), 5);
+        assert_eq!(h.collapse_uniform().unwrap(), base);
+        // Hetero → size check.
+        let plane = CostPlane::Hetero(spread_hetero());
+        assert!(plane.hetero_view(3).is_ok());
+        assert!(matches!(
+            plane.hetero_view(4),
+            Err(ModelError::ServerCountMismatch { model: 3, trace: 4 })
+        ));
+        // Tiered single-unbounded-tier → per-server rates.
+        let t = CostPlane::Tiered(
+            TieredCostModel::new(
+                vec![
+                    vec![StorageTier::unbounded(1.0)],
+                    vec![StorageTier::unbounded(2.0)],
+                ],
+                vec![0.0, 4.0, 4.0, 0.0],
+                0.0,
+                8.0,
+                0.8,
+            )
+            .unwrap(),
+        );
+        let h = t.hetero_view(2).unwrap();
+        assert_eq!(h.mu_rates(), &[1.0, 2.0]);
+        // Multi-tier ladders are rejected.
+        let deep = CostPlane::Tiered(
+            TieredCostModel::new(
+                vec![vec![StorageTier::bounded(2, 4.0), StorageTier::unbounded(1.0)]; 2],
+                vec![0.0, 4.0, 4.0, 0.0],
+                1.0,
+                8.0,
+                0.8,
+            )
+            .unwrap(),
+        );
+        assert!(matches!(
+            deep.hetero_view(2),
+            Err(ModelError::IncompatibleCostPlane { .. })
+        ));
+    }
+
+    #[test]
+    fn tiered_view_embeds_checks_and_rejects_hetero() {
+        let base = CostModel::new(2.0, 4.0, 0.8).unwrap();
+        let t = CostPlane::Homogeneous(base).tiered_view(3).unwrap();
+        assert_eq!(t.collapse_homogeneous().unwrap(), base);
+        assert!(matches!(
+            CostPlane::Hetero(spread_hetero()).tiered_view(3),
+            Err(ModelError::IncompatibleCostPlane { .. })
+        ));
+        let tiered =
+            CostPlane::Tiered(TieredCostModel::uniform_single_tier(3, 2.0, 4.0, 0.8).unwrap());
+        assert!(tiered.tiered_view(3).is_ok());
+        assert!(tiered.tiered_view(2).is_err());
+    }
+
+    #[test]
+    fn json_round_trips_every_shape() {
+        let planes = [
+            CostPlane::Homogeneous(CostModel::new(2.0, 4.0, 0.8).unwrap()),
+            CostPlane::Hetero(spread_hetero()),
+            CostPlane::Tiered(
+                TieredCostModel::new(
+                    vec![vec![StorageTier::bounded(2, 4.0), StorageTier::unbounded(0.5)]; 2],
+                    vec![0.0, 4.0, 4.0, 0.0],
+                    1.0,
+                    8.0,
+                    0.8,
+                )
+                .unwrap(),
+            ),
+        ];
+        for p in &planes {
+            let text = p.to_json().to_string();
+            let back = CostPlane::from_json(&parse(&text).unwrap()).unwrap();
+            assert_eq!(*p, back, "{} shape", p.shape());
+        }
+    }
+
+    #[test]
+    fn json_rejects_unknown_shapes_and_invalid_models() {
+        let bad_shape = parse(r#"{"shape": "quantum", "mu": 1.0}"#).unwrap();
+        let err = CostPlane::from_json(&bad_shape).unwrap_err();
+        assert!(err.msg.contains("quantum"));
+        // Hetero with an asymmetric matrix routes through validation.
+        let bad = parse(
+            r#"{"shape": "hetero", "mu": [1.0, 1.0],
+                "lambda": [0.0, 2.0, 3.0, 0.0], "alpha": 0.8}"#,
+        )
+        .unwrap();
+        let err = CostPlane::from_json(&bad).unwrap_err();
+        assert!(err.msg.contains("symmetric"));
+        // Missing shape field.
+        let tagless = parse(r#"{"mu": 1.0, "lambda": 1.0, "alpha": 0.8}"#).unwrap();
+        assert!(CostPlane::from_json(&tagless).is_err());
+    }
+}

@@ -1,0 +1,475 @@
+//! Tiered heterogeneous cost model — per-server L1/L2/L3 storage
+//! waterfalls priced in the paper's monetary terms.
+//!
+//! ROADMAP item 2 generalises the homogeneous [`crate::CostModel`] in two
+//! directions at once: per-server/per-link rates (already covered by
+//! [`crate::HeteroCostModel`]) and *tiered* storage per server — a small
+//! fast tier in front of progressively larger, slower ones (RAM / SSD /
+//! remote). [`TieredCostModel`] is that second direction:
+//!
+//! * each server owns an ordered list of [`StorageTier`]s, top (L1,
+//!   served) first, each with a slot `capacity` (`0` = unbounded) and a
+//!   caching rate `μ_s^ℓ` per resident copy per unit time;
+//! * moving a copy one tier up or down inside a server costs
+//!   [`move_cost`](TieredCostModel::move_cost) per level crossed
+//!   (promotion on hit, demotion on overflow);
+//! * fetching across servers costs the symmetric `λ_{st}` matrix, and
+//!   fetching from the backing origin store costs
+//!   [`origin_fetch`](TieredCostModel::origin_fetch);
+//! * the package discount `α` is carried for parity with the other
+//!   shapes.
+//!
+//! The homogeneous model is the pinned special case:
+//! [`TieredCostModel::uniform_single_tier`] builds one unbounded tier per
+//! server at rate `μ`, zero move cost, and `origin_fetch = λ`, and
+//! [`TieredCostModel::collapse_homogeneous`] recovers the original
+//! [`crate::CostModel`] *bitwise* from exactly that shape — the collapse
+//! guarantee `tests/cost_plane.rs` pins.
+
+use crate::cost::CostModel;
+use crate::error::ModelError;
+use crate::ids::ServerId;
+
+/// One storage level of a server's waterfall.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageTier {
+    /// Item slots at this level; `0` means unbounded (the deepest tier of
+    /// a cost-oriented server, where capacity is "virtually infinite as
+    /// long as user can afford it").
+    pub capacity: u32,
+    /// Caching rate `μ_s^ℓ` per resident copy per unit time.
+    pub mu: f64,
+}
+
+crate::impl_json!(StorageTier { capacity, mu });
+
+impl StorageTier {
+    /// An unbounded tier at rate `mu`.
+    pub fn unbounded(mu: f64) -> Self {
+        StorageTier { capacity: 0, mu }
+    }
+
+    /// A bounded tier with `capacity` slots at rate `mu`.
+    pub fn bounded(capacity: u32, mu: f64) -> Self {
+        StorageTier { capacity, mu }
+    }
+
+    /// True when the tier holds any number of copies.
+    #[inline]
+    pub fn is_unbounded(&self) -> bool {
+        self.capacity == 0
+    }
+}
+
+/// Per-server tiered cost model (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TieredCostModel {
+    /// Per-server waterfalls, top (L1) first.
+    tiers: Vec<Vec<StorageTier>>,
+    /// `λ_{st}` — symmetric cross-server transfer matrix, row-major
+    /// `m×m`, zero diagonal.
+    lambda: Vec<f64>,
+    /// Cost of moving a copy one tier level inside a server.
+    move_cost: f64,
+    /// Cost of fetching a copy from the backing origin store.
+    origin_fetch: f64,
+    /// Package discount factor `α ∈ (0, 1]`.
+    alpha: f64,
+    servers: u32,
+}
+
+impl TieredCostModel {
+    /// Validates and builds a tiered model.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidCostModel`] when a server has no tiers, any
+    /// `μ_s^ℓ` is non-finite or non-positive, the λ matrix is misshapen,
+    /// asymmetric or has a non-zero diagonal, `move_cost` is negative or
+    /// non-finite, `origin_fetch` is non-positive or non-finite, or
+    /// `α ∉ (0, 1]`.
+    pub fn new(
+        tiers: Vec<Vec<StorageTier>>,
+        lambda: Vec<f64>,
+        move_cost: f64,
+        origin_fetch: f64,
+        alpha: f64,
+    ) -> Result<Self, ModelError> {
+        let m = tiers.len();
+        if m == 0 {
+            return Err(ModelError::InvalidCostModel {
+                what: "need at least one server",
+            });
+        }
+        for ladder in &tiers {
+            if ladder.is_empty() {
+                return Err(ModelError::InvalidCostModel {
+                    what: "every server needs at least one storage tier",
+                });
+            }
+            for tier in ladder {
+                if !(tier.mu.is_finite() && tier.mu > 0.0) {
+                    return Err(ModelError::InvalidCostModel {
+                        what: "every tier μ must be finite and positive",
+                    });
+                }
+            }
+        }
+        if lambda.len() != m * m {
+            return Err(ModelError::InvalidCostModel {
+                what: "λ matrix must be m×m",
+            });
+        }
+        for i in 0..m {
+            for j in 0..m {
+                let v = lambda[i * m + j];
+                if i == j {
+                    if v != 0.0 {
+                        return Err(ModelError::InvalidCostModel {
+                            what: "λ diagonal must be zero",
+                        });
+                    }
+                } else {
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(ModelError::InvalidCostModel {
+                            what: "every off-diagonal λ must be finite and positive",
+                        });
+                    }
+                    if (v - lambda[j * m + i]).abs() > crate::time::EPSILON {
+                        return Err(ModelError::InvalidCostModel {
+                            what: "λ matrix must be symmetric",
+                        });
+                    }
+                }
+            }
+        }
+        if !(move_cost.is_finite() && move_cost >= 0.0) {
+            return Err(ModelError::InvalidCostModel {
+                what: "move_cost must be finite and non-negative",
+            });
+        }
+        if !(origin_fetch.is_finite() && origin_fetch > 0.0) {
+            return Err(ModelError::InvalidCostModel {
+                what: "origin_fetch must be finite and positive",
+            });
+        }
+        if !(alpha.is_finite() && alpha > 0.0 && alpha <= 1.0) {
+            return Err(ModelError::InvalidCostModel {
+                what: "α must lie in (0, 1]",
+            });
+        }
+        Ok(TieredCostModel {
+            tiers,
+            lambda,
+            move_cost,
+            origin_fetch,
+            alpha,
+            servers: m as u32,
+        })
+    }
+
+    /// Embeds a homogeneous `(μ, λ, α)` model: one unbounded tier per
+    /// server at rate `μ`, zero move cost, `origin_fetch = λ`. The exact
+    /// inverse of [`Self::collapse_homogeneous`].
+    pub fn uniform_single_tier(
+        m: u32,
+        mu: f64,
+        lambda: f64,
+        alpha: f64,
+    ) -> Result<Self, ModelError> {
+        let msize = m as usize;
+        let mut lam = vec![lambda; msize * msize];
+        for i in 0..msize {
+            lam[i * msize + i] = 0.0;
+        }
+        Self::new(
+            vec![vec![StorageTier::unbounded(mu)]; msize],
+            lam,
+            0.0,
+            lambda,
+            alpha,
+        )
+    }
+
+    /// Number of servers `m`.
+    #[inline]
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// The storage waterfall of server `s`, top (L1) first.
+    #[inline]
+    pub fn ladder(&self, s: ServerId) -> &[StorageTier] {
+        &self.tiers[s.index()]
+    }
+
+    /// All per-server waterfalls, indexed by server.
+    #[inline]
+    pub fn ladders(&self) -> &[Vec<StorageTier>] {
+        &self.tiers
+    }
+
+    /// Cross-server transfer cost between `a` and `b` (zero when equal).
+    #[inline]
+    pub fn lambda(&self, a: ServerId, b: ServerId) -> f64 {
+        self.lambda[a.index() * self.servers as usize + b.index()]
+    }
+
+    /// The raw row-major λ matrix.
+    #[inline]
+    pub fn lambda_matrix(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// Cost of moving a copy one tier level inside a server.
+    #[inline]
+    pub fn move_cost(&self) -> f64 {
+        self.move_cost
+    }
+
+    /// Cost of fetching a copy from the backing origin store.
+    #[inline]
+    pub fn origin_fetch(&self) -> f64 {
+        self.origin_fetch
+    }
+
+    /// Discount factor `α`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// True when every server's waterfall is exactly one unbounded tier —
+    /// the shape that is expressible as a [`crate::HeteroCostModel`].
+    pub fn is_single_unbounded_tier(&self) -> bool {
+        self.tiers
+            .iter()
+            .all(|ladder| ladder.len() == 1 && ladder[0].is_unbounded())
+    }
+
+    /// Recovers the homogeneous [`CostModel`] when this model is exactly
+    /// a [`Self::uniform_single_tier`] embedding: one unbounded tier per
+    /// server, all tier rates *bitwise* equal, all off-diagonal λ bitwise
+    /// equal, zero move cost, and `origin_fetch` bitwise equal to λ.
+    /// Bitwise (not approximate) equality is what makes the collapse a
+    /// byte-identity guarantee rather than a numerical coincidence.
+    pub fn collapse_homogeneous(&self) -> Option<CostModel> {
+        if !self.is_single_unbounded_tier() {
+            return None;
+        }
+        let m = self.servers as usize;
+        if m < 2 {
+            // A single server has no off-diagonal λ to recover.
+            return None;
+        }
+        let mu = self.tiers[0][0].mu;
+        if !self
+            .tiers
+            .iter()
+            .all(|ladder| ladder[0].mu.to_bits() == mu.to_bits())
+        {
+            return None;
+        }
+        let lambda = self.lambda[1];
+        for i in 0..m {
+            for j in 0..m {
+                if i != j && self.lambda[i * m + j].to_bits() != lambda.to_bits() {
+                    return None;
+                }
+            }
+        }
+        if self.move_cost != 0.0 || self.origin_fetch.to_bits() != lambda.to_bits() {
+            return None;
+        }
+        CostModel::new(mu, lambda, self.alpha).ok()
+    }
+}
+
+crate::impl_to_json!(TieredCostModel {
+    tiers,
+    lambda,
+    move_cost,
+    origin_fetch,
+    alpha
+});
+
+impl crate::json::FromJson for TieredCostModel {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        // Route through the validating constructor so corrupt files
+        // cannot smuggle in a misshapen matrix or negative rate.
+        let tiers = Vec::<Vec<StorageTier>>::from_json(v.field("tiers")?)?;
+        let lambda = Vec::<f64>::from_json(v.field("lambda")?)?;
+        let move_cost = f64::from_json(v.field("move_cost")?)?;
+        let origin_fetch = f64::from_json(v.field("origin_fetch")?)?;
+        let alpha = f64::from_json(v.field("alpha")?)?;
+        TieredCostModel::new(tiers, lambda, move_cost, origin_fetch, alpha)
+            .map_err(|e| crate::json::JsonError::conv(format!("invalid cost model: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, FromJson, ToJson};
+
+    fn three_tier() -> TieredCostModel {
+        TieredCostModel::new(
+            vec![
+                vec![
+                    StorageTier::bounded(2, 4.0),
+                    StorageTier::bounded(4, 2.0),
+                    StorageTier::unbounded(0.5),
+                ];
+                2
+            ],
+            vec![0.0, 4.0, 4.0, 0.0],
+            1.0,
+            8.0,
+            0.8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_single_tier_collapses_bitwise() {
+        let t = TieredCostModel::uniform_single_tier(4, 2.0, 4.0, 0.8).unwrap();
+        assert!(t.is_single_unbounded_tier());
+        let c = t.collapse_homogeneous().unwrap();
+        assert_eq!(c.mu().to_bits(), 2.0f64.to_bits());
+        assert_eq!(c.lambda().to_bits(), 4.0f64.to_bits());
+        assert_eq!(c.alpha().to_bits(), 0.8f64.to_bits());
+    }
+
+    #[test]
+    fn non_uniform_shapes_do_not_collapse() {
+        // Multi-tier ladders.
+        assert!(three_tier().collapse_homogeneous().is_none());
+        // Non-zero move cost.
+        let t = TieredCostModel::new(
+            vec![vec![StorageTier::unbounded(2.0)]; 2],
+            vec![0.0, 4.0, 4.0, 0.0],
+            0.5,
+            4.0,
+            0.8,
+        )
+        .unwrap();
+        assert!(t.collapse_homogeneous().is_none());
+        // origin_fetch diverging from λ.
+        let t = TieredCostModel::new(
+            vec![vec![StorageTier::unbounded(2.0)]; 2],
+            vec![0.0, 4.0, 4.0, 0.0],
+            0.0,
+            5.0,
+            0.8,
+        )
+        .unwrap();
+        assert!(t.collapse_homogeneous().is_none());
+        // Per-server μ spread.
+        let t = TieredCostModel::new(
+            vec![
+                vec![StorageTier::unbounded(2.0)],
+                vec![StorageTier::unbounded(3.0)],
+            ],
+            vec![0.0, 4.0, 4.0, 0.0],
+            0.0,
+            4.0,
+            0.8,
+        )
+        .unwrap();
+        assert!(t.collapse_homogeneous().is_none());
+        // A lone server has no λ to recover.
+        let t = TieredCostModel::new(
+            vec![vec![StorageTier::unbounded(2.0)]],
+            vec![0.0],
+            0.0,
+            4.0,
+            0.8,
+        )
+        .unwrap();
+        assert!(t.collapse_homogeneous().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_models() {
+        // No servers.
+        assert!(TieredCostModel::new(vec![], vec![], 0.0, 1.0, 0.8).is_err());
+        // A server with no tiers.
+        assert!(TieredCostModel::new(vec![vec![]], vec![0.0], 0.0, 1.0, 0.8).is_err());
+        // Non-positive tier rate.
+        assert!(TieredCostModel::new(
+            vec![vec![StorageTier::unbounded(0.0)]],
+            vec![0.0],
+            0.0,
+            1.0,
+            0.8
+        )
+        .is_err());
+        // Misshapen λ.
+        assert!(TieredCostModel::new(
+            vec![vec![StorageTier::unbounded(1.0)]; 2],
+            vec![0.0],
+            0.0,
+            1.0,
+            0.8
+        )
+        .is_err());
+        // Asymmetric λ.
+        assert!(TieredCostModel::new(
+            vec![vec![StorageTier::unbounded(1.0)]; 2],
+            vec![0.0, 2.0, 3.0, 0.0],
+            0.0,
+            1.0,
+            0.8
+        )
+        .is_err());
+        // Negative move cost.
+        assert!(TieredCostModel::new(
+            vec![vec![StorageTier::unbounded(1.0)]; 2],
+            vec![0.0, 2.0, 2.0, 0.0],
+            -1.0,
+            1.0,
+            0.8
+        )
+        .is_err());
+        // Non-positive origin fetch.
+        assert!(TieredCostModel::new(
+            vec![vec![StorageTier::unbounded(1.0)]; 2],
+            vec![0.0, 2.0, 2.0, 0.0],
+            0.0,
+            0.0,
+            0.8
+        )
+        .is_err());
+        // Bad alpha.
+        assert!(TieredCostModel::uniform_single_tier(2, 1.0, 1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn accessors_read_back_the_ladder() {
+        let t = three_tier();
+        assert_eq!(t.servers(), 2);
+        let ladder = t.ladder(ServerId(1));
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder[0].capacity, 2);
+        assert!(ladder[2].is_unbounded());
+        assert_eq!(t.lambda(ServerId(0), ServerId(1)), 4.0);
+        assert_eq!(t.lambda(ServerId(1), ServerId(1)), 0.0);
+        assert_eq!(t.move_cost(), 1.0);
+        assert_eq!(t.origin_fetch(), 8.0);
+    }
+
+    #[test]
+    fn json_round_trip_validates_on_load() {
+        let t = three_tier();
+        let j = t.to_json().to_string();
+        let back = TieredCostModel::from_json(&parse(&j).unwrap()).unwrap();
+        assert_eq!(t, back);
+        // Validation runs on load: a negative tier rate is rejected.
+        let bad = parse(
+            r#"{"tiers": [[{"capacity": 0, "mu": -1.0}]], "lambda": [0.0],
+                "move_cost": 0.0, "origin_fetch": 1.0, "alpha": 0.8}"#,
+        )
+        .unwrap();
+        assert!(TieredCostModel::from_json(&bad).is_err());
+    }
+}

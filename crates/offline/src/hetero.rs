@@ -20,28 +20,42 @@
 //!   counterparts under [`HeteroCostModel::uniform`].
 
 use mcs_model::request::{Predecessor, SingleItemTrace};
-use mcs_model::{HeteroCostModel, ServerId};
+use mcs_model::{HeteroCostModel, ModelError, ServerId};
 
 /// Maximum server count for the exact solver.
 pub const MAX_SERVERS: u32 = 16;
 
+/// Checks that `model` prices exactly the fleet `trace` runs on.
+fn check_servers(trace: &SingleItemTrace, model: &HeteroCostModel) -> Result<(), ModelError> {
+    if model.servers() != trace.servers {
+        return Err(ModelError::ServerCountMismatch {
+            model: model.servers(),
+            trace: trace.servers,
+        });
+    }
+    Ok(())
+}
+
 /// Exact optimal heterogeneous cost by layered state-space DP.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the trace has more than [`MAX_SERVERS`] servers or the model
-/// disagrees with the trace on `m`.
-pub fn hetero_exact(trace: &SingleItemTrace, model: &HeteroCostModel) -> f64 {
-    let n = trace.len();
-    if n == 0 {
-        return 0.0;
-    }
+/// [`ModelError::TooManyServers`] when the trace exceeds [`MAX_SERVERS`]
+/// (the DP is exponential in `m`), [`ModelError::ServerCountMismatch`]
+/// when the model disagrees with the trace on `m` — typed so the CLI can
+/// report a usage error instead of aborting.
+pub fn hetero_exact(trace: &SingleItemTrace, model: &HeteroCostModel) -> Result<f64, ModelError> {
     let m = trace.servers;
-    assert!(
-        m <= MAX_SERVERS,
-        "exact solver limited to {MAX_SERVERS} servers"
-    );
-    assert_eq!(m, model.servers(), "model/trace server mismatch");
+    if m > MAX_SERVERS {
+        return Err(ModelError::TooManyServers {
+            servers: m,
+            max: MAX_SERVERS,
+        });
+    }
+    check_servers(trace, model)?;
+    if trace.is_empty() {
+        return Ok(0.0);
+    }
     let full = 1usize << m;
 
     // Pre-compute per-mask holding rates Σ_{s∈mask} μ_s.
@@ -139,13 +153,51 @@ pub fn hetero_exact(trace: &SingleItemTrace, model: &HeteroCostModel) -> f64 {
         }
         dp = next;
     }
-    dp.iter().copied().fold(f64::INFINITY, f64::min)
+    Ok(dp.iter().copied().fold(f64::INFINITY, f64::min))
+}
+
+/// Cost split of one [`hetero_greedy_report`] run, for ledger
+/// attribution: `cost` is the legacy per-request `min(arm)` sum, while
+/// `cache_cost`/`transfer_cost` re-bucket the same arms by channel —
+/// the caching portion of a chosen transfer arm (`μ_prev·Δt` bridging)
+/// lands in `cache_cost` and only the link hop `λ` in `transfer_cost`.
+/// The channel sums can differ from `cost` by float associativity only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeteroGreedyReport {
+    /// Total cost, accumulated per request exactly as [`hetero_greedy`].
+    pub cost: f64,
+    /// Caching residence cost (both arms' `μ·Δt` portions).
+    pub cache_cost: f64,
+    /// Cross-server transfer cost (the `λ` hops of the transfer arms).
+    pub transfer_cost: f64,
 }
 
 /// The heterogeneous simple greedy (Fig. 4 generalised).
-pub fn hetero_greedy(trace: &SingleItemTrace, model: &HeteroCostModel) -> f64 {
+///
+/// # Errors
+///
+/// [`ModelError::ServerCountMismatch`] when the model disagrees with the
+/// trace on `m`.
+pub fn hetero_greedy(trace: &SingleItemTrace, model: &HeteroCostModel) -> Result<f64, ModelError> {
+    hetero_greedy_report(trace, model).map(|r| r.cost)
+}
+
+/// [`hetero_greedy`] with the per-channel cost split (see
+/// [`HeteroGreedyReport`]).
+///
+/// # Errors
+///
+/// [`ModelError::ServerCountMismatch`] when the model disagrees with the
+/// trace on `m`.
+pub fn hetero_greedy_report(
+    trace: &SingleItemTrace,
+    model: &HeteroCostModel,
+) -> Result<HeteroGreedyReport, ModelError> {
+    check_servers(trace, model)?;
     let preds = trace.predecessors();
     let mut cost = 0.0;
+    let mut cache_cost = 0.0;
+    let mut transfer_cost = 0.0;
     for (i, p) in trace.points.iter().enumerate() {
         let cache_arm = match preds[i] {
             Predecessor::Request(j) => model.mu(p.server) * (p.time - trace.points[j].time),
@@ -157,11 +209,25 @@ pub fn hetero_greedy(trace: &SingleItemTrace, model: &HeteroCostModel) -> f64 {
         } else {
             (trace.points[i - 1].time, trace.points[i - 1].server)
         };
-        let transfer_arm =
-            model.mu(prev_server) * (p.time - prev_time) + model.lambda(prev_server, p.server);
-        cost += cache_arm.min(transfer_arm);
+        let bridge = model.mu(prev_server) * (p.time - prev_time);
+        let hop = model.lambda(prev_server, p.server);
+        let transfer_arm = bridge + hop;
+        // Ties go to the cache arm, matching `a.min(b)`'s left bias in
+        // the pre-split accumulation.
+        if cache_arm <= transfer_arm {
+            cost += cache_arm;
+            cache_cost += cache_arm;
+        } else {
+            cost += transfer_arm;
+            cache_cost += bridge;
+            transfer_cost += hop;
+        }
     }
-    cost
+    Ok(HeteroGreedyReport {
+        cost,
+        cache_cost,
+        transfer_cost,
+    })
 }
 
 #[cfg(test)]
@@ -180,7 +246,7 @@ mod tests {
         let homo = CostModel::new(1.2, 2.3, 0.8).unwrap();
         let het = uniform(3, 1.2, 2.3);
         assert!(approx_eq(
-            hetero_exact(&trace, &het),
+            hetero_exact(&trace, &het).unwrap(),
             statespace_optimal(&trace, &homo)
         ));
     }
@@ -191,7 +257,7 @@ mod tests {
         let homo = CostModel::new(1.2, 2.3, 0.8).unwrap();
         let het = uniform(3, 1.2, 2.3);
         assert!(approx_eq(
-            hetero_greedy(&trace, &het),
+            hetero_greedy(&trace, &het).unwrap(),
             greedy(&trace, &homo).cost
         ));
     }
@@ -212,7 +278,7 @@ mod tests {
         .unwrap();
         // Requests far apart, alternating s1/s2.
         let trace = SingleItemTrace::from_pairs(3, &[(5.0, 0), (10.0, 1), (15.0, 0)]);
-        let exact = hetero_exact(&trace, &model);
+        let exact = hetero_exact(&trace, &model).unwrap();
         // Backbone at s3 after an initial transfer: hold 15·0.01 = 0.15,
         // initial λ=1 at... the copy starts at s1 (expensive): transfer to
         // s3 at t=5 when serving r1 (s1 holds [0,5] at 10/unit — ouch;
@@ -223,7 +289,7 @@ mod tests {
         let smart = 50.0 + 1.0 + 0.1 + 1.0 + 1.0 + 1.0;
         assert!(exact <= smart + 1e-9, "exact {exact} vs smart {smart}");
         // And the greedy (which never parks at s3) pays strictly more.
-        let g = hetero_greedy(&trace, &model);
+        let g = hetero_greedy(&trace, &model).unwrap();
         assert!(
             g > exact + 1.0,
             "greedy {g} should be clearly worse than exact {exact}"
@@ -233,8 +299,53 @@ mod tests {
     #[test]
     fn empty_trace_is_free() {
         let trace = SingleItemTrace::from_pairs(2, &[]);
-        assert_eq!(hetero_exact(&trace, &uniform(2, 1.0, 1.0)), 0.0);
-        assert_eq!(hetero_greedy(&trace, &uniform(2, 1.0, 1.0)), 0.0);
+        assert_eq!(hetero_exact(&trace, &uniform(2, 1.0, 1.0)).unwrap(), 0.0);
+        assert_eq!(hetero_greedy(&trace, &uniform(2, 1.0, 1.0)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn oversized_and_mismatched_instances_are_typed_errors() {
+        use mcs_model::ModelError;
+        // m > MAX_SERVERS: typed, not a panic (CLI exit-code-2 path).
+        let wide = SingleItemTrace::from_pairs(MAX_SERVERS + 1, &[(1.0, 0)]);
+        let model = uniform(MAX_SERVERS + 1, 1.0, 1.0);
+        assert!(matches!(
+            hetero_exact(&wide, &model),
+            Err(ModelError::TooManyServers { servers, max })
+                if servers == MAX_SERVERS + 1 && max == MAX_SERVERS
+        ));
+        // Model/trace disagreement, both solvers.
+        let trace = SingleItemTrace::from_pairs(3, &[(1.0, 0)]);
+        let small = uniform(2, 1.0, 1.0);
+        assert!(matches!(
+            hetero_exact(&trace, &small),
+            Err(ModelError::ServerCountMismatch { model: 2, trace: 3 })
+        ));
+        assert!(matches!(
+            hetero_greedy(&trace, &small),
+            Err(ModelError::ServerCountMismatch { model: 2, trace: 3 })
+        ));
+    }
+
+    #[test]
+    fn greedy_report_channels_recompose_the_total() {
+        let model = HeteroCostModel::new(
+            vec![2.0, 0.5, 4.0],
+            vec![
+                0.0, 1.0, 2.0, //
+                1.0, 0.0, 3.0, //
+                2.0, 3.0, 0.0,
+            ],
+            0.8,
+        )
+        .unwrap();
+        let trace =
+            SingleItemTrace::from_pairs(3, &[(0.5, 1), (0.9, 2), (1.3, 0), (2.0, 1), (2.2, 2)]);
+        let r = hetero_greedy_report(&trace, &model).unwrap();
+        assert!((r.cache_cost + r.transfer_cost - r.cost).abs() < 1e-12);
+        assert_eq!(r.cost, hetero_greedy(&trace, &model).unwrap());
+        // This workload forces at least one transfer arm.
+        assert!(r.transfer_cost > 0.0);
     }
 
     #[cfg(feature = "proptest")]
@@ -294,8 +405,8 @@ mod tests {
                 let model_strategy = hetero_strategy(m);
                 let mut runner = proptest::test_runner::TestRunner::deterministic();
                 let model = model_strategy.new_tree(&mut runner).unwrap().current();
-                let e = hetero_exact(&trace, &model);
-                let g = hetero_greedy(&trace, &model);
+                let e = hetero_exact(&trace, &model).unwrap();
+                let g = hetero_greedy(&trace, &model).unwrap();
                 prop_assert!(e <= g + 1e-9, "exact {e} > greedy {g}");
             }
 
@@ -303,7 +414,7 @@ mod tests {
             fn uniform_models_agree_with_homogeneous_optimal(trace in trace_strategy(), mu in 1u32..=30, la in 1u32..=30) {
                 let homo = CostModel::new(mu as f64 / 10.0, la as f64 / 10.0, 0.8).unwrap();
                 let het = HeteroCostModel::uniform(trace.servers, homo.mu(), homo.lambda(), 0.8).unwrap();
-                let a = hetero_exact(&trace, &het);
+                let a = hetero_exact(&trace, &het).unwrap();
                 let b = crate::optimal(&trace, &homo).cost;
                 prop_assert!(approx_eq(a, b), "hetero {a} vs homo {b}");
             }

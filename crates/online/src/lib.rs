@@ -37,6 +37,7 @@ pub mod online_dpg;
 pub mod randomized;
 pub mod resilient;
 pub mod ski_rental;
+pub mod tiered;
 
 pub use harness::{competitive_ratio, degradation_ratio, DegradationSample, RatioSample};
 pub use resilient::{resilient_ski_rental, ResilientOutcome};

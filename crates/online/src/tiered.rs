@@ -1,0 +1,371 @@
+//! Tiered-storage waterfall serving — greedy level assignment over
+//! per-server L1/L2/L3 ladders, priced by [`TieredCostModel`].
+//!
+//! The capacity-oriented machinery of [`crate::capacity`] generalised to
+//! storage hierarchies: each server owns an ordered ladder of tiers
+//! (small-fast first), requests are served from L1 only, and copies
+//! *waterfall* downward under pressure:
+//!
+//! * **L1 hit** — free, refreshes recency.
+//! * **Lower-tier hit** — the copy is *promoted* to L1 (settling its
+//!   residence at the old tier's rate and paying
+//!   [`TieredCostModel::move_cost`] per level crossed), then served.
+//! * **Miss** — the copy is fetched into L1 from the cheapest source:
+//!   any server currently caching it (`λ_{us}`) or the backing store
+//!   ([`TieredCostModel::origin_fetch`]).
+//! * **Overflow** — inserting into a full tier *demotes* its
+//!   least-recently-used copy one level down (recursively; falling off
+//!   the last tier evicts). Unbounded tiers (`capacity = 0`) never
+//!   overflow.
+//!
+//! Every resident copy pays its tier's `μ_s^ℓ` per unit time until it
+//! moves, is evicted, or the horizon settles — the same cost-oriented
+//! accounting as [`crate::capacity::capacity_run`]. The origin server's
+//! backing store holds every item for the whole horizon at its deepest
+//! tier's rate (requests at the origin always hit), but it is *not* a
+//! `λ` fetch source — remote edges reach the backing store through
+//! `origin_fetch`.
+//!
+//! Everything is serial and deterministic: `BTreeMap` residency, LRU
+//! victim selection tie-broken on item id, and (server, tier, item)
+//! ordered settlement, so the float total is a pure function of
+//! `(seq, model)` at any `MCS_THREADS`.
+
+use std::collections::BTreeMap;
+
+use mcs_model::{ItemId, ModelError, RequestSeq, ServerId, TieredCostModel, TimePoint};
+
+/// Outcome of a tiered waterfall run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieredOutcome {
+    /// Total monetary cost, exactly `cache_cost + (transfer_cost +
+    /// move_cost)` in that association order (the engine's ledger sums
+    /// its two channel events the same way, so the reconciliation gap is
+    /// zero by construction).
+    pub cost: f64,
+    /// Residence cost: every copy × its tier rate × its resident time,
+    /// plus the origin backing store over the whole horizon.
+    pub cache_cost: f64,
+    /// Fetch cost: cross-server `λ` hops and origin fetches.
+    pub transfer_cost: f64,
+    /// Intra-server promotion/demotion cost.
+    pub move_cost: f64,
+    /// Item accesses served from L1 or the origin store.
+    pub hits: usize,
+    /// Item accesses served by promotion from a lower tier.
+    pub promotions: usize,
+    /// Item accesses that fetched from another server or the store.
+    pub misses: usize,
+    /// Copies demoted one level under insertion pressure.
+    pub demotions: usize,
+    /// Copies that fell off the last tier.
+    pub evictions: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// When the copy landed in this tier (for μ accounting).
+    since: TimePoint,
+    /// LRU recency stamp (request counter; demotion preserves it).
+    stamp: u64,
+}
+
+/// Runs the tiered waterfall over a request sequence.
+///
+/// # Errors
+///
+/// [`ModelError::ServerCountMismatch`] when the model is sized for a
+/// different fleet than the trace.
+pub fn tiered_run(seq: &RequestSeq, model: &TieredCostModel) -> Result<TieredOutcome, ModelError> {
+    if model.servers() != seq.servers() {
+        return Err(ModelError::ServerCountMismatch {
+            model: model.servers(),
+            trace: seq.servers(),
+        });
+    }
+    let m = seq.servers() as usize;
+    let horizon = seq.horizon();
+
+    // state[server][tier] → item → slot.
+    let mut state: Vec<Vec<BTreeMap<ItemId, Slot>>> = (0..m)
+        .map(|s| vec![BTreeMap::new(); model.ladder(ServerId(s as u32)).len()])
+        .collect();
+
+    let mut cache_cost = 0.0_f64;
+    let mut transfer_cost = 0.0_f64;
+    let mut move_total = 0.0_f64;
+    let mut hits = 0usize;
+    let mut promotions = 0usize;
+    let mut misses = 0usize;
+    let mut demotions = 0usize;
+    let mut evictions = 0usize;
+    let mut clock = 0u64;
+
+    for r in seq.requests() {
+        clock += 1;
+        for &item in &r.items {
+            if r.server == ServerId::ORIGIN {
+                // The backing store holds everything.
+                hits += 1;
+                continue;
+            }
+            let s = r.server.index();
+            let ladder = model.ladder(r.server);
+
+            // Locate the copy in the waterfall, top-down.
+            let residence = (0..ladder.len()).find(|&lvl| state[s][lvl].contains_key(&item));
+            match residence {
+                Some(0) => {
+                    hits += 1;
+                    state[s][0].get_mut(&item).expect("just found").stamp = clock;
+                    continue;
+                }
+                Some(lvl) => {
+                    // Promote: settle the old tier's residence, pay one
+                    // move per level crossed, re-insert at L1.
+                    let slot = state[s][lvl].remove(&item).expect("just found");
+                    cache_cost += ladder[lvl].mu * (r.time - slot.since);
+                    move_total += model.move_cost() * lvl as f64;
+                    promotions += 1;
+                }
+                None => {
+                    // Miss: fetch from the cheapest current holder, or
+                    // the backing store. Only edge caches are λ sources.
+                    let mut best = model.origin_fetch();
+                    for (u, ladders) in state.iter().enumerate().take(m) {
+                        if u == s || ServerId(u as u32) == ServerId::ORIGIN {
+                            continue;
+                        }
+                        if ladders.iter().any(|tier| tier.contains_key(&item)) {
+                            best = best.min(model.lambda(ServerId(u as u32), r.server));
+                        }
+                    }
+                    transfer_cost += best;
+                    misses += 1;
+                }
+            }
+
+            // Insert at L1 and cascade demotions down the waterfall.
+            let mut carry = (
+                item,
+                Slot {
+                    since: r.time,
+                    stamp: clock,
+                },
+            );
+            for lvl in 0..ladder.len() {
+                state[s][lvl].insert(carry.0, carry.1);
+                let cap = ladder[lvl].capacity;
+                if cap == 0 || state[s][lvl].len() <= cap as usize {
+                    break;
+                }
+                // Overflow: demote the least-recent copy (smallest stamp,
+                // ties to the smallest item id — deterministic).
+                let (&victim, &vslot) = state[s][lvl]
+                    .iter()
+                    .min_by_key(|(&id, slot)| (slot.stamp, id))
+                    .expect("tier over capacity is non-empty");
+                state[s][lvl].remove(&victim);
+                cache_cost += ladder[lvl].mu * (r.time - vslot.since);
+                if lvl + 1 < ladder.len() {
+                    demotions += 1;
+                    move_total += model.move_cost();
+                    carry = (
+                        victim,
+                        Slot {
+                            since: r.time,
+                            stamp: vslot.stamp,
+                        },
+                    );
+                } else {
+                    evictions += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Settle residence to the horizon in (server, tier, item) order.
+    for (s, tiers) in state.iter().enumerate() {
+        let ladder = model.ladder(ServerId(s as u32));
+        for (lvl, tier) in tiers.iter().enumerate() {
+            for slot in tier.values() {
+                cache_cost += ladder[lvl].mu * (horizon - slot.since);
+            }
+        }
+    }
+    // The origin's backing store holds every item for the whole horizon
+    // at its deepest (archive) tier rate.
+    let archive_rate = model
+        .ladder(ServerId::ORIGIN)
+        .last()
+        .expect("every server has at least one tier")
+        .mu;
+    for _ in 0..seq.items() {
+        cache_cost += archive_rate * horizon;
+    }
+
+    let move_cost = move_total;
+    Ok(TieredOutcome {
+        cost: cache_cost + (transfer_cost + move_cost),
+        cache_cost,
+        transfer_cost,
+        move_cost,
+        hits,
+        promotions,
+        misses,
+        demotions,
+        evictions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::{capacity_run, EvictionPolicy};
+    use mcs_model::{CostModel, RequestSeqBuilder, StorageTier};
+
+    /// Requests cycling through 3 items at one edge server.
+    fn cycling_seq() -> RequestSeq {
+        let mut b = RequestSeqBuilder::new(2, 3);
+        let mut t = 0.0;
+        for i in 0..12 {
+            t += 1.0;
+            b = b.push(1u32, t, [(i % 3) as u32]);
+        }
+        b.build().unwrap()
+    }
+
+    fn waterfall(l1: u32) -> TieredCostModel {
+        TieredCostModel::new(
+            vec![
+                vec![
+                    StorageTier::bounded(l1, 2.0),
+                    StorageTier::bounded(2 * l1, 1.0),
+                    StorageTier::unbounded(0.25),
+                ];
+                2
+            ],
+            vec![0.0, 4.0, 4.0, 0.0],
+            0.5,
+            8.0,
+            0.8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_single_tier_matches_unbounded_capacity_run() {
+        // One unbounded tier per server with origin_fetch = λ is exactly
+        // the capacity machinery with infinite slots: every re-access
+        // hits, every first access pays λ, every copy pays μ to horizon.
+        let seq = cycling_seq();
+        let homo = CostModel::new(1.0, 5.0, 0.8).unwrap();
+        let tiered =
+            TieredCostModel::uniform_single_tier(2, homo.mu(), homo.lambda(), 0.8).unwrap();
+        let t = tiered_run(&seq, &tiered).unwrap();
+        let c = capacity_run(&seq, &homo, usize::MAX, EvictionPolicy::Lru);
+        assert_eq!(t.hits, c.hits);
+        assert_eq!(t.misses, c.misses);
+        assert_eq!(t.evictions, 0);
+        assert_eq!(t.demotions, 0);
+        assert_eq!(t.move_cost, 0.0);
+        assert!((t.cost - c.cost).abs() < 1e-9, "{} vs {}", t.cost, c.cost);
+    }
+
+    #[test]
+    fn waterfall_demotes_under_pressure_and_rehits_by_promotion() {
+        // 3 cycling items through a 1-slot L1: every re-access finds the
+        // copy in a lower tier (nothing is ever evicted — L3 is
+        // unbounded), so after the 3 cold misses everything is a
+        // promotion, never a re-fetch.
+        let seq = cycling_seq();
+        let out = tiered_run(&seq, &waterfall(1)).unwrap();
+        assert_eq!(out.misses, 3);
+        assert_eq!(out.promotions, 9);
+        assert_eq!(out.hits, 0);
+        assert_eq!(out.evictions, 0);
+        assert!(out.demotions > 0);
+        assert!(out.move_cost > 0.0);
+        // A roomier L1 turns promotions into plain hits — but pins every
+        // copy at the fast tier's premium rate to the horizon, which on
+        // this trace costs more than waterfalling into the cheap archive
+        // tier and paying the occasional move fee.
+        let roomy = tiered_run(&seq, &waterfall(3)).unwrap();
+        assert_eq!(roomy.misses, 3);
+        assert_eq!(roomy.hits, 9);
+        assert_eq!(roomy.promotions, 0);
+        assert!(roomy.cost > out.cost);
+    }
+
+    #[test]
+    fn origin_requests_always_hit_and_pay_nothing() {
+        let seq = RequestSeqBuilder::new(2, 1)
+            .push(0u32, 1.0, [0])
+            .push(0u32, 2.0, [0])
+            .build()
+            .unwrap();
+        let out = tiered_run(&seq, &waterfall(1)).unwrap();
+        assert_eq!(out.hits, 2);
+        assert_eq!(out.misses, 0);
+        assert_eq!(out.transfer_cost, 0.0);
+        // Only the backing store's residence is charged.
+        assert!((out.cache_cost - 0.25 * seq.horizon()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peer_fetch_beats_origin_fetch_when_cheaper() {
+        // Server 1 caches the item, then server 2 requests it: the λ=4
+        // peer hop must be chosen over the 8.0 origin fetch.
+        let seq = RequestSeqBuilder::new(3, 1)
+            .push(1u32, 1.0, [0])
+            .push(2u32, 2.0, [0])
+            .build()
+            .unwrap();
+        let model = TieredCostModel::new(
+            vec![vec![StorageTier::unbounded(1.0)]; 3],
+            vec![
+                0.0, 4.0, 4.0, //
+                4.0, 0.0, 4.0, //
+                4.0, 4.0, 0.0,
+            ],
+            0.5,
+            8.0,
+            0.8,
+        )
+        .unwrap();
+        let out = tiered_run(&seq, &model).unwrap();
+        assert_eq!(out.misses, 2);
+        // First miss pays origin_fetch (no peer holds it), second the λ.
+        assert!((out.transfer_cost - (8.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_split_recomposes_the_total_exactly() {
+        let seq = cycling_seq();
+        let out = tiered_run(&seq, &waterfall(1)).unwrap();
+        assert_eq!(
+            out.cost.to_bits(),
+            (out.cache_cost + (out.transfer_cost + out.move_cost)).to_bits()
+        );
+    }
+
+    #[test]
+    fn mismatched_model_is_a_typed_error() {
+        let seq = cycling_seq();
+        let model = TieredCostModel::uniform_single_tier(5, 1.0, 1.0, 0.8).unwrap();
+        assert!(matches!(
+            tiered_run(&seq, &model),
+            Err(ModelError::ServerCountMismatch { model: 5, trace: 2 })
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let seq = cycling_seq();
+        let a = tiered_run(&seq, &waterfall(1)).unwrap();
+        let b = tiered_run(&seq, &waterfall(1)).unwrap();
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a, b);
+    }
+}

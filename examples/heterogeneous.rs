@@ -32,8 +32,8 @@ fn main() {
     // Requests alternating between the two expensive servers.
     let trace = SingleItemTrace::from_pairs(3, &[(5.0, 0), (10.0, 1), (15.0, 0)]);
 
-    let exact = hetero_exact(&trace, &hetero);
-    let greedy = hetero_greedy(&trace, &hetero);
+    let exact = hetero_exact(&trace, &hetero).expect("model sized for the trace");
+    let greedy = hetero_greedy(&trace, &hetero).expect("model sized for the trace");
     println!("\nheterogeneous network (s3 caches at 0.01/unit):");
     println!("  exact optimum        = {exact:.2}   (parks the copy at s3)");
     println!(
@@ -46,7 +46,7 @@ fn main() {
     let homo = CostModel::new(10.0, 1.0, 0.8).expect("valid");
     let homo_exact = optimal(&trace, &homo).cost;
     let uniform = HeteroCostModel::uniform(3, 10.0, 1.0, 0.8).expect("valid");
-    let uniform_exact = hetero_exact(&trace, &uniform);
+    let uniform_exact = hetero_exact(&trace, &uniform).expect("model sized for the trace");
     println!("\nuniform control (every server caches at 10/unit):");
     println!("  homogeneous optimal DP = {homo_exact:.2}");
     println!(

@@ -3,6 +3,8 @@
 
 use dp_greedy_suite::engine::RunContext;
 use dp_greedy_suite::model::defaults::{DEFAULT_ALPHA, DEFAULT_LAMBDA, DEFAULT_MU, DEFAULT_THETA};
+use dp_greedy_suite::model::json::{self, FromJson};
+use dp_greedy_suite::model::CostPlane;
 use dp_greedy_suite::prelude::CostModel;
 
 /// A CLI failure, split by whose fault it is: [`CliError::Usage`] means
@@ -35,7 +37,7 @@ pub fn print_usage() {
          [--mu X] [--lambda X] [--alpha X] [--theta X]\n  \
          dpg algos [--json]\n  \
          dpg run --algo NAME [FILE] [--mu X] [--lambda X] [--alpha X] [--theta X] \
-         [--max-group K] [--adaptive] [--json]\n  \
+         [--max-group K] [--adaptive] [--cost-model FILE] [--json]\n  \
          dpg serve --dir DIR [--input FILE] [--algo NAME] [--epoch-len N] [--decay X] \
          [--settle-timeout-ms N] [--max-items N] [--seed N] [--quiet] [--dump-state] \
          [--telemetry-addr HOST:PORT] [--telemetry-file PATH] [--dump-journal]\n  \
@@ -43,16 +45,17 @@ pub fn print_usage() {
          [--raw metrics|journal] [--once]\n  \
          dpg svg FILE --out FILE.svg [--item N] [--mu X] [--lambda X]\n  \
          dpg explain FILE [--a N --b N] [--mu X] [--lambda X] [--alpha X]\n  \
-         dpg trace solve FILE --out FILE.jsonl [--algo NAME] \
-         [--mu X] [--lambda X] [--alpha X] [--theta X] [--max-group K] [--adaptive]\n  \
+         dpg trace solve FILE --out FILE.jsonl [--algo NAME] [--mu X] [--lambda X] \
+         [--alpha X] [--theta X] [--max-group K] [--adaptive] [--cost-model FILE]\n  \
          dpg trace example --out FILE.jsonl\n  \
          dpg chaos [--seed N] [--fault-rate X] [--mean-outage X] [--steps N] \
          [--mu X] [--lambda X] [--alpha X] [--theta X] [--sweep]\n  \
          dpg example\n  \
          dpg version\n\
          `dpg algos` lists the solver registry NAMEs (--max-group/--adaptive \
-         drive the dpg_k K-package solver); every subcommand also \
-         accepts --metrics (print the obs summary)"
+         drive the dpg_k K-package solver; --cost-model points run/trace solve \
+         at a homogeneous, hetero, or tiered cost-plane JSON); every subcommand \
+         also accepts --metrics (print the obs summary)"
     );
 }
 
@@ -109,8 +112,16 @@ pub fn parse_flag<T: std::str::FromStr>(
 /// and (via [`model_flags`]) every other model-taking subcommand — one
 /// parsing path, one validation path.
 pub struct SolverParams {
-    /// The validated cost model `(μ, λ, α)`.
+    /// The homogeneous projection of [`SolverParams::plane`] — exact for
+    /// a homogeneous (or uniformly-collapsible) plane, a mean-rate
+    /// summary otherwise. Header echoes and the plane-less subcommands
+    /// read this.
     pub model: CostModel,
+    /// The full cost plane: `--cost-model FILE` when given, otherwise
+    /// the homogeneous model from `--mu/--lambda/--alpha`.
+    pub plane: CostPlane,
+    /// The `--cost-model` path, kept for the header echo.
+    pub cost_model_path: Option<String>,
     /// Packing threshold `θ` (fixed mode).
     pub theta: f64,
     /// Maximum package size (`2` = the paper's pairwise shape).
@@ -122,7 +133,7 @@ pub struct SolverParams {
 impl SolverParams {
     /// The engine [`RunContext`] these parameters describe.
     pub fn context(&self) -> RunContext {
-        let ctx = RunContext::new(self.model)
+        let ctx = RunContext::from_plane(self.plane.clone())
             .with_theta(self.theta)
             .with_max_group(self.max_group);
         if self.adaptive {
@@ -133,8 +144,25 @@ impl SolverParams {
     }
 }
 
+/// Loads and validates a `--cost-model` file. Unreadable files are
+/// runtime errors (exit 1); malformed or invalid contents are usage
+/// errors (exit 2) reported as `path:line:col: message` — semantic
+/// validation failures (e.g. a negative rate) have no position and land
+/// on `1:1`.
+fn load_cost_plane(path: &str) -> Result<CostPlane, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("cannot read cost model {path}: {e}")))?;
+    let positional = |e: json::JsonError| {
+        let (line, col) = json::line_col(&text, e.at);
+        CliError::Usage(format!("{path}:{line}:{col}: {}", e.msg))
+    };
+    let value = json::parse(&text).map_err(positional)?;
+    CostPlane::from_json(&value).map_err(positional)
+}
+
 /// Parses and validates the shared solver flags
-/// (`--mu/--lambda/--alpha/--theta/--max-group/--adaptive`) over the
+/// (`--mu/--lambda/--alpha/--theta/--max-group/--adaptive`, plus
+/// `--cost-model FILE` for a heterogeneous or tiered plane) over the
 /// caller-supplied `(μ, λ, α, θ)` baseline — `dpg run` passes the paper
 /// example's numbers when no trace file is given, everything else the
 /// workspace defaults. Positional usage errors, like `dpg serve`.
@@ -145,6 +173,7 @@ pub fn solver_flags(args: &[String], base: (f64, f64, f64, f64)) -> Result<Solve
     let theta: f64 = parse_flag(args, "--theta").transpose()?.unwrap_or(base.3);
     let max_group: usize = parse_flag(args, "--max-group").transpose()?.unwrap_or(2);
     let adaptive = args.iter().any(|a| a == "--adaptive");
+    let cost_model_path: Option<String> = parse_flag(args, "--cost-model").transpose()?;
     if !theta.is_finite() || !(0.0..=1.0).contains(&theta) {
         return Err(CliError::Usage(format!(
             "--theta must be a Jaccard threshold in [0, 1], got {theta}"
@@ -155,9 +184,29 @@ pub fn solver_flags(args: &[String], base: (f64, f64, f64, f64)) -> Result<Solve
             "--max-group must be at least 2 (pairs), got {max_group}"
         )));
     }
-    let model = CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
+    let (plane, model) = match &cost_model_path {
+        Some(path) => {
+            for flag in ["--mu", "--lambda", "--alpha"] {
+                if args.iter().any(|a| a == flag) {
+                    return Err(CliError::Usage(format!(
+                        "{flag} conflicts with --cost-model (the file carries the rates)"
+                    )));
+                }
+            }
+            let plane = load_cost_plane(path)?;
+            let model = plane.projected_homogeneous();
+            (plane, model)
+        }
+        None => {
+            let model =
+                CostModel::new(mu, lambda, alpha).map_err(|e| CliError::Usage(e.to_string()))?;
+            (CostPlane::Homogeneous(model), model)
+        }
+    };
     Ok(SolverParams {
         model,
+        plane,
+        cost_model_path,
         theta,
         max_group,
         adaptive,

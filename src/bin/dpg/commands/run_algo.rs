@@ -44,6 +44,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "--alpha",
             "--theta",
             "--max-group",
+            "--cost-model",
         ],
         &BOOL_FLAGS,
     )?;
@@ -89,6 +90,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     if params.adaptive {
         knobs.push_str(" adaptive");
     }
+    if let Some(path) = &params.cost_model_path {
+        // μ/λ/α above are the plane's homogeneous projection; name the
+        // real plane so the header is honest about where rates came from.
+        knobs.push_str(&format!(" cost_model={path} ({})", params.plane.shape()));
+    }
 
     // An empty trace is a degenerate but legal input: every solver's
     // answer is the empty schedule at zero cost. Short-circuit uniformly
@@ -117,6 +123,10 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         }
         return Ok(());
     }
+
+    // Shape gate: a solver that cannot price this cost plane (or fleet
+    // size) is an invocation error, reported before any solving starts.
+    solver.validate(&seq, &ctx).map_err(CliError::Usage)?;
 
     if let Some(limit) = solver.request_limit() {
         if seq.requests().len() > limit {

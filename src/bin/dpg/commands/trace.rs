@@ -73,6 +73,7 @@ fn trace_solve(args: &[String]) -> Result<(), CliError> {
             "--theta",
             "--max-group",
             "--out",
+            "--cost-model",
         ],
         &["--adaptive"],
     )?;
@@ -90,6 +91,10 @@ fn trace_solve(args: &[String]) -> Result<(), CliError> {
 
     let file = TraceFile::load(path).map_err(|e| CliError::Runtime(e.to_string()))?;
     let seq = &file.sequence;
+    let ctx = params.context();
+    // Shape gate, as in `dpg run`: a plane the solver cannot price is an
+    // invocation error (exit 2), not a mid-solve panic.
+    solver.validate(seq, &ctx).map_err(CliError::Usage)?;
     if let Some(limit) = solver.request_limit() {
         if seq.requests().len() > limit {
             return Err(CliError::Runtime(format!(
@@ -99,7 +104,7 @@ fn trace_solve(args: &[String]) -> Result<(), CliError> {
             )));
         }
     }
-    let solution = solver.solve(seq, &params.context());
+    let solution = solver.solve(seq, &ctx);
     emit_ledger(&solution, display_name(solver), &out)
 }
 

@@ -121,3 +121,47 @@ fn run_follows_the_exit_code_taxonomy() {
     assert_eq!(out.status.code(), Some(0));
     assert!(String::from_utf8_lossy(&out.stdout).contains("dp_greedy"));
 }
+
+#[test]
+fn cost_model_failures_follow_the_exit_code_taxonomy() {
+    // A malformed --cost-model file is a usage error (2), reported with
+    // the file position; a missing file is a runtime error (1).
+    let bad = std::env::temp_dir().join("dpg-cli-registry-bad-plane.json");
+    std::fs::write(&bad, "{\"shape\": \"hetero\"").unwrap();
+    let out = dpg()
+        .args([
+            "run",
+            "--algo",
+            "dpg",
+            "--cost-model",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run dpg");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("dpg-cli-registry-bad-plane.json:1:"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = dpg()
+        .args([
+            "run",
+            "--algo",
+            "dpg",
+            "--cost-model",
+            "/nonexistent/plane.json",
+        ])
+        .output()
+        .expect("run dpg");
+    assert_eq!(out.status.code(), Some(1));
+
+    // --cost-model with no value token is a usage error (2).
+    let out = dpg()
+        .args(["run", "--algo", "dpg", "--cost-model"])
+        .output()
+        .expect("run dpg");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--cost-model needs a value"));
+}

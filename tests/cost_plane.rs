@@ -1,0 +1,370 @@
+//! Cost-plane guarantees, end to end:
+//!
+//! * **Uniform collapse is invisible.** Every registry solver must be
+//!   bit-identical — total-cost bits and ledger JSONL bytes — whether
+//!   the `RunContext` carries the plain homogeneous model, its uniform
+//!   heterogeneous embedding, or the single-unbounded-tier tiered
+//!   embedding. This is the refactor's safety theorem: threading
+//!   `CostPlane` through the engine changed no pre-plane number.
+//! * The collapse also holds through the CLI across worker-thread
+//!   counts (`MCS_THREADS ∈ {1, 2, 4}`), pinned on ledger files.
+//! * Plane JSON round-trips for all three shapes, and malformed
+//!   `--cost-model` files fail as positional usage errors (exit 2).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use dp_greedy_suite::dp_greedy::paper_example;
+use dp_greedy_suite::engine::{solvers, RunContext};
+use dp_greedy_suite::model::json::{parse, FromJson, ToJson};
+use dp_greedy_suite::model::rng::Rng;
+use dp_greedy_suite::model::{
+    CostModel, CostPlane, HeteroCostModel, RequestSeq, RequestSeqBuilder, StorageTier,
+    TieredCostModel,
+};
+
+fn dpg() -> Command {
+    let mut path = PathBuf::from(env!("CARGO_BIN_EXE_dpg"));
+    if !path.exists() {
+        path = PathBuf::from("target/debug/dpg");
+    }
+    Command::new(path)
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dpg-cost-plane-{tag}"))
+}
+
+/// The three collapse-equivalent spellings of `(model, m servers)`.
+fn equivalent_planes(model: CostModel, m: u32) -> [CostPlane; 3] {
+    [
+        CostPlane::Homogeneous(model),
+        CostPlane::Hetero(
+            HeteroCostModel::uniform(m, model.mu(), model.lambda(), model.alpha())
+                .expect("uniform embedding is valid"),
+        ),
+        CostPlane::Tiered(
+            TieredCostModel::uniform_single_tier(m, model.mu(), model.lambda(), model.alpha())
+                .expect("single-tier embedding is valid"),
+        ),
+    ]
+}
+
+fn random_sequence(rng: &mut Rng) -> RequestSeq {
+    let servers = rng.gen_range(2u32..=5);
+    let items = rng.gen_range(2u32..=4);
+    let n = rng.gen_range(8usize..=16);
+    let mut b = RequestSeqBuilder::new(servers, items);
+    let mut t = 0.0;
+    for _ in 0..n {
+        t += 0.1 + rng.gen_f64() * 2.0;
+        let server = rng.gen_range(0u32..servers);
+        let first = rng.gen_range(0u32..items);
+        let mut set = vec![first];
+        if rng.gen_bool(0.4) {
+            set.push((first + 1) % items);
+        }
+        b = b.push(server, t, set);
+    }
+    b.build().expect("generated sequence is valid")
+}
+
+/// Every registry solver — the 12 pre-plane ones and the 3 plane-aware
+/// ones — produces bit-identical costs and byte-identical ledgers under
+/// all three uniform spellings of the same rates.
+#[test]
+fn uniform_collapse_is_bit_identical_across_the_registry() {
+    let mut rng = Rng::seed_from_u64(0xC057_11A0);
+    let mut cases: Vec<(RequestSeq, CostModel, f64)> = vec![(
+        paper_example::paper_sequence(),
+        CostModel::paper_example(),
+        paper_example::THETA,
+    )];
+    for _ in 0..4 {
+        let seq = random_sequence(&mut rng);
+        let model = CostModel::new(
+            0.5 + rng.gen_f64() * 3.0,
+            0.5 + rng.gen_f64() * 6.0,
+            0.55 + rng.gen_f64() * 0.4,
+        )
+        .expect("generated model is valid");
+        cases.push((seq, model, 0.3));
+    }
+
+    for (case, (seq, model, theta)) in cases.into_iter().enumerate() {
+        let planes = equivalent_planes(model, seq.servers());
+        for solver in solvers() {
+            if solver
+                .request_limit()
+                .is_some_and(|l| seq.requests().len() > l)
+            {
+                continue;
+            }
+            // Each solver prices the planes it declares compatible
+            // (`tiered_waterfall` cannot view a hetero plane as a
+            // waterfall); every solver must accept the homogeneous one.
+            let solutions: Vec<_> = planes
+                .iter()
+                .filter_map(|plane| {
+                    let ctx = RunContext::from_plane(plane.clone()).with_theta(theta);
+                    match solver.validate(&seq, &ctx) {
+                        Ok(()) => Some((plane, solver.solve(&seq, &ctx))),
+                        Err(_) => None,
+                    }
+                })
+                .collect();
+            assert!(
+                solutions
+                    .iter()
+                    .any(|(plane, _)| plane.shape() == "homogeneous"),
+                "case {case}: {} must accept the homogeneous plane",
+                solver.name()
+            );
+            assert!(
+                solutions.len() >= 2,
+                "case {case}: {} accepts only one uniform spelling",
+                solver.name()
+            );
+            let (_, reference) = &solutions[0];
+            assert!(
+                reference.reconciliation_gap() < 1e-9,
+                "case {case}: {} gap {:.3e}",
+                solver.name(),
+                reference.reconciliation_gap()
+            );
+            for (plane, sol) in solutions.iter().skip(1) {
+                assert_eq!(
+                    reference.total_cost.to_bits(),
+                    sol.total_cost.to_bits(),
+                    "case {case}: {} cost differs under the {} plane",
+                    solver.name(),
+                    plane.shape()
+                );
+                assert_eq!(
+                    reference.ledger().to_jsonl_string(),
+                    sol.ledger().to_jsonl_string(),
+                    "case {case}: {} ledger differs under the {} plane",
+                    solver.name(),
+                    plane.shape()
+                );
+            }
+        }
+    }
+}
+
+/// The collapse holds through the CLI and across worker-thread counts:
+/// `dpg trace solve` over a generated trace writes byte-identical
+/// ledgers with no `--cost-model`, a uniform hetero file, and a uniform
+/// single-tier tiered file, at `MCS_THREADS ∈ {1, 2, 4}` — for the
+/// parallel pre-plane path (`dpg`) and the plane-aware solvers.
+#[test]
+fn uniform_collapse_survives_the_cli_and_thread_counts() {
+    let trace = temp_path("trace.json");
+    let out = dpg()
+        .args(["generate", "--out", trace.to_str().unwrap()])
+        .args(["--steps", "120", "--seed", "11"])
+        .output()
+        .expect("run dpg generate");
+    assert!(out.status.success());
+
+    let file = dp_greedy_suite::trace::io::TraceFile::load(trace.to_str().unwrap())
+        .expect("load generated trace");
+    let m = file.sequence.servers();
+    let defaults = dp_greedy_suite::model::defaults::default_model();
+    let planes = equivalent_planes(defaults, m);
+
+    let mut plane_files: Vec<Option<PathBuf>> = vec![None];
+    for plane in &planes[1..] {
+        let path = temp_path(&format!("{}.json", plane.shape()));
+        std::fs::write(&path, plane.to_json().to_string_pretty()).expect("write plane file");
+        plane_files.push(Some(path));
+    }
+
+    // Plane indices each solver can price: 0 = no flag (homogeneous),
+    // 1 = uniform hetero file, 2 = uniform single-tier tiered file.
+    // `tiered_waterfall` cannot view a hetero plane as a waterfall.
+    for (algo, compatible) in [
+        ("dpg", &[0usize, 1, 2][..]),
+        ("hetero_greedy", &[0, 1, 2][..]),
+        ("tiered_waterfall", &[0, 2][..]),
+    ] {
+        let mut ledgers: Vec<(String, String)> = Vec::new();
+        for (i, plane_file) in plane_files.iter().enumerate() {
+            if !compatible.contains(&i) {
+                continue;
+            }
+            for threads in ["1", "2", "4"] {
+                let ledger = temp_path(&format!("{algo}-{i}-{threads}.jsonl"));
+                let mut cmd = dpg();
+                cmd.args(["trace", "solve", trace.to_str().unwrap()])
+                    .args(["--algo", algo, "--out", ledger.to_str().unwrap()])
+                    .env("MCS_THREADS", threads);
+                if let Some(path) = plane_file {
+                    cmd.args(["--cost-model", path.to_str().unwrap()]);
+                }
+                let out = cmd.output().expect("run dpg trace solve");
+                assert!(
+                    out.status.success(),
+                    "{algo} plane {i} threads {threads}: {}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                let bytes = std::fs::read_to_string(&ledger).expect("read ledger");
+                ledgers.push((format!("plane {i} threads {threads}"), bytes));
+            }
+        }
+        let (ref_label, reference) = &ledgers[0];
+        assert!(!reference.is_empty());
+        for (label, bytes) in &ledgers[1..] {
+            assert_eq!(
+                reference, bytes,
+                "{algo}: ledger at {label} differs from {ref_label}"
+            );
+        }
+    }
+}
+
+/// All three plane shapes round-trip through their JSON encoding.
+#[test]
+fn plane_json_round_trips_for_all_shapes() {
+    let hetero = HeteroCostModel::new(
+        vec![1.0, 2.0, 4.0],
+        vec![
+            0.0, 1.5, 2.0, //
+            1.5, 0.0, 3.0, //
+            2.0, 3.0, 0.0,
+        ],
+        0.8,
+    )
+    .unwrap();
+    let tiered = TieredCostModel::new(
+        vec![vec![StorageTier::bounded(2, 4.0), StorageTier::unbounded(0.5)]; 3],
+        vec![
+            0.0, 1.5, 2.0, //
+            1.5, 0.0, 3.0, //
+            2.0, 3.0, 0.0,
+        ],
+        0.25,
+        6.0,
+        0.8,
+    )
+    .unwrap();
+    for plane in [
+        CostPlane::Homogeneous(CostModel::new(2.0, 4.0, 0.8).unwrap()),
+        CostPlane::Hetero(hetero),
+        CostPlane::Tiered(tiered),
+    ] {
+        let text = plane.to_json().to_string_pretty();
+        let back = CostPlane::from_json(&parse(&text).expect("valid JSON")).expect("valid plane");
+        assert_eq!(plane, back, "{} plane round-trips", plane.shape());
+    }
+}
+
+/// Malformed `--cost-model` files are usage errors with a
+/// `path:line:col` position; unreadable paths are runtime errors.
+#[test]
+fn malformed_cost_model_files_fail_with_positions() {
+    // A syntax error on line 3: the parser reports where it stopped.
+    let syntax = temp_path("syntax.json");
+    std::fs::write(&syntax, "{\n  \"shape\": \"hetero\",\n  \"mu\": [1.0,]\n}").unwrap();
+    let out = dpg()
+        .args([
+            "run",
+            "--algo",
+            "dpg",
+            "--cost-model",
+            syntax.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run dpg");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("syntax.json:3:"),
+        "expected a line-3 position, got: {err}"
+    );
+
+    // Well-formed JSON, semantically invalid: still exit 2, pinned to
+    // the file (validation failures have no token position → 1:1).
+    let invalid = temp_path("invalid.json");
+    std::fs::write(
+        &invalid,
+        r#"{"shape": "hetero", "mu": [1.0, -1.0], "lambda": [0.0, 2.0, 2.0, 0.0], "alpha": 0.8}"#,
+    )
+    .unwrap();
+    let out = dpg()
+        .args(["run", "--algo", "hetero_greedy"])
+        .args(["--cost-model", invalid.to_str().unwrap()])
+        .output()
+        .expect("run dpg");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("invalid.json:1:1") && err.contains("invalid cost model"),
+        "expected a validation error, got: {err}"
+    );
+
+    // Unreadable file: a well-formed invocation failing at runtime.
+    let out = dpg()
+        .args(["run", "--algo", "dpg", "--cost-model"])
+        .arg(temp_path("does-not-exist.json"))
+        .output()
+        .expect("run dpg");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+/// Shape gating through the CLI: a non-collapsible plane is a usage
+/// error for the homogeneous solvers and fine for the plane-aware ones;
+/// `--mu` and friends conflict with `--cost-model`.
+#[test]
+fn non_collapsible_planes_gate_by_solver() {
+    // The paper example runs on 4 servers; spread the μ rates so the
+    // plane cannot collapse.
+    let spread = temp_path("spread.json");
+    let plane = CostPlane::Hetero(
+        HeteroCostModel::new(
+            vec![1.0, 2.0, 4.0, 8.0],
+            {
+                let mut lam = vec![1.0; 16];
+                for i in 0..4 {
+                    lam[i * 4 + i] = 0.0;
+                }
+                lam
+            },
+            0.8,
+        )
+        .unwrap(),
+    );
+    std::fs::write(&spread, plane.to_json().to_string_pretty()).unwrap();
+
+    for (algo, expected) in [
+        ("dpg", 2),
+        ("optimal", 2),
+        ("hetero_greedy", 0),
+        ("hetero_exact", 0),
+    ] {
+        let out = dpg()
+            .args([
+                "run",
+                "--algo",
+                algo,
+                "--cost-model",
+                spread.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run dpg");
+        assert_eq!(
+            out.status.code(),
+            Some(expected),
+            "algo {algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let out = dpg()
+        .args(["run", "--algo", "dpg", "--mu", "3"])
+        .args(["--cost-model", spread.to_str().unwrap()])
+        .output()
+        .expect("run dpg");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("conflicts with --cost-model"));
+}
