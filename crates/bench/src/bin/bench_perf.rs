@@ -7,6 +7,9 @@
 //! * end-to-end `dp_greedy` engine-solver throughput (requests/sec) at
 //!   each thread count, with speedup relative to the 1-thread run;
 //! * Phase 1 co-occurrence counting time, serial vs sharded;
+//! * the Phase-1 kernel duel: hash-map pair scan vs bitset popcount
+//!   scan, with a bit-identity gate on the candidate lists and a
+//!   regression gate on the bitset kernel's relative speed;
 //! * pair-table footprint: the dense `k·(k−1)/2` triangle vs the sparse
 //!   observed-pairs table;
 //! * a byte-identity flag: the decision-ledger JSONL and the bit pattern
@@ -14,9 +17,12 @@
 //!
 //! `--smoke` shrinks the sweep for CI and additionally diffs parallel vs
 //! serial output byte-for-byte across **every** solver in the engine
-//! registry. `--baseline BENCH_perf.json --max-regression 2.0` gates
-//! serial throughput against a committed baseline, per trace size where
-//! the sizes overlap (largest-vs-largest otherwise).
+//! registry — and hash-kernel vs bitset-kernel output under the
+//! `MCS_PHASE1` knob. `--baseline BENCH_perf.json --max-regression 2.0`
+//! gates serial throughput against a committed baseline, per trace size
+//! where the sizes overlap (largest-vs-largest otherwise); the document
+//! carries a `host` fingerprint, and a baseline taken on a different
+//! machine shape only warns instead of gating.
 //!
 //! Thread counts are applied through the `MCS_THREADS` environment knob
 //! (see `mcs_model::par`), set between measurements while only the main
@@ -31,7 +37,7 @@ use std::time::Instant;
 
 use mcs_bench::harness::black_box;
 use mcs_bench::{bench_model, perf_workload};
-use mcs_correlation::{CoOccurrence, SparseCoOccurrence};
+use mcs_correlation::{BitsetIncidence, CoOccurrence, SparseCoOccurrence, PHASE1_ENV};
 use mcs_engine::{solvers, CachingSolver, RunContext};
 use mcs_model::json::{parse, Json};
 use mcs_model::par::THREADS_ENV;
@@ -130,6 +136,27 @@ fn set_threads(n: usize) {
     std::env::set_var(THREADS_ENV, n.to_string());
 }
 
+fn set_kernel(name: Option<&str>) {
+    match name {
+        Some(k) => std::env::set_var(PHASE1_ENV, k),
+        None => std::env::remove_var(PHASE1_ENV),
+    }
+}
+
+/// The machine shape the numbers were taken on. Baselines are only
+/// throughput-comparable when this shape matches.
+fn host_fingerprint(threads: &[usize], available: usize) -> Json {
+    Json::Obj(vec![
+        ("logical_cores".into(), Json::Num(available as f64)),
+        (
+            "threads_swept".into(),
+            Json::Arr(threads.iter().map(|&t| Json::Num(t as f64)).collect()),
+        ),
+        ("os".into(), Json::Str(std::env::consts::OS.into())),
+        ("arch".into(), Json::Str(std::env::consts::ARCH.into())),
+    ])
+}
+
 fn min_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
@@ -149,6 +176,26 @@ fn solver_fingerprint(s: &dyn CachingSolver, seq: &RequestSeq, ctx: &RunContext)
         solution.ledger().to_jsonl_string(),
         solution.total_cost.to_bits(),
     )
+}
+
+/// Byte-diffs hash-kernel vs bitset-kernel output for every registry
+/// solver on `seq` at 1 thread. Returns the names that mismatched.
+fn kernel_identity_check(seq: &RequestSeq, ctx: &RunContext) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    set_threads(1);
+    for s in solvers() {
+        if s.request_limit().is_some_and(|l| seq.len() > l) {
+            continue;
+        }
+        set_kernel(Some("hash"));
+        let reference = solver_fingerprint(*s, seq, ctx);
+        set_kernel(Some("bitset"));
+        if solver_fingerprint(*s, seq, ctx) != reference {
+            mismatches.push(format!("{} hash vs bitset", s.name()));
+        }
+    }
+    set_kernel(None);
+    mismatches
 }
 
 /// Byte-diffs parallel vs serial output for every registry solver on
@@ -200,10 +247,15 @@ fn main() {
     let mut serial_rps_by_steps: Vec<(usize, f64)> = Vec::new();
     let mut largest_serial_rps = 0.0f64;
     let mut largest_best_speedup = 0.0f64;
+    let mut largest_bitset_speedup = 0.0f64;
 
     for &steps in &args.sizes {
         let seq = perf_workload(steps, args.taxis);
         let requests = seq.len();
+        println!(
+            "== {steps} steps ({requests} requests, {} items)",
+            seq.items()
+        );
 
         // Phase 1 footprint and sharded-counting time.
         set_threads(1);
@@ -222,15 +274,55 @@ fn main() {
             failed = true;
         }
 
+        // Phase-1 kernel duel at 1 thread: the hash-map pair scan vs the
+        // bitset popcount scan, over build + candidate enumeration. The
+        // two must produce bit-identical candidate lists.
+        let hash_scan_secs = min_secs(args.reps, || {
+            SparseCoOccurrence::from_sequence_serial(&seq).pairs()
+        });
+        let bitset_scan_secs = min_secs(args.reps, || BitsetIncidence::from_sequence(&seq).pairs());
+        let bitset_speedup = hash_scan_secs / bitset_scan_secs;
+        let hash_pairs = sparse.pairs();
+        let bitset_pairs = BitsetIncidence::from_sequence(&seq).pairs();
+        let pairs_identical = hash_pairs.len() == bitset_pairs.len()
+            && hash_pairs
+                .iter()
+                .zip(&bitset_pairs)
+                .all(|(h, b)| h.0 == b.0 && h.1 == b.1 && h.2.to_bits() == b.2.to_bits());
+        if !pairs_identical {
+            eprintln!("bench_perf: bitset pair scan diverged from hash at {steps} steps");
+            failed = true;
+        }
+        // The speed gate only applies where the auto heuristic would
+        // actually select the bitset kernel — tiny traces route to hash
+        // by design, and the bitset build cost dominating there is not
+        // a regression.
+        let auto_picks_bitset = matches!(
+            mcs_correlation::Phase1Stats::from_sequence(&seq),
+            mcs_correlation::Phase1Stats::Bitset(_)
+        );
+        if auto_picks_bitset && bitset_scan_secs > hash_scan_secs * args.max_regression {
+            eprintln!(
+                "bench_perf: bitset pair scan at {steps} steps ({bitset_scan_secs:.6} s) \
+                 regressed more than {}x against hash ({hash_scan_secs:.6} s)",
+                args.max_regression
+            );
+            failed = true;
+        }
+        println!(
+            "  phase1 pair scan: hash {hash_scan_secs:.6} s, bitset {bitset_scan_secs:.6} s \
+             ({bitset_speedup:.2}x), auto_picks_bitset={auto_picks_bitset}, \
+             identical={pairs_identical}"
+        );
+        if steps == *args.sizes.iter().max().unwrap() {
+            largest_bitset_speedup = bitset_speedup;
+        }
+
         // End-to-end solver throughput per thread count.
         set_threads(1);
         let reference = solver_fingerprint(solver, &seq, &ctx);
         let mut runs = Vec::new();
         let mut serial_secs = f64::NAN;
-        println!(
-            "== {steps} steps ({requests} requests, {} items)",
-            seq.items()
-        );
         for &t in &args.threads {
             set_threads(t);
             let secs = min_secs(args.reps, || solver.solve(&seq, &ctx));
@@ -280,11 +372,17 @@ fn main() {
             ),
             ("phase1_serial_secs".into(), Json::Num(phase1_serial)),
             ("phase1_sharded_secs".into(), Json::Num(phase1_sharded)),
+            ("hash_pair_scan_secs".into(), Json::Num(hash_scan_secs)),
+            ("bitset_pair_scan_secs".into(), Json::Num(bitset_scan_secs)),
+            ("bitset_speedup_vs_hash".into(), Json::Num(bitset_speedup)),
+            ("bitset_pairs_identical".into(), Json::Bool(pairs_identical)),
+            ("auto_picks_bitset".into(), Json::Bool(auto_picks_bitset)),
             ("runs".into(), Json::Arr(runs)),
         ]));
     }
 
-    // Smoke mode: parallel-vs-serial byte identity across the registry.
+    // Smoke mode: parallel-vs-serial byte identity across the registry,
+    // then hash-vs-bitset byte identity under the MCS_PHASE1 knob.
     let mut registry_checked = false;
     if args.smoke {
         let seq = perf_workload(*args.sizes.first().unwrap(), 10);
@@ -299,11 +397,22 @@ fn main() {
             eprintln!("bench_perf: registry mismatches: {}", mismatches.join(", "));
             failed = true;
         }
+        let kernel_mismatches = kernel_identity_check(&seq, &ctx);
+        if kernel_mismatches.is_empty() {
+            println!("kernel identity: all solvers byte-identical under MCS_PHASE1=hash|bitset");
+        } else {
+            eprintln!(
+                "bench_perf: kernel mismatches: {}",
+                kernel_mismatches.join(", ")
+            );
+            failed = true;
+        }
     }
 
     let doc = Json::Obj(vec![
         ("smoke".into(), Json::Bool(args.smoke)),
         ("threads_available".into(), Json::Num(available as f64)),
+        ("host".into(), host_fingerprint(&args.threads, available)),
         ("taxis".into(), Json::Num(args.taxis as f64)),
         ("reps".into(), Json::Num(args.reps as f64)),
         (
@@ -317,6 +426,10 @@ fn main() {
         (
             "largest_best_speedup".into(),
             Json::Num(largest_best_speedup),
+        ),
+        (
+            "largest_bitset_speedup_vs_hash".into(),
+            Json::Num(largest_bitset_speedup),
         ),
         ("sizes".into(), Json::Arr(size_docs)),
     ]);
@@ -335,59 +448,32 @@ fn main() {
             .and_then(|s| parse(&s).map_err(|e| format!("{e:?}")))
         {
             Ok(base) => {
-                let base_serial_rps = |steps: usize| -> Option<f64> {
-                    base.get("sizes")?.as_arr()?.iter().find_map(|size| {
-                        if size.get("steps")?.as_f64()? != steps as f64 {
-                            return None;
-                        }
-                        size.get("runs")?.as_arr()?.iter().find_map(|run| {
-                            if run.get("threads")?.as_f64()? == 1.0 {
-                                run.get("requests_per_sec")?.as_f64()
-                            } else {
-                                None
-                            }
-                        })
-                    })
-                };
-                let mut compared = 0usize;
-                for &(steps, ours) in &serial_rps_by_steps {
-                    let Some(base_rps) = base_serial_rps(steps) else {
-                        continue;
-                    };
-                    compared += 1;
-                    if ours * args.max_regression < base_rps {
-                        eprintln!(
-                            "bench_perf: serial throughput at {steps} steps ({ours:.0} req/s) \
-                             regressed more than {}x against baseline {base_rps:.0} req/s",
-                            args.max_regression
-                        );
-                        failed = true;
-                    } else {
-                        println!(
-                            "{steps} steps: {ours:.0} req/s within {}x of baseline {base_rps:.0} req/s",
-                            args.max_regression
-                        );
+                // Throughput is only comparable across identical machine
+                // shapes; a baseline from a different host (or one with
+                // no recorded shape) produces a warning, not a failure.
+                let base_cores = base
+                    .get("host")
+                    .and_then(|h| h.get("logical_cores"))
+                    .and_then(Json::as_f64);
+                if base_cores != Some(available as f64) {
+                    match base_cores {
+                        Some(cores) => println!(
+                            "bench_perf: baseline {path} was taken on {cores} logical cores, \
+                             this host has {available}; skipping throughput gate (shape mismatch)"
+                        ),
+                        None => println!(
+                            "bench_perf: baseline {path} has no host fingerprint; \
+                             skipping throughput gate"
+                        ),
                     }
-                }
-                if compared == 0 {
-                    let base_rps = base
-                        .get("largest_serial_requests_per_sec")
-                        .and_then(Json::as_f64)
-                        .unwrap_or(0.0);
-                    if base_rps > 0.0 && largest_serial_rps * args.max_regression < base_rps {
-                        eprintln!(
-                            "bench_perf: serial throughput {largest_serial_rps:.0} req/s regressed \
-                             more than {}x against baseline {base_rps:.0} req/s",
-                            args.max_regression
-                        );
-                        failed = true;
-                    } else {
-                        println!(
-                            "no overlapping sizes; largest {largest_serial_rps:.0} req/s within \
-                             {}x of baseline {base_rps:.0} req/s",
-                            args.max_regression
-                        );
-                    }
+                } else {
+                    baseline_throughput_gate(
+                        &base,
+                        &serial_rps_by_steps,
+                        largest_serial_rps,
+                        args.max_regression,
+                        &mut failed,
+                    );
                 }
             }
             Err(e) => {
@@ -399,5 +485,67 @@ fn main() {
 
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// Serial-throughput regression gate against a same-shape baseline:
+/// every overlapping trace size is compared serial-vs-serial; if no
+/// sizes overlap, fall back to largest-vs-largest.
+fn baseline_throughput_gate(
+    base: &Json,
+    serial_rps_by_steps: &[(usize, f64)],
+    largest_serial_rps: f64,
+    max_regression: f64,
+    failed: &mut bool,
+) {
+    let base_serial_rps = |steps: usize| -> Option<f64> {
+        base.get("sizes")?.as_arr()?.iter().find_map(|size| {
+            if size.get("steps")?.as_f64()? != steps as f64 {
+                return None;
+            }
+            size.get("runs")?.as_arr()?.iter().find_map(|run| {
+                if run.get("threads")?.as_f64()? == 1.0 {
+                    run.get("requests_per_sec")?.as_f64()
+                } else {
+                    None
+                }
+            })
+        })
+    };
+    let mut compared = 0usize;
+    for &(steps, ours) in serial_rps_by_steps {
+        let Some(base_rps) = base_serial_rps(steps) else {
+            continue;
+        };
+        compared += 1;
+        if ours * max_regression < base_rps {
+            eprintln!(
+                "bench_perf: serial throughput at {steps} steps ({ours:.0} req/s) \
+                 regressed more than {max_regression}x against baseline {base_rps:.0} req/s"
+            );
+            *failed = true;
+        } else {
+            println!(
+                "{steps} steps: {ours:.0} req/s within {max_regression}x of baseline {base_rps:.0} req/s"
+            );
+        }
+    }
+    if compared == 0 {
+        let base_rps = base
+            .get("largest_serial_requests_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if base_rps > 0.0 && largest_serial_rps * max_regression < base_rps {
+            eprintln!(
+                "bench_perf: serial throughput {largest_serial_rps:.0} req/s regressed \
+                 more than {max_regression}x against baseline {base_rps:.0} req/s"
+            );
+            *failed = true;
+        } else {
+            println!(
+                "no overlapping sizes; largest {largest_serial_rps:.0} req/s within \
+                 {max_regression}x of baseline {base_rps:.0} req/s"
+            );
+        }
     }
 }

@@ -44,6 +44,14 @@ pub fn perf_workload(steps: usize, taxis: usize) -> RequestSeq {
     let mut cfg = WorkloadConfig::paper_like(BENCH_SEED);
     cfg.steps = steps;
     cfg.taxis = taxis;
+    // `paper_like` correlates only its original ten taxis; cycle the same
+    // affinity spread across the whole fleet so the perf workload keeps
+    // the paper's correlated co-access shape as `taxis` scales, instead
+    // of degenerating into mostly-independent singleton requests that
+    // give Phase 1 nothing to measure.
+    cfg.pair_affinity = (0..taxis / 2)
+        .map(|p| cfg.pair_affinity[p % cfg.pair_affinity.len()])
+        .collect();
     generate(&cfg)
 }
 

@@ -51,6 +51,34 @@ impl PairwiseSimilarity for SparseCoOccurrence {
     }
 }
 
+/// Co-access totals behind the adaptive θ rule — the seam that lets
+/// [`adaptive_theta`] run identically over the hash and bitset kernels
+/// (both count the same integers, so the derived θ is bit-identical).
+pub trait CoAccessStats {
+    /// `Σ|d_i|` — total item accesses observed in the prescan.
+    fn total_item_accesses(&self) -> usize;
+    /// Total co-occurrence mass over observed pairs.
+    fn total_pair_cooccurrences(&self) -> usize;
+}
+
+impl CoAccessStats for SparseCoOccurrence {
+    fn total_item_accesses(&self) -> usize {
+        SparseCoOccurrence::total_item_accesses(self)
+    }
+    fn total_pair_cooccurrences(&self) -> usize {
+        SparseCoOccurrence::total_pair_cooccurrences(self)
+    }
+}
+
+impl CoAccessStats for crate::incidence::BitsetIncidence {
+    fn total_item_accesses(&self) -> usize {
+        crate::incidence::BitsetIncidence::total_item_accesses(self)
+    }
+    fn total_pair_cooccurrences(&self) -> usize {
+        crate::incidence::BitsetIncidence::total_pair_cooccurrences(self)
+    }
+}
+
 /// Mean pairwise similarity across two groups.
 fn average_linkage<S: PairwiseSimilarity + ?Sized>(sim: &S, a: &[ItemId], b: &[ItemId]) -> f64 {
     let mut total = 0.0;
@@ -182,8 +210,9 @@ pub fn k_packages_sparse(co: &SparseCoOccurrence, theta: f64, max_group: usize) 
 /// * at the paper's `α = 0.8` on a trace with vanishing co-request
 ///   density the rule reduces to the workspace default `θ = 0.3`.
 ///
-/// Deterministic: a pure function of the prescan counts and `α`.
-pub fn adaptive_theta(co: &SparseCoOccurrence, alpha: f64) -> f64 {
+/// Deterministic: a pure function of the prescan counts and `α`,
+/// identical over any [`CoAccessStats`] backend.
+pub fn adaptive_theta<S: CoAccessStats + ?Sized>(co: &S, alpha: f64) -> f64 {
     let accesses = co.total_item_accesses();
     if accesses == 0 {
         return mcs_model::defaults::DEFAULT_THETA;

@@ -1,0 +1,618 @@
+//! Bitset request-incidence — the hardware-shaped Phase-1 kernel.
+//!
+//! One `u64` word-row per item over request slots: bit `r` of row `i` is
+//! set iff request `r` contains item `i`. Every Phase-1 statistic then
+//! falls out of word-wide bit arithmetic instead of per-event updates:
+//!
+//! * `|d_i|`          = `popcount(row_i)`
+//! * `|(d_i, d_j)|`   = `popcount(row_i AND row_j)`
+//! * `|d_i ∪ d_j|`    = `|d_i| + |d_j| − |(d_i, d_j)|`
+//!   (one popcount fewer than `popcount(or)`, same integer)
+//!
+//! The counts are **the same integers** the per-event kernels
+//! ([`crate::CoOccurrence`], [`crate::SparseCoOccurrence`]) produce, so
+//! every similarity derived from them — and therefore every matching,
+//! package set, and downstream schedule — is **bit-identical** to the
+//! hash path for any `θ ≥ 0`. The equivalence is pinned by tests here
+//! and by the workspace `phase1_bitset` suite across thread counts.
+//!
+//! Kernel selection is env-driven (`MCS_PHASE1` ∈ `hash` | `bitset` |
+//! `auto`, default `auto`): because both kernels are bit-identical by
+//! construction, auto-selection can never change a figure — only how
+//! fast it is computed. `bench_perf` measures the two kernels against
+//! each other and commits the ratio to `BENCH_perf.json`.
+
+use mcs_model::{ItemId, RequestSeq};
+
+use crate::grouping::PairwiseSimilarity;
+use crate::jaccard::CoOccurrence;
+use crate::matching::{greedy_matching_from_pairs, Packing};
+
+/// Name of the environment variable selecting the Phase-1 kernel.
+pub const PHASE1_ENV: &str = "MCS_PHASE1";
+
+/// Which Phase-1 kernel computes incidence statistics.
+///
+/// `Hash` is the historical per-event family (dense triangle updates in
+/// [`CoOccurrence`], hash-map updates in
+/// [`crate::SparseCoOccurrence`]); `Bitset` is the word-row popcount
+/// kernel of this module. The two are bit-identical in every output, so
+/// `Auto` is free to pick whichever a cheap cost estimate favours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase1Kernel {
+    /// Cost-estimate-driven choice (the default).
+    Auto,
+    /// Force the per-event counting kernels.
+    Hash,
+    /// Force the bitset popcount kernels.
+    Bitset,
+}
+
+/// Reads the kernel knob from `MCS_PHASE1` (re-read on every call, like
+/// `MCS_THREADS`). Unrecognised values fall back to `Auto`.
+pub fn phase1_kernel() -> Phase1Kernel {
+    match std::env::var(PHASE1_ENV) {
+        Ok(v) => parse_kernel(&v),
+        Err(_) => Phase1Kernel::Auto,
+    }
+}
+
+fn parse_kernel(v: &str) -> Phase1Kernel {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "hash" => Phase1Kernel::Hash,
+        "bitset" => Phase1Kernel::Bitset,
+        _ => Phase1Kernel::Auto,
+    }
+}
+
+/// Number of `(i, j)` pair-events in the sequence (`Σ |D_i|·(|D_i|−1)/2`)
+/// — the work unit of the per-event kernels, computed in one cheap pass.
+fn pair_events(seq: &RequestSeq) -> usize {
+    seq.requests()
+        .iter()
+        .map(|r| r.items.len() * (r.items.len() - 1) / 2)
+        .sum()
+}
+
+/// `Auto` heuristic for the **dense** statistics ([`CoOccurrence`]):
+/// the bitset kernel fills the full `k·(k−1)/2` triangle at one popcount
+/// chain per pair (`words` word-ops each), the per-event kernel pays one
+/// array increment per pair-event. Word-ops stream through cache, so the
+/// bitset path is taken whenever its total word count is within 16× the
+/// pair-event count — and never below the parallel threshold, where
+/// either kernel finishes in microseconds.
+pub(crate) fn bitset_profitable_dense(seq: &RequestSeq) -> bool {
+    let k = seq.items() as usize;
+    let n = seq.len();
+    if k < 2 || n < crate::jaccard::PARALLEL_THRESHOLD {
+        return false;
+    }
+    let words = n.div_ceil(64);
+    let triangle = k * (k - 1) / 2;
+    triangle.saturating_mul(words) <= pair_events(seq).saturating_mul(16)
+}
+
+/// `Auto` heuristic for the **pair-scan** path (the candidate list behind
+/// the sparse matcher): identical shape to the dense estimate — the scan
+/// visits at most the triangle — but compared against the hash-map
+/// update cost, which is far above an array increment per pair-event.
+pub(crate) fn bitset_profitable_scan(seq: &RequestSeq) -> bool {
+    let k = seq.items() as usize;
+    let n = seq.len();
+    if k < 2 || n < crate::jaccard::PARALLEL_THRESHOLD {
+        return false;
+    }
+    let words = n.div_ceil(64);
+    let triangle = k * (k - 1) / 2;
+    triangle.saturating_mul(words) <= pair_events(seq).saturating_mul(64)
+}
+
+/// Bitset request-incidence: `k` rows of `words` `u64`s, bit `r` of row
+/// `i` set iff request `r` accesses item `i`.
+///
+/// Alongside the matrix the build keeps the full pair triangle
+/// (`k·(k−1)/2` `usize`s, the same footprint as the dense
+/// [`CoOccurrence`]), filled by a streaming `popcount(row_i AND row_j)`
+/// scan over contiguous rows — so point queries and the candidate scan
+/// are `O(1)` per pair instead of `O(words)`. Like the dense path, this
+/// type is dense in `k`; very large catalogs belong on the hash kernel,
+/// which the `Auto` heuristics enforce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitsetIncidence {
+    k: usize,
+    requests: usize,
+    /// Words per row: `ceil(requests / 64)`.
+    words: usize,
+    /// Row-major `k × words` bit matrix.
+    bits: Vec<u64>,
+    /// `popcount(row_i)` — `|d_i|`, precomputed at build.
+    item_counts: Vec<usize>,
+    /// Upper triangle of pair counts, row-major (`(i, j)` with `i < j` at
+    /// `tri_idx`): entry = `popcount(row_i AND row_j)`, filled by a
+    /// streaming row scan at build.
+    triangle: Vec<usize>,
+}
+
+/// Row-major upper-triangle index of `(i, j)` with `i < j` — the same
+/// layout [`CoOccurrence`] uses, so the triangle transfers verbatim.
+#[inline]
+fn tri_idx(k: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < k);
+    i * k - i * (i + 1) / 2 + (j - i - 1)
+}
+
+impl BitsetIncidence {
+    /// Builds the incidence matrix, then derives every count from it.
+    ///
+    /// Pass 1 streams the sequence once, OR-ing one bit per access into
+    /// the row matrix — the only pass that touches the (pointer-heavy)
+    /// request records. Pass 2 never looks at the sequence again: item
+    /// counts are row popcounts and the pair triangle is a streaming
+    /// `popcount(row_i AND row_j)` over contiguous word rows, which the
+    /// compiler turns into straight-line SIMD-friendly chains. Fusing
+    /// the triangle into pass 1 (block-local scratch + active lists) was
+    /// tried and measured *slower* at every catalog size — the scattered
+    /// per-block updates defeat the vectorizer — so the two-pass shape
+    /// is deliberate.
+    pub fn from_sequence(seq: &RequestSeq) -> Self {
+        let k = seq.items() as usize;
+        let n = seq.len();
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; k * words];
+        for (r, req) in seq.requests().iter().enumerate() {
+            let (w, bit) = (r / 64, 1u64 << (r % 64));
+            for &item in &req.items {
+                bits[item.index() * words + w] |= bit;
+            }
+        }
+        let row = |i: usize| &bits[i * words..(i + 1) * words];
+        let mut item_counts = vec![0usize; k];
+        let mut triangle = vec![0usize; k * k.saturating_sub(1) / 2];
+        let mut t = 0;
+        for (i, count) in item_counts.iter_mut().enumerate() {
+            let ri = row(i);
+            // Count `|d_i|` while row `i` is streaming through cache
+            // anyway for the pair sweep below.
+            *count = ri.iter().map(|w| w.count_ones() as usize).sum();
+            for j in i + 1..k {
+                // Rows of silent items stay all-zero; the scan cost is
+                // dominated by live pairs either way.
+                triangle[t] = ri
+                    .iter()
+                    .zip(row(j))
+                    .map(|(a, b)| (a & b).count_ones() as usize)
+                    .sum();
+                t += 1;
+            }
+        }
+        BitsetIncidence {
+            k,
+            requests: n,
+            words,
+            bits,
+            item_counts,
+            triangle,
+        }
+    }
+
+    /// Number of items `k`.
+    #[inline]
+    pub fn items(&self) -> usize {
+        self.k
+    }
+
+    /// Number of request slots (bits per row).
+    #[inline]
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// Words per row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words
+    }
+
+    /// Bytes held by the bit matrix (reported by `bench_perf` alongside
+    /// the dense-triangle and sparse-table footprints).
+    pub fn incidence_bytes(&self) -> usize {
+        self.bits.len() * std::mem::size_of::<u64>()
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words..(i + 1) * self.words]
+    }
+
+    /// `|d_i|` — requests containing `item`.
+    #[inline]
+    pub fn count(&self, item: ItemId) -> usize {
+        self.item_counts[item.index()]
+    }
+
+    /// `|(d_i, d_j)|` — `popcount(row_a AND row_b)` (symmetric; `i == j`
+    /// returns `|d_i|`). The same integer the per-event kernels count,
+    /// answered in `O(1)` from the triangle accumulated at build.
+    pub fn pair_count(&self, a: ItemId, b: ItemId) -> usize {
+        let (i, j) = (a.index(), b.index());
+        match i.cmp(&j) {
+            std::cmp::Ordering::Less => self.triangle[tri_idx(self.k, i, j)],
+            std::cmp::Ordering::Greater => self.triangle[tri_idx(self.k, j, i)],
+            std::cmp::Ordering::Equal => self.item_counts[i],
+        }
+    }
+
+    /// `popcount(row_a AND row_b)` recomputed from the bit matrix — the
+    /// slow-path definition [`Self::pair_count`]'s triangle must equal
+    /// word for word (pinned in tests).
+    pub fn pair_count_scanned(&self, a: ItemId, b: ItemId) -> usize {
+        if a == b {
+            return self.item_counts[a.index()];
+        }
+        self.row(a.index())
+            .iter()
+            .zip(self.row(b.index()))
+            .map(|(x, y)| (x & y).count_ones() as usize)
+            .sum()
+    }
+
+    /// Jaccard similarity per Eq. (5) — the same division over the same
+    /// integers as [`CoOccurrence::jaccard`], hence bit-identical; an
+    /// empty union yields `0.0`, never NaN.
+    pub fn jaccard(&self, a: ItemId, b: ItemId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let both = self.pair_count(a, b);
+        jaccard_from_counts(both, self.count(a), self.count(b))
+    }
+
+    /// Every observed pair (`|(d_i, d_j)| > 0`) with its count, in
+    /// ascending `(i, j)` order — the bitset equivalent of walking the
+    /// sparse hash table, and the deterministic substrate for both
+    /// [`Self::pairs`] and the co-access totals. A read of the
+    /// build-time triangle: `O(k²)` with no matrix traffic, and
+    /// trivially identical for any thread count.
+    pub fn observed_pairs_counted(&self) -> Vec<(ItemId, ItemId, usize)> {
+        let mut out = Vec::new();
+        let mut at = 0usize;
+        for i in 0..self.k {
+            for j in (i + 1)..self.k {
+                let both = self.triangle[at];
+                at += 1;
+                if both > 0 {
+                    out.push((ItemId(i as u32), ItemId(j as u32), both));
+                }
+            }
+        }
+        out
+    }
+
+    /// All observed pairs with their similarity, sorted by descending
+    /// similarity then ascending ids — **byte-identical** to
+    /// [`crate::SparseCoOccurrence::pairs`] on the same sequence (same
+    /// pair set, same integer counts, same division, same comparator),
+    /// and the exact candidate order
+    /// [`crate::matching::greedy_matching_from_pairs`] consumes.
+    pub fn pairs(&self) -> Vec<(ItemId, ItemId, f64)> {
+        let mut out: Vec<(ItemId, ItemId, f64)> = self
+            .observed_pairs_counted()
+            .into_iter()
+            .map(|(a, b, both)| {
+                (
+                    a,
+                    b,
+                    jaccard_from_counts(both, self.count(a), self.count(b)),
+                )
+            })
+            .collect();
+        out.sort_by(|x, y| y.2.total_cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+        out
+    }
+
+    /// `Σ|d_i|` — total item accesses (feeds
+    /// [`crate::grouping::adaptive_theta`]).
+    pub fn total_item_accesses(&self) -> usize {
+        self.item_counts.iter().sum()
+    }
+
+    /// Total co-occurrence mass over observed pairs — the same integer
+    /// as [`crate::SparseCoOccurrence::total_pair_cooccurrences`].
+    pub fn total_pair_cooccurrences(&self) -> usize {
+        self.observed_pairs_counted()
+            .into_iter()
+            .map(|(_, _, c)| c)
+            .sum()
+    }
+
+    /// Materialises the dense per-event statistics: the resulting
+    /// [`CoOccurrence`] is **equal** (integer for integer) to
+    /// `CoOccurrence::from_sequence` on the same sequence. The triangle
+    /// layouts coincide, so this is a copy, not a recount.
+    pub fn to_cooccurrence(&self) -> CoOccurrence {
+        CoOccurrence::from_raw(self.k, self.item_counts.clone(), self.triangle.clone())
+    }
+}
+
+/// The one shared Jaccard division: `both / (ca + cb − both)` with the
+/// zero-union guard. Every kernel funnels through the same integer
+/// inputs, so every kernel emits the same bits — and never a non-finite
+/// value (property-tested workspace-wide).
+#[inline]
+pub(crate) fn jaccard_from_counts(both: usize, ca: usize, cb: usize) -> f64 {
+    let union = ca + cb - both;
+    if union == 0 {
+        0.0
+    } else {
+        both as f64 / union as f64
+    }
+}
+
+impl PairwiseSimilarity for BitsetIncidence {
+    fn items(&self) -> usize {
+        self.k
+    }
+    fn similarity(&self, a: ItemId, b: ItemId) -> f64 {
+        self.jaccard(a, b)
+    }
+}
+
+/// Phase 1 over the bitset kernel: greedy threshold matching on the
+/// popcount candidate list. Packs exactly what
+/// [`crate::greedy_matching`] and [`crate::greedy_matching_sparse`] pack
+/// for any `θ ≥ 0`.
+pub fn greedy_matching_bitset(inc: &BitsetIncidence, theta: f64) -> Packing {
+    greedy_matching_from_pairs(inc.pairs(), inc.items() as u32, theta)
+}
+
+/// Phase-1 statistics behind the kernel knob: the engine's `dpg_k`
+/// solver builds one of these and runs the *same* matching stack over
+/// it (via [`PairwiseSimilarity`]), so switching kernels never touches
+/// solver code — or output bits.
+pub enum Phase1Stats {
+    /// Per-event hash-map statistics.
+    Hash(crate::sparse::SparseCoOccurrence),
+    /// Bitset popcount statistics.
+    Bitset(BitsetIncidence),
+}
+
+impl Phase1Stats {
+    /// Builds the backend selected by `MCS_PHASE1` (`Auto` consults the
+    /// pair-scan cost estimate).
+    pub fn from_sequence(seq: &RequestSeq) -> Self {
+        let bitset = match phase1_kernel() {
+            Phase1Kernel::Bitset => true,
+            Phase1Kernel::Hash => false,
+            Phase1Kernel::Auto => bitset_profitable_scan(seq),
+        };
+        if bitset {
+            Phase1Stats::Bitset(BitsetIncidence::from_sequence(seq))
+        } else {
+            Phase1Stats::Hash(crate::sparse::SparseCoOccurrence::from_sequence(seq))
+        }
+    }
+
+    /// The adaptive packing threshold (identical for both backends: the
+    /// rule is a pure function of integer totals both count alike).
+    pub fn adaptive_theta(&self, alpha: f64) -> f64 {
+        match self {
+            Phase1Stats::Hash(co) => crate::grouping::adaptive_theta(co, alpha),
+            Phase1Stats::Bitset(inc) => crate::grouping::adaptive_theta(inc, alpha),
+        }
+    }
+
+    /// Agglomerative K-packages over whichever backend is loaded — one
+    /// merge loop, one tie-break, identical output.
+    pub fn k_packages(&self, theta: f64, max_group: usize) -> crate::package_set::PackageSet {
+        match self {
+            Phase1Stats::Hash(co) => crate::grouping::agglomerative_packages(co, theta, max_group),
+            Phase1Stats::Bitset(inc) => {
+                crate::grouping::agglomerative_packages(inc, theta, max_group)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::JaccardMatrix;
+    use crate::matching::greedy_matching;
+    use crate::sparse::{greedy_matching_sparse, SparseCoOccurrence};
+    use mcs_model::rng::Rng;
+    use mcs_model::{approx_eq, RequestSeqBuilder};
+
+    fn random_sequence(seed: u64, n: usize, k: u32) -> RequestSeq {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut b = RequestSeqBuilder::new(3, k);
+        let mut t = 0.0;
+        for _ in 0..n {
+            t += 0.1 + rng.gen_f64();
+            let first = rng.gen_range(0u32..k);
+            let mut items = vec![first];
+            if rng.gen_bool(0.6) {
+                let second = (first + rng.gen_range(1u32..k)) % k;
+                if !items.contains(&second) {
+                    items.push(second);
+                }
+            }
+            if rng.gen_bool(0.2) {
+                let third = (first + rng.gen_range(1u32..k)) % k;
+                if !items.contains(&third) {
+                    items.push(third);
+                }
+            }
+            b = b.push(rng.gen_range(0u32..3), t, items);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bitset_counts_match_the_per_event_kernels() {
+        let seq = random_sequence(0xB1757, 400, 12);
+        let dense = CoOccurrence::from_sequence_serial(&seq);
+        let sparse = SparseCoOccurrence::from_sequence_serial(&seq);
+        let inc = BitsetIncidence::from_sequence(&seq);
+        assert_eq!(inc.items(), dense.items());
+        assert_eq!(inc.requests(), seq.len());
+        for i in 0..12u32 {
+            assert_eq!(inc.count(ItemId(i)), dense.count(ItemId(i)));
+            for j in 0..12u32 {
+                assert_eq!(
+                    inc.pair_count(ItemId(i), ItemId(j)),
+                    dense.pair_count(ItemId(i), ItemId(j)),
+                    "pair ({i}, {j})"
+                );
+                // Same integers, same division: identical bits.
+                assert_eq!(
+                    inc.jaccard(ItemId(i), ItemId(j)).to_bits(),
+                    dense.jaccard(ItemId(i), ItemId(j)).to_bits()
+                );
+                assert_eq!(
+                    inc.jaccard(ItemId(i), ItemId(j)).to_bits(),
+                    sparse.jaccard(ItemId(i), ItemId(j)).to_bits()
+                );
+            }
+        }
+    }
+
+    /// The build-time triangle is an accumulation of block-local
+    /// popcounts; it must equal the whole-row `popcount(and)` definition
+    /// word for word, on every pair, including across word boundaries.
+    #[test]
+    fn build_triangle_equals_the_row_scan_definition() {
+        for (seed, n, k) in [(1u64, 63usize, 9u32), (2, 64, 9), (3, 65, 9), (4, 400, 13)] {
+            let inc = BitsetIncidence::from_sequence(&random_sequence(seed, n, k));
+            for i in 0..k {
+                for j in 0..k {
+                    assert_eq!(
+                        inc.pair_count(ItemId(i), ItemId(j)),
+                        inc.pair_count_scanned(ItemId(i), ItemId(j)),
+                        "n={n} pair ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_pair_scan_is_byte_identical_to_the_hash_scan() {
+        for seed in 0..6u64 {
+            let seq = random_sequence(0x5CA7 + seed, 300, 10);
+            let hash = SparseCoOccurrence::from_sequence(&seq).pairs();
+            let bits = BitsetIncidence::from_sequence(&seq).pairs();
+            assert_eq!(hash.len(), bits.len(), "seed {seed}");
+            for (h, b) in hash.iter().zip(&bits) {
+                assert_eq!((h.0, h.1), (b.0, b.1), "seed {seed}");
+                assert_eq!(h.2.to_bits(), b.2.to_bits(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_matching_equals_dense_and_sparse_matching() {
+        for seed in 0..6u64 {
+            let seq = random_sequence(0xFACE + seed, 300, 10);
+            let inc = BitsetIncidence::from_sequence(&seq);
+            for theta in [0.0, 0.15, 0.4] {
+                let dense = greedy_matching(&JaccardMatrix::from_sequence(&seq), theta);
+                let sparse =
+                    greedy_matching_sparse(&SparseCoOccurrence::from_sequence(&seq), theta);
+                let bits = greedy_matching_bitset(&inc, theta);
+                assert_eq!(dense, bits, "seed {seed}, theta {theta}");
+                assert_eq!(sparse, bits, "seed {seed}, theta {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn to_cooccurrence_reproduces_the_per_event_count() {
+        for (n, k) in [(0usize, 2u32), (1, 2), (63, 5), (64, 5), (65, 5), (400, 9)] {
+            let seq = random_sequence(0xC0DE + n as u64, n, k);
+            let via_bitset = BitsetIncidence::from_sequence(&seq).to_cooccurrence();
+            assert_eq!(via_bitset, CoOccurrence::from_sequence_serial(&seq));
+        }
+    }
+
+    #[test]
+    fn co_access_totals_match_the_sparse_kernel() {
+        let seq = random_sequence(0x70745, 500, 8);
+        let sparse = SparseCoOccurrence::from_sequence(&seq);
+        let inc = BitsetIncidence::from_sequence(&seq);
+        assert_eq!(inc.total_item_accesses(), sparse.total_item_accesses());
+        assert_eq!(
+            inc.total_pair_cooccurrences(),
+            sparse.total_pair_cooccurrences()
+        );
+        assert_eq!(inc.observed_pairs_counted().len(), sparse.observed_pairs());
+    }
+
+    #[test]
+    fn word_boundaries_are_exact() {
+        // 64 and 65 requests straddle the word boundary; every request
+        // contains both items, so the last partial word matters.
+        for n in [63usize, 64, 65, 128, 129] {
+            let mut b = RequestSeqBuilder::new(1, 2);
+            for r in 0..n {
+                b = b.push(0u32, (r + 1) as f64, [0, 1]);
+            }
+            let seq = b.build().unwrap();
+            let inc = BitsetIncidence::from_sequence(&seq);
+            assert_eq!(inc.count(ItemId(0)), n);
+            assert_eq!(inc.pair_count(ItemId(0), ItemId(1)), n);
+            assert!(approx_eq(inc.jaccard(ItemId(0), ItemId(1)), 1.0));
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_universes() {
+        let seq = RequestSeqBuilder::new(1, 0).build().unwrap();
+        let inc = BitsetIncidence::from_sequence(&seq);
+        assert_eq!(inc.items(), 0);
+        assert_eq!(inc.words_per_row(), 0);
+        assert!(inc.pairs().is_empty());
+        assert_eq!(inc.total_item_accesses(), 0);
+        let p = greedy_matching_bitset(&inc, 0.3);
+        assert!(p.pairs.is_empty() && p.singletons.is_empty());
+
+        // Never-requested items: zero union must yield 0.0, not NaN.
+        let seq = RequestSeqBuilder::new(1, 3)
+            .push(0u32, 1.0, [0])
+            .build()
+            .unwrap();
+        let inc = BitsetIncidence::from_sequence(&seq);
+        assert_eq!(
+            inc.jaccard(ItemId(1), ItemId(2)).to_bits(),
+            0.0f64.to_bits()
+        );
+        assert!(inc.jaccard(ItemId(0), ItemId(1)).is_finite());
+    }
+
+    #[test]
+    fn kernel_knob_parses_and_defaults_to_auto() {
+        // Parses the value only — the env var itself is exercised by the
+        // workspace-level tests to avoid cross-test races.
+        assert_eq!(parse_kernel("hash"), Phase1Kernel::Hash);
+        assert_eq!(parse_kernel(" BITSET "), Phase1Kernel::Bitset);
+        assert_eq!(parse_kernel("auto"), Phase1Kernel::Auto);
+        assert_eq!(parse_kernel("nonsense"), Phase1Kernel::Auto);
+    }
+
+    #[test]
+    fn phase1_stats_backends_agree() {
+        let seq = random_sequence(0x57A75, 300, 9);
+        let hash = Phase1Stats::Hash(SparseCoOccurrence::from_sequence(&seq));
+        let bits = Phase1Stats::Bitset(BitsetIncidence::from_sequence(&seq));
+        assert_eq!(
+            hash.adaptive_theta(0.8).to_bits(),
+            bits.adaptive_theta(0.8).to_bits()
+        );
+        for (theta, max_group) in [(0.1, 2usize), (0.3, 4), (0.0, usize::MAX)] {
+            assert_eq!(
+                hash.k_packages(theta, max_group),
+                bits.k_packages(theta, max_group),
+                "theta {theta}, max_group {max_group}"
+            );
+        }
+    }
+}

@@ -53,18 +53,59 @@ impl CoOccurrence {
     /// Counts item and pair occurrences over a request sequence
     /// (`O(Σ|D_i|²)` — request item sets are tiny in practice).
     ///
-    /// Large sequences are counted in parallel: the request list is split
-    /// into contiguous shards, each shard counted independently, and the
-    /// per-shard counts summed. Integer addition is associative, so the
-    /// result is **bit-identical** to the serial single pass for any
-    /// shard count (asserted in tests); set `MCS_THREADS=1` to force the
-    /// serial path.
+    /// Two kernels compute the same integers (selected by the
+    /// `MCS_PHASE1` knob, `auto` by default — see [`crate::incidence`]):
+    ///
+    /// * the **per-event** kernel increments the triangle per pair-event,
+    ///   sharding large sequences across worker threads (integer merge —
+    ///   bit-identical to the serial pass for any shard count);
+    /// * the **bitset** kernel builds word-rows of request incidence and
+    ///   fills the triangle with `popcount(and)` chains.
+    ///
+    /// Both produce equal counts for every sequence (asserted in tests),
+    /// so kernel choice can never change a figure. `MCS_THREADS=1`
+    /// forces every parallel path serial.
     pub fn from_sequence(seq: &RequestSeq) -> Self {
+        use crate::incidence::{bitset_profitable_dense, phase1_kernel, Phase1Kernel};
+        let bitset = match phase1_kernel() {
+            Phase1Kernel::Bitset => true,
+            Phase1Kernel::Hash => false,
+            Phase1Kernel::Auto => bitset_profitable_dense(seq),
+        };
+        if bitset {
+            Self::from_sequence_bitset(seq)
+        } else {
+            Self::from_sequence_events(seq)
+        }
+    }
+
+    /// The per-event counting kernel with its serial/sharded dispatch —
+    /// the historical `from_sequence` body.
+    pub fn from_sequence_events(seq: &RequestSeq) -> Self {
         let threads = mcs_model::par::max_threads();
         if threads > 1 && seq.len() >= PARALLEL_THRESHOLD {
             Self::from_sequence_sharded(seq, threads)
         } else {
             Self::from_sequence_serial(seq)
+        }
+    }
+
+    /// The bitset popcount kernel: builds a [`crate::BitsetIncidence`]
+    /// and materialises the identical statistics from it.
+    pub fn from_sequence_bitset(seq: &RequestSeq) -> Self {
+        crate::incidence::BitsetIncidence::from_sequence(seq).to_cooccurrence()
+    }
+
+    /// Assembles statistics from raw counts (the bitset kernel's exit
+    /// path). `triangle` is the packed upper triangle in `tri_index`
+    /// order.
+    pub(crate) fn from_raw(k: usize, item_counts: Vec<usize>, triangle: Vec<usize>) -> Self {
+        debug_assert_eq!(item_counts.len(), k);
+        debug_assert_eq!(triangle.len(), k * k.saturating_sub(1) / 2);
+        CoOccurrence {
+            k,
+            item_counts,
+            pair_counts: triangle,
         }
     }
 
@@ -162,19 +203,13 @@ impl CoOccurrence {
     }
 
     /// Jaccard similarity of a pair per Eq. (5); `0` when neither item is
-    /// ever requested.
+    /// ever requested (zero-union guard — never NaN).
     pub fn jaccard(&self, a: ItemId, b: ItemId) -> f64 {
         if a == b {
             // Eq. (4): the diagonal of the correlation matrix is 1.
             return 1.0;
         }
-        let both = self.pair_count(a, b);
-        let union = self.count(a) + self.count(b) - both;
-        if union == 0 {
-            0.0
-        } else {
-            both as f64 / union as f64
-        }
+        crate::incidence::jaccard_from_counts(self.pair_count(a, b), self.count(a), self.count(b))
     }
 }
 

@@ -20,15 +20,20 @@
 //! the K = 2 view with its byte-stable JSON shape.
 //!
 //! Scale paths: [`CoOccurrence::from_sequence`] shards large sequences
-//! across worker threads (bit-identical to the serial count), and
-//! [`sparse`] provides a hash-based [`SparseCoOccurrence`] that never
-//! allocates the dense `k·(k−1)/2` triangle — Phase 1 for large catalogs.
+//! across worker threads (bit-identical to the serial count), [`sparse`]
+//! provides a hash-based [`SparseCoOccurrence`] that never allocates the
+//! dense `k·(k−1)/2` triangle — Phase 1 for large catalogs — and
+//! [`incidence`] provides the bitset popcount kernel
+//! ([`BitsetIncidence`]): one `u64` word-row per item over request
+//! slots, selected by the `MCS_PHASE1` knob and **bit-identical** to the
+//! per-event kernels in every output.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod exact;
 pub mod grouping;
+pub mod incidence;
 pub mod jaccard;
 pub mod matching;
 pub mod package_set;
@@ -37,7 +42,10 @@ pub mod streaming;
 
 pub use grouping::{
     adaptive_theta, agglomerative_grouping, agglomerative_packages, k_packages_sparse,
-    PairwiseSimilarity,
+    CoAccessStats, PairwiseSimilarity,
+};
+pub use incidence::{
+    greedy_matching_bitset, phase1_kernel, BitsetIncidence, Phase1Kernel, Phase1Stats, PHASE1_ENV,
 };
 pub use jaccard::{CoOccurrence, JaccardMatrix};
 pub use matching::{greedy_matching, Packing};

@@ -129,18 +129,16 @@ impl SparseCoOccurrence {
     }
 
     /// Jaccard similarity per Eq. (5) — identical to the dense
-    /// [`crate::CoOccurrence::jaccard`] on every pair.
+    /// [`crate::CoOccurrence::jaccard`] on every pair. An item pair with
+    /// an empty union (neither item ever requested) yields `0.0`, never
+    /// `NaN` — the zero-union guard lives in the one shared division
+    /// every kernel funnels through, and a workspace property test pins
+    /// that no similarity path can emit a non-finite value.
     pub fn jaccard(&self, a: ItemId, b: ItemId) -> f64 {
         if a == b {
             return 1.0;
         }
-        let both = self.pair_count(a, b);
-        let union = self.count(a) + self.count(b) - both;
-        if union == 0 {
-            0.0
-        } else {
-            both as f64 / union as f64
-        }
+        crate::incidence::jaccard_from_counts(self.pair_count(a, b), self.count(a), self.count(b))
     }
 
     /// All observed pairs with their similarity, sorted by descending

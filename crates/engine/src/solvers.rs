@@ -27,9 +27,7 @@ use dp_greedy::multi_item::{
 use dp_greedy::singleton_greedy::SingletonGreedyOutcome;
 use dp_greedy::two_phase::{dp_greedy, DpGreedyConfig, DpGreedyReport};
 use dp_greedy::windowed::slice_windows;
-use mcs_correlation::{
-    adaptive_theta, greedy_matching, k_packages_sparse, JaccardMatrix, SparseCoOccurrence,
-};
+use mcs_correlation::{greedy_matching, JaccardMatrix, Phase1Stats};
 use mcs_model::fault::FaultPlan;
 use mcs_model::request::SingleItemTrace;
 use mcs_model::{CostModel, ItemId, RequestSeq, Schedule};
@@ -443,13 +441,16 @@ impl CachingSolver for MultiSolver {
 }
 
 /// Adaptive K-package DP_Greedy — ROADMAP item 2 behind the registry
-/// seam. Phase 1 runs over [`SparseCoOccurrence`] (memory independent of
-/// `k²`): the greedy pair matcher at `max_group = 2`, the agglomerative
-/// K-matcher above it; `--adaptive` derives `θ` per trace from the
-/// prescan's co-request density. At `max_group = 2` with a fixed `θ` the
-/// solver delegates to the exact `dp_greedy` pipeline, so cost bits and
-/// ledger parts are identical to [`DpGreedySolver`] (modulo the `algo`
-/// label) — the K = 2 reduction the workspace tests pin.
+/// seam. Phase 1 runs over [`Phase1Stats`] — the hash-based
+/// `SparseCoOccurrence` or the bitset popcount kernel, selected by the
+/// `MCS_PHASE1` knob and bit-identical either way (memory independent of
+/// `k²` on the hash path): the greedy pair matcher at `max_group = 2`,
+/// the agglomerative K-matcher above it; `--adaptive` derives `θ` per
+/// trace from the prescan's co-request density. At `max_group = 2` with
+/// a fixed `θ` the solver delegates to the exact `dp_greedy` pipeline,
+/// so cost bits and ledger parts are identical to [`DpGreedySolver`]
+/// (modulo the `algo` label) — the K = 2 reduction the workspace tests
+/// pin.
 pub struct KPackSolver;
 
 impl CachingSolver for KPackSolver {
@@ -468,7 +469,7 @@ impl CachingSolver for KPackSolver {
             // Pairwise shape: the exact two-phase pipeline (Algorithm 1),
             // with θ optionally re-derived from the prescan.
             let theta = if ctx.adaptive {
-                adaptive_theta(&SparseCoOccurrence::from_sequence(seq), model.alpha())
+                Phase1Stats::from_sequence(seq).adaptive_theta(model.alpha())
             } else {
                 ctx.theta
             };
@@ -483,13 +484,13 @@ impl CachingSolver for KPackSolver {
                 parts,
             };
         }
-        let co = SparseCoOccurrence::from_sequence(seq);
+        let stats = Phase1Stats::from_sequence(seq);
         let theta = if ctx.adaptive {
-            adaptive_theta(&co, model.alpha())
+            stats.adaptive_theta(model.alpha())
         } else {
             ctx.theta
         };
-        let packages = k_packages_sparse(&co, theta, ctx.max_group);
+        let packages = stats.k_packages(theta, ctx.max_group);
         let report = dp_greedy_packages(seq, &packages, model);
         let parts = multi_report_parts(seq, &report, model);
         Solution {

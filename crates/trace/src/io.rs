@@ -9,6 +9,9 @@
 //! Serialisation runs on the in-tree [`mcs_model::json`] layer (the
 //! no-network build carries no serde); the on-disk shape is unchanged
 //! from the serde era, so previously written trace files keep loading.
+//! Large traces can instead use the compact binary [`crate::binary`]
+//! format (`dpg trace pack`); [`TraceFile::load`] auto-detects either
+//! format by the leading `DPGB` magic.
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -57,6 +60,12 @@ pub enum TraceIoError {
         /// Version found in the file.
         found: u32,
     },
+    /// Binary (`DPGB`) format violation: truncation, bad section bounds,
+    /// or a body that fails the model's validation on decode.
+    Binary {
+        /// Human-readable description of the violation.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -75,6 +84,7 @@ impl std::fmt::Display for TraceIoError {
                 f,
                 "trace format version {found} unsupported (expected {FORMAT_VERSION})"
             ),
+            TraceIoError::Binary { msg } => write!(f, "trace binary: {msg}"),
         }
     }
 }
@@ -121,10 +131,23 @@ impl TraceFile {
         Ok(())
     }
 
-    /// Deserialises from a reader, checking the version.
+    /// Serialises to a writer in the compact binary (`DPGB`) format.
+    pub fn write_binary_to<W: Write>(&self, w: W) -> Result<(), TraceIoError> {
+        crate::binary::write_binary(self, w)
+    }
+
+    /// Deserialises from a reader, auto-detecting the format: a `DPGB`
+    /// magic selects the binary decoder, anything else is parsed as JSON
+    /// (with the version checked before the body in both cases).
     pub fn read_from<R: Read>(mut r: R) -> Result<Self, TraceIoError> {
-        let mut text = String::new();
-        r.read_to_string(&mut text)?;
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        if bytes.starts_with(&crate::binary::BINARY_MAGIC) {
+            return crate::binary::read_binary(&bytes);
+        }
+        let text = String::from_utf8(bytes).map_err(|e| TraceIoError::Binary {
+            msg: format!("neither DPGB binary nor UTF-8 JSON: {e}"),
+        })?;
         let value = json::parse(&text).map_err(|e| TraceIoError::Json {
             location: Some(json::line_col(&text, e.at)),
             error: e,
@@ -138,13 +161,19 @@ impl TraceFile {
         Ok(TraceFile::from_json(&value)?)
     }
 
-    /// Saves to a path.
+    /// Saves to a path as JSON.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
         let f = std::fs::File::create(path)?;
         self.write_to(std::io::BufWriter::new(f))
     }
 
-    /// Loads from a path.
+    /// Saves to a path in the binary (`DPGB`) format.
+    pub fn save_binary(&self, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+        let f = std::fs::File::create(path)?;
+        self.write_binary_to(std::io::BufWriter::new(f))
+    }
+
+    /// Loads from a path, auto-detecting JSON vs binary.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceIoError> {
         let f = std::fs::File::open(path)?;
         Self::read_from(std::io::BufReader::new(f))
@@ -179,6 +208,25 @@ mod tests {
         let back = TraceFile::load(&path).unwrap();
         assert_eq!(file, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// `load` must transparently read both formats: the binary file is
+    /// identified by its magic, everything else falls back to JSON.
+    #[test]
+    fn load_autodetects_binary_and_json() {
+        let cfg = WorkloadConfig::small(9);
+        let seq = generate(&cfg);
+        let file = TraceFile::synthetic(cfg, seq);
+        let dir = std::env::temp_dir().join("dpg-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("auto.json");
+        let bin_path = dir.join("auto.dpgb");
+        file.save(&json_path).unwrap();
+        file.save_binary(&bin_path).unwrap();
+        assert_eq!(TraceFile::load(&json_path).unwrap(), file);
+        assert_eq!(TraceFile::load(&bin_path).unwrap(), file);
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&bin_path).ok();
     }
 
     #[test]

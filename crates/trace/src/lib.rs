@@ -21,6 +21,9 @@
 //!   from — items whose taxis ride together are accessed together).
 //! * [`stats`] — zone histograms, pair frequency/Jaccard spectra and
 //!   summary statistics used by the figure runners.
+//! * [`io`] / [`binary`] — persistence: pretty JSON with provenance, plus
+//!   the compact little-endian `DPGB` binary format for large traces
+//!   (`dpg trace pack`), auto-detected on load.
 //!
 //! Everything is seeded (`mcs_model::rng`) and fully deterministic for a
 //! given [`workload::WorkloadConfig`].
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod binary;
 pub mod city;
 pub mod io;
 pub mod mobility;

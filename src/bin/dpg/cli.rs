@@ -48,6 +48,7 @@ pub fn print_usage() {
          dpg trace solve FILE --out FILE.jsonl [--algo NAME] [--mu X] [--lambda X] \
          [--alpha X] [--theta X] [--max-group K] [--adaptive] [--cost-model FILE]\n  \
          dpg trace example --out FILE.jsonl\n  \
+         dpg trace pack IN OUT [--json]\n  \
          dpg chaos [--seed N] [--fault-rate X] [--mean-outage X] [--steps N] \
          [--mu X] [--lambda X] [--alpha X] [--theta X] [--sweep]\n  \
          dpg example\n  \

@@ -153,6 +153,17 @@ fn fmt_secs(v: Option<f64>) -> String {
     v.map_or_else(|| "-".into(), |v| format!("{v:.6}s"))
 }
 
+/// Checkpoint age in seconds, strictly from the two *monotonic* keys of
+/// the exposition (`serve_scrape_t_mono` − `serve_last_checkpoint_t_mono`);
+/// wall-clock keys are never consulted, so NTP steps cannot skew the age.
+/// A checkpoint stamped after the scrape was cut (the daemon keeps
+/// running while the body is built) would read negative — clamped to 0.
+fn checkpoint_age(scrape: &Scrape) -> Option<f64> {
+    let now = scrape.get("serve_scrape_t_mono")?;
+    let at = scrape.get("serve_last_checkpoint_t_mono")?;
+    Some((now - at).max(0.0))
+}
+
 fn render(source: &str, scrape: &Scrape, prev: Option<(f64, f64)>, journal: Option<&str>) {
     let scrape_t = scrape.get("serve_scrape_t_mono");
     let admitted = scrape.get("serve_admitted_total");
@@ -189,10 +200,7 @@ fn render(source: &str, scrape: &Scrape, prev: Option<(f64, f64)>, journal: Opti
             .get("serve_degradation_ratio")
             .map_or_else(|| "-".into(), |v| format!("{v:.4}")),
     );
-    let ckpt_age = match (scrape_t, scrape.get("serve_last_checkpoint_t_mono")) {
-        (Some(now), Some(at)) => format!("{:.1}s", (now - at).max(0.0)),
-        _ => "-".into(),
-    };
+    let ckpt_age = checkpoint_age(scrape).map_or_else(|| "-".into(), |age| format!("{age:.1}s"));
     println!(
         "state        cost ok={} degraded={}   checkpoint_age={ckpt_age}   backpressure={}",
         fmt_count(scrape.get("serve_ok_cost_total")),
@@ -312,5 +320,50 @@ serve_scrape_t_mono 4.5
         assert_eq!(s.quantile("serve_admit_seconds", 0.99), Some(0.0009765625));
         assert_eq!(s.quantile("serve_admit_seconds", 1.0), Some(f64::INFINITY));
         assert_eq!(s.quantile("serve_nope", 0.5), None);
+    }
+
+    fn scrape_with(pairs: &[(&str, f64)]) -> Scrape {
+        let mut s = Scrape::default();
+        for &(name, v) in pairs {
+            s.values.insert(name.to_string(), v);
+        }
+        s
+    }
+
+    /// The age is the difference of the two monotonic keys — and only
+    /// those; wall-clock keys in the scrape must not influence it.
+    #[test]
+    fn checkpoint_age_reads_the_monotonic_keys() {
+        let s = scrape_with(&[
+            ("serve_scrape_t_mono", 40.5),
+            ("serve_last_checkpoint_t_mono", 10.5),
+            // A skewed wall clock must be irrelevant.
+            ("serve_last_checkpoint_t", 9e9),
+        ]);
+        assert_eq!(checkpoint_age(&s), Some(30.0));
+    }
+
+    /// A checkpoint stamped after the scrape was cut reads negative raw;
+    /// the rendered age clamps to zero rather than showing "-0.3s".
+    #[test]
+    fn checkpoint_age_clamps_negative_deltas_to_zero() {
+        let s = scrape_with(&[
+            ("serve_scrape_t_mono", 12.0),
+            ("serve_last_checkpoint_t_mono", 12.3),
+        ]);
+        assert_eq!(checkpoint_age(&s), Some(0.0));
+    }
+
+    #[test]
+    fn checkpoint_age_is_none_without_both_keys() {
+        assert_eq!(checkpoint_age(&scrape_with(&[])), None);
+        assert_eq!(
+            checkpoint_age(&scrape_with(&[("serve_scrape_t_mono", 5.0)])),
+            None
+        );
+        assert_eq!(
+            checkpoint_age(&scrape_with(&[("serve_last_checkpoint_t_mono", 5.0)])),
+            None
+        );
     }
 }

@@ -13,15 +13,16 @@ use dp_greedy_suite::trace::io::TraceFile;
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(sub) = args.first() else {
         return Err(CliError::Usage(
-            "trace needs a subcommand: solve or example".to_string(),
+            "trace needs a subcommand: solve, example, or pack".to_string(),
         ));
     };
     let rest = &args[1..];
     match sub.as_str() {
         "solve" => trace_solve(rest),
         "example" => trace_example(rest),
+        "pack" => trace_pack(rest),
         other => Err(CliError::Usage(format!(
-            "unknown trace subcommand {other} (expected solve or example)"
+            "unknown trace subcommand {other} (expected solve, example, or pack)"
         ))),
     }
 }
@@ -106,6 +107,39 @@ fn trace_solve(args: &[String]) -> Result<(), CliError> {
     }
     let solution = solver.solve(seq, &ctx);
     emit_ledger(&solution, display_name(solver), &out)
+}
+
+/// `dpg trace pack IN OUT` — converts a trace between the JSON and
+/// binary (`DPGB`) on-disk formats. The input format is auto-detected;
+/// the output defaults to binary, `--json` unpacks back to JSON. Both
+/// directions preserve the sequence bit-exactly (times are stored as raw
+/// `f64` bit patterns), so a packed trace solves to byte-identical
+/// ledgers and cost bits.
+fn trace_pack(args: &[String]) -> Result<(), CliError> {
+    check_flags("trace pack", args, &[], &["--json"])?;
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [input, out] = positional.as_slice() else {
+        return Err(CliError::Usage(
+            "trace pack needs IN and OUT paths".to_string(),
+        ));
+    };
+    let to_json = args.iter().any(|a| a == "--json");
+    let file = TraceFile::load(input).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let result = if to_json {
+        file.save(out)
+    } else {
+        file.save_binary(out)
+    };
+    result.map_err(|e| CliError::Runtime(e.to_string()))?;
+    let bytes = std::fs::metadata(out.as_str())
+        .map(|m| m.len())
+        .unwrap_or(0);
+    println!(
+        "packed {input} -> {out} ({}, {} requests, {bytes} bytes)",
+        if to_json { "json" } else { "binary" },
+        file.sequence.len()
+    );
+    Ok(())
 }
 
 fn trace_example(args: &[String]) -> Result<(), CliError> {

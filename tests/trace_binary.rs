@@ -1,0 +1,132 @@
+//! Workspace-level guarantees of the binary (`DPGB`) trace format:
+//!
+//! * **Round trip** — every committed fixture under `fixtures/traces/`
+//!   survives JSON → binary → JSON bit-exactly (times compared as raw
+//!   `f64` bit patterns).
+//! * **Solve equivalence** — solving the packed copy produces
+//!   byte-identical decision-ledger JSONL and `total_cost` bits to
+//!   solving the JSON original, for every `MCS_THREADS` ∈ {1, 2, 4}.
+//! * **Corruption** — truncated or tampered binary files are rejected
+//!   with a diagnostic, never admitted or panicked on.
+
+use dp_greedy_suite::engine::{find, RunContext};
+use dp_greedy_suite::model::par::THREADS_ENV;
+use dp_greedy_suite::model::CostModel;
+use dp_greedy_suite::trace::io::{TraceFile, TraceIoError};
+
+/// Every committed trace fixture. Empty would silently gut the suite,
+/// so it asserts.
+fn fixture_paths() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/traces");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("fixtures/traces unreadable: {e}"))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no trace fixtures committed");
+    paths
+}
+
+fn pack_to_temp(file: &TraceFile, name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dpg-trace-binary-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}.dpgb"));
+    file.save_binary(&path).unwrap();
+    path
+}
+
+#[test]
+fn every_fixture_round_trips_bit_exactly() {
+    for path in fixture_paths() {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let original = TraceFile::load(&path).unwrap();
+        let packed = pack_to_temp(&original, &name);
+        let back = TraceFile::load(&packed).unwrap();
+        assert_eq!(original, back, "{name}: binary round trip diverged");
+        for (a, b) in original
+            .sequence
+            .requests()
+            .iter()
+            .zip(back.sequence.requests())
+        {
+            assert_eq!(a.time.to_bits(), b.time.to_bits(), "{name}: time bits");
+        }
+        std::fs::remove_file(&packed).ok();
+    }
+}
+
+/// The acceptance-criteria identity: a packed fixture must solve to
+/// byte-identical output. Environment mutation is confined to this one
+/// test; results are thread-invariant by construction, so concurrent
+/// tests cannot observe a difference.
+#[test]
+fn packed_fixtures_solve_byte_identically_across_thread_counts() {
+    let solver = find("dp_greedy").unwrap();
+    let ctx = RunContext::new(CostModel::new(1.0, 2.0, 0.7).unwrap()).with_theta(0.3);
+    for path in fixture_paths() {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let original = TraceFile::load(&path).unwrap();
+        let packed_path = pack_to_temp(&original, &format!("solve-{name}"));
+        let packed = TraceFile::load(&packed_path).unwrap();
+        let mut reference: Option<(String, u64)> = None;
+        for threads in [1, 2, 4] {
+            std::env::set_var(THREADS_ENV, threads.to_string());
+            let from_json = solver.solve(&original.sequence, &ctx);
+            let from_binary = solver.solve(&packed.sequence, &ctx);
+            let json_print = (
+                from_json.ledger().to_jsonl_string(),
+                from_json.total_cost.to_bits(),
+            );
+            let binary_print = (
+                from_binary.ledger().to_jsonl_string(),
+                from_binary.total_cost.to_bits(),
+            );
+            assert_eq!(
+                json_print, binary_print,
+                "{name} @ {threads} threads: packed trace solved differently"
+            );
+            match &reference {
+                None => reference = Some(json_print),
+                Some(r) => assert_eq!(r, &json_print, "{name} @ {threads} threads: not invariant"),
+            }
+        }
+        std::env::remove_var(THREADS_ENV);
+        std::fs::remove_file(&packed_path).ok();
+    }
+}
+
+#[test]
+fn truncated_and_tampered_binaries_are_rejected() {
+    let original = TraceFile::load(&fixture_paths()[0]).unwrap();
+    let mut bytes = Vec::new();
+    original.write_binary_to(&mut bytes).unwrap();
+
+    // Truncation anywhere past the magic — header, records, entries.
+    for cut in [4usize, 10, 40, 60, bytes.len() - 3] {
+        let err = TraceFile::read_from(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, TraceIoError::Binary { .. }),
+            "cut at {cut}: expected Binary error, got {err}"
+        );
+    }
+    // A cut inside the magic itself can't be identified as binary; it
+    // still fails cleanly (as JSON), never panics or half-parses.
+    TraceFile::read_from(&bytes[..2]).unwrap_err();
+
+    // A record time zeroed out violates strict time monotonicity and
+    // must be caught by the builder's revalidation.
+    let mut tampered = bytes.clone();
+    tampered[48 + 24..48 + 32].copy_from_slice(&0f64.to_bits().to_le_bytes());
+    let err = TraceFile::read_from(tampered.as_slice()).unwrap_err();
+    assert!(
+        err.to_string().contains("invalid request sequence"),
+        "{err}"
+    );
+
+    // An unknown future version is a Version error, not a decode attempt.
+    let mut versioned = bytes;
+    versioned[4..8].copy_from_slice(&7u32.to_le_bytes());
+    let err = TraceFile::read_from(versioned.as_slice()).unwrap_err();
+    assert!(matches!(err, TraceIoError::Version { found: 7 }), "{err}");
+}
